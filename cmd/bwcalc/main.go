@@ -1,0 +1,98 @@
+// Command bwcalc is the stand-alone bonding-wire calculator: for a wire
+// material, diameter and length it reports resistance, thermal conductance,
+// the analytic steady temperature profile under a given current, and the
+// allowable current for a critical temperature — the kind of tool the
+// paper's introduction references before making the case for coupled field
+// simulation.
+//
+// Usage: bwcalc [-material copper] [-diameter 25.4e-6] [-length 1.55e-3]
+//
+//	[-current 0.4] [-tcrit 523] [-tend 300] [-heff 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etherm/internal/analytic"
+	"etherm/internal/material"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bwcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		matName  = flag.String("material", "copper", "wire material: copper|gold|aluminum")
+		diameter = flag.Float64("diameter", 25.4e-6, "wire diameter in m")
+		length   = flag.Float64("length", 1.55e-3, "wire length in m")
+		current  = flag.Float64("current", 0.4, "operating current in A")
+		tcrit    = flag.Float64("tcrit", 523, "critical temperature in K")
+		tend     = flag.Float64("tend", 300, "end (bond-point) temperature in K")
+		heff     = flag.Float64("heff", 0, "lateral film coefficient W/m2/K (0 = adiabatic lateral surface)")
+	)
+	flag.Parse()
+
+	var mat material.Model
+	switch *matName {
+	case "copper":
+		mat = material.Copper()
+	case "gold":
+		mat = material.Gold()
+	case "aluminum":
+		mat = material.Aluminum()
+	default:
+		return fmt.Errorf("unknown material %q", *matName)
+	}
+
+	w := analytic.FinWire{
+		Length: *length, Diameter: *diameter, Mat: mat,
+		Current: *current, TEndA: *tend, TEndB: *tend,
+		HEff: *heff, TInf: *tend,
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+
+	r300 := *length / (mat.ElecCond(300) * w.Area())
+	gth := mat.ThermCond(300) * w.Area() / *length
+	fmt.Printf("bonding wire calculator — %s, d = %.1f um, L = %.3g mm\n",
+		mat.Name(), *diameter*1e6, *length*1e3)
+	fmt.Printf("  R(300 K)        = %.4g mOhm\n", r300*1e3)
+	fmt.Printf("  G_th(300 K)     = %.4g mW/K\n", gth*1e3)
+	fmt.Printf("  heat capacity   = %.4g uJ/K\n", mat.VolHeatCap()*w.Area()**length*1e6)
+
+	tmax, xmax := w.MaxTemperature(*tend)
+	fmt.Printf("  at I = %.3g A: peak temperature %.2f K at x = %.3g mm (midpoint %.2f K)\n",
+		*current, tmax, xmax*1e3, w.MidpointTemperature(*tend))
+
+	imax, err := w.AllowableCurrent(*tcrit)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  allowable current for T_crit = %.0f K: %.3f A\n", *tcrit, imax)
+
+	fmt.Println("\nprofile T(x):")
+	for i := 0; i <= 10; i++ {
+		x := *length * float64(i) / 10
+		fmt.Printf("  x = %6.3f mm  T = %8.2f K\n", x*1e3, w.Temperature(x, *tend))
+	}
+
+	fmt.Println("\ndiameter sweep (allowable current at T_crit):")
+	for _, dUm := range []float64{15, 20, 25.4, 33, 50} {
+		wi := w
+		wi.Diameter = dUm * 1e-6
+		ic, err := wi.AllowableCurrent(*tcrit)
+		if err != nil {
+			fmt.Printf("  d = %5.1f um: %v\n", dUm, err)
+			continue
+		}
+		fmt.Printf("  d = %5.1f um: I_max = %.3f A\n", dUm, ic)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Command mcstudy runs the paper's uncertainty study: Monte Carlo (or LHS /
+// Halton / Sobol' / Smolyak collocation) over the uncertain bonding-wire
+// elongations of the DATE16 chip, reporting the hottest-wire expectation
+// series with its 6σ band (Fig. 7), σ_MC, error_MC (eq. 6) and failure
+// diagnostics.
+//
+// Usage:
+//
+//	mcstudy [-config run.json] [-samples 1000] [-method monte-carlo]
+//	        [-seed 2016] [-workers N] [-out out/fig7_series.csv] [-preset date16-calibrated]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"etherm/internal/asciiplot"
+	"etherm/internal/config"
+	"etherm/internal/core"
+	"etherm/internal/degrade"
+	"etherm/internal/study"
+	"etherm/internal/uq"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mcstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cfgPath = flag.String("config", "", "JSON configuration file (empty = paper defaults)")
+		samples = flag.Int("samples", 0, "override sample count M")
+		method  = flag.String("method", "", "override sampler: monte-carlo|lhs|halton|sobol")
+		preset  = flag.String("preset", "", "override chip preset: date16|date16-calibrated")
+		seed    = flag.Uint64("seed", 0, "override RNG seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		driveV  = flag.Float64("drivev", 0, "override PEC drive voltage ±V (pair sees 2V)")
+		rho     = flag.Float64("rho", study.DefaultRho, "wire-to-wire elongation correlation in [0,1]")
+		outPath = flag.String("out", "out/fig7_series.csv", "CSV output path")
+		plot    = flag.Bool("plot", true, "print an ASCII Fig. 7")
+	)
+	flag.Parse()
+
+	cfg, err := config.Load(*cfgPath)
+	if err != nil {
+		return err
+	}
+	if *samples > 0 {
+		cfg.UQ.Samples = *samples
+	}
+	if *method != "" {
+		cfg.UQ.Method = *method
+	}
+	if *preset != "" {
+		cfg.Chip.Preset = *preset
+	}
+	if *seed != 0 {
+		cfg.UQ.Seed = *seed
+	}
+	if *workers > 0 {
+		cfg.UQ.Workers = *workers
+	}
+	if *driveV > 0 {
+		cfg.Chip.DriveVoltageV = *driveV
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	spec, err := cfg.Spec()
+	if err != nil {
+		return err
+	}
+	opt := cfg.Options(true)
+
+	fmt.Printf("mcstudy: preset=%s method=%s M=%d seed=%d workers=%d (%d CPU)\n",
+		cfg.Chip.Preset, cfg.UQ.Method, cfg.UQ.Samples, cfg.UQ.Seed, cfg.UQ.Workers, runtime.NumCPU())
+
+	lay, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	base, err := core.NewSimulator(lay.Problem, opt)
+	if err != nil {
+		return err
+	}
+	model := study.NewWireTempModel(base)
+	model.Mu = cfg.UQ.MeanDelta
+	model.Sigma = cfg.UQ.StdDelta
+	model.Rho = *rho
+	dim := model.Dim()
+	dists := model.InputDists()
+
+	var sampler uq.Sampler
+	switch cfg.UQ.Method {
+	case "", "monte-carlo":
+		sampler = uq.PseudoRandom{D: dim, Seed: cfg.UQ.Seed}
+	case "lhs":
+		lhs, err := uq.NewLatinHypercube(dim, cfg.UQ.Samples, cfg.UQ.Seed)
+		if err != nil {
+			return err
+		}
+		sampler = lhs
+	case "halton":
+		h, err := uq.NewHalton(dim, cfg.UQ.Seed)
+		if err != nil {
+			return err
+		}
+		sampler = h
+	case "sobol":
+		s, err := uq.NewSobol(dim)
+		if err != nil {
+			return err
+		}
+		sampler = s
+	default:
+		return fmt.Errorf("method %q not supported by mcstudy (use the collocation example for smolyak)", cfg.UQ.Method)
+	}
+
+	t0 := time.Now()
+	factory := study.FactoryFor(base, *rho)
+	ens, err := uq.RunEnsemble(factory, dists, sampler,
+		uq.EnsembleOptions{Samples: cfg.UQ.Samples, Workers: cfg.UQ.Workers})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+
+	eff := base.Options()
+	times := make([]float64, eff.NumSteps+1)
+	for i := range times {
+		times[i] = eff.EndTime * float64(i) / float64(eff.NumSteps)
+	}
+	tCrit := cfg.UQ.CriticalK
+	if tCrit == 0 {
+		tCrit = degrade.DefaultCriticalTemp
+	}
+	fig7, err := study.BuildFig7(times, ens, model.NumWires(), tCrit)
+	if err != nil {
+		return err
+	}
+
+	if err := writeCSV(*outPath, fig7); err != nil {
+		return err
+	}
+
+	fmt.Printf("samples ok=%d failed=%d in %v (%.2f s/sample/worker-adjusted)\n",
+		ens.Succeeded(), ens.Failures, elapsed.Round(time.Second),
+		elapsed.Seconds()/float64(ens.Succeeded()))
+	fmt.Printf("hottest wire: %d (%s side)\n", fig7.HotWire, lay.Wires[fig7.HotWire].Side)
+	last := len(times) - 1
+	fmt.Printf("E_max(%.0f s) = %.2f K   sigma_MC = %.3f K   error_MC = %.3f K (eq. 6)\n",
+		times[last], fig7.EMax[last], fig7.SigmaMC, fig7.ErrorMC)
+	fmt.Printf("T_crit = %.0f K: mean crossing %s, 6-sigma band crossing %s, P(exceed at end) = %.2e\n",
+		tCrit, fmtCross(fig7.CrossMean), fmtCross(fig7.Cross6Sig), fig7.ExceedProb)
+	fmt.Printf("stationary by end of horizon: %v\n", fig7.Stationary(2.0))
+
+	if *plot {
+		hot := fig7.HotSeries()
+		errs := make([]float64, len(hot))
+		for i := range errs {
+			errs[i] = 6 * fig7.SigmaHot[i]
+		}
+		p := asciiplot.LinePlot{
+			Title:  fmt.Sprintf("Fig. 7: expected hottest-wire temperature ±6 sigma (M=%d, %s)", ens.Succeeded(), ens.SamplerName),
+			XLabel: "time (s)", YLabel: "temperature (K)",
+			Series: []asciiplot.Series{{Name: "E[T_hot](t) ±6 sigma", X: times, Y: hot, Err: errs, Marker: '*'}},
+			HLines: map[string]float64{"T_critical": tCrit},
+		}
+		fmt.Println(p.Render())
+	}
+	fmt.Printf("series written to %s\n", *outPath)
+	return nil
+}
+
+func fmtCross(t float64) string {
+	if math.IsNaN(t) {
+		return "never"
+	}
+	return fmt.Sprintf("t = %.1f s", t)
+}
+
+func writeCSV(path string, f *study.Fig7) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	w := csv.NewWriter(fh)
+	header := []string{"time_s", "E_max_K", "E_hot_K", "sigma_hot_K", "lower6_K", "upper6_K", "T_crit_K"}
+	nw := len(f.EWire[0])
+	for j := 0; j < nw; j++ {
+		header = append(header, fmt.Sprintf("E_wire%02d_K", j), fmt.Sprintf("sigma_wire%02d_K", j))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	hot := f.HotSeries()
+	for t := range f.Times {
+		row := []string{
+			fmt.Sprintf("%g", f.Times[t]),
+			fmt.Sprintf("%.4f", f.EMax[t]),
+			fmt.Sprintf("%.4f", hot[t]),
+			fmt.Sprintf("%.4f", f.SigmaHot[t]),
+			fmt.Sprintf("%.4f", hot[t]-6*f.SigmaHot[t]),
+			fmt.Sprintf("%.4f", hot[t]+6*f.SigmaHot[t]),
+			fmt.Sprintf("%g", f.TCritical),
+		}
+		for j := 0; j < nw; j++ {
+			row = append(row, fmt.Sprintf("%.4f", f.EWire[t][j]), fmt.Sprintf("%.4f", f.SWire[t][j]))
+		}
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

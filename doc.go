@@ -1,0 +1,13 @@
+// Package etherm is a Go reproduction of Casper et al., "Electrothermal
+// Simulation of Bonding Wire Degradation under Uncertain Geometries"
+// (DATE 2016): a Finite-Integration-Technique electrothermal field solver
+// with lumped bonding-wire models embedded as point-to-point electrothermal
+// conductances, and an uncertainty-quantification stack (Monte Carlo,
+// quasi-Monte Carlo, stochastic collocation, polynomial chaos) over the
+// uncertain wire geometries.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); the executables under cmd/ and the runnable walkthroughs under
+// examples/ are the public surface. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper.
+package etherm

@@ -1,0 +1,53 @@
+// wire_design: the designer's trade-off study from the paper's introduction
+// — sweep the wire diameter and material and report resistance, peak
+// temperature at the operating current and the allowable current against
+// the 523 K threshold, using the analytic fin baseline.
+//
+// Run with: go run ./examples/wire_design
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"etherm/internal/analytic"
+	"etherm/internal/degrade"
+	"etherm/internal/material"
+)
+
+func main() {
+	materials := []material.Model{material.Copper(), material.Gold(), material.Aluminum()}
+	diameters := []float64{15e-6, 20e-6, 25.4e-6, 33e-6, 50e-6}
+	const (
+		length  = 1.55e-3 // the paper's average wire length
+		current = 0.4     // A, near the chip's per-wire operating point
+	)
+
+	fmt.Printf("wire design sweep: L = %.3g mm, I = %.2g A, T_crit = %.0f K\n\n",
+		length*1e3, current, degrade.DefaultCriticalTemp)
+	fmt.Printf("%-9s %-8s %12s %12s %12s\n", "material", "d (um)", "R300 (mOhm)", "T_peak (K)", "I_max (A)")
+	for _, m := range materials {
+		for _, d := range diameters {
+			w := analytic.FinWire{
+				Length: length, Diameter: d, Mat: m,
+				Current: current, TEndA: 300, TEndB: 300, TInf: 300,
+			}
+			r := length / (m.ElecCond(300) * w.Area())
+			tp, _ := w.MaxTemperature(300)
+			imax, err := w.AllowableCurrent(degrade.DefaultCriticalTemp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s %-8.1f %12.2f %12.1f %12.3f\n", m.Name(), d*1e6, r*1e3, tp, imax)
+		}
+		fmt.Println()
+	}
+
+	// Time-to-failure of the mold at a few hold temperatures (Arrhenius).
+	ar := degrade.MoldEpoxy()
+	fmt.Println("mold degradation (Arrhenius, Ea = 0.8 eV, TTF(523 K) = 1000 h):")
+	for _, T := range []float64{450.0, 480, 500, 523, 540} {
+		fmt.Printf("  T = %3.0f K: time to failure %.3g h (acceleration ×%.2f vs 523 K)\n",
+			T, ar.TimeToFailure(T)/3600, ar.AccelerationFactor(degrade.DefaultCriticalTemp, T))
+	}
+}

@@ -1,0 +1,208 @@
+// Package analytic provides the closed-form bonding-wire baselines the field
+// model is compared against: the steady fin equation with Joule heating
+// (Nöbauer–Moser style), allowable-current estimation, and a transient
+// lumped package model. These are the "bonding wire calculators" the paper's
+// introduction situates its field-coupled approach against.
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"etherm/internal/material"
+)
+
+// FinWire is a straight wire of length L and cross-section A carrying
+// current I between two end reservoirs at TEndA/TEndB, losing heat laterally
+// to an environment at TInf through an effective film coefficient HEff over
+// the wire perimeter (zero for an adiabatic lateral surface, as for a wire
+// buried in poorly conducting mold on short time scales).
+type FinWire struct {
+	Length, Diameter float64
+	Mat              material.Model
+	Current          float64
+	TEndA, TEndB     float64
+	HEff             float64
+	TInf             float64
+}
+
+// Validate checks the parameters.
+func (w FinWire) Validate() error {
+	if w.Length <= 0 || w.Diameter <= 0 {
+		return fmt.Errorf("analytic: non-positive wire dimensions")
+	}
+	if w.Mat == nil {
+		return fmt.Errorf("analytic: missing material")
+	}
+	if w.TEndA <= 0 || w.TEndB <= 0 {
+		return fmt.Errorf("analytic: non-positive end temperatures")
+	}
+	return nil
+}
+
+// Area returns the cross-section area.
+func (w FinWire) Area() float64 { return math.Pi * w.Diameter * w.Diameter / 4 }
+
+// Perimeter returns the wire circumference.
+func (w FinWire) Perimeter() float64 { return math.Pi * w.Diameter }
+
+// evalAt evaluates material properties at the reference temperature Tref
+// (the model is linear; properties are frozen at Tref).
+func (w FinWire) props(tref float64) (lambda, q, m2 float64) {
+	lambda = w.Mat.ThermCond(tref)
+	sigma := w.Mat.ElecCond(tref)
+	// Joule heating per unit length: I²/(σA).
+	q = w.Current * w.Current / (sigma * w.Area())
+	// Fin parameter m² = h·P/(λ·A).
+	m2 = w.HEff * w.Perimeter() / (lambda * w.Area())
+	return
+}
+
+// Temperature returns the steady temperature at position x ∈ [0, L], with
+// material properties frozen at tref. For m² = 0 the profile is the exact
+// parabola T = T_lin(x) + q·x(L−x)/(2λA); otherwise the standard sinh/cosh
+// fin solution applies.
+func (w FinWire) Temperature(x, tref float64) float64 {
+	lambda, q, m2 := w.props(tref)
+	a := w.Area()
+	l := w.Length
+	if m2 == 0 {
+		lin := w.TEndA + (w.TEndB-w.TEndA)*x/l
+		return lin + q*x*(l-x)/(2*lambda*a)
+	}
+	m := math.Sqrt(m2)
+	// θ(x) = T − T∞ − q/(hP); particular solution plus homogeneous terms
+	// matched to the end conditions.
+	part := q / (w.HEff * w.Perimeter())
+	thA := w.TEndA - w.TInf - part
+	thB := w.TEndB - w.TInf - part
+	sh := math.Sinh(m * l)
+	th := (thB*math.Sinh(m*x) + thA*math.Sinh(m*(l-x))) / sh
+	return th + w.TInf + part
+}
+
+// MaxTemperature returns the peak steady temperature along the wire and its
+// position, located by golden-section search (the profile is unimodal).
+func (w FinWire) MaxTemperature(tref float64) (tmax, xmax float64) {
+	const phi = 0.6180339887498949
+	lo, hi := 0.0, w.Length
+	a := hi - phi*(hi-lo)
+	b := lo + phi*(hi-lo)
+	fa, fb := w.Temperature(a, tref), w.Temperature(b, tref)
+	for i := 0; i < 200 && hi-lo > 1e-12*w.Length; i++ {
+		if fa < fb {
+			lo, a, fa = a, b, fb
+			b = lo + phi*(hi-lo)
+			fb = w.Temperature(b, tref)
+		} else {
+			hi, b, fb = b, a, fa
+			a = hi - phi*(hi-lo)
+			fa = w.Temperature(a, tref)
+		}
+	}
+	x := 0.5 * (lo + hi)
+	return w.Temperature(x, tref), x
+}
+
+// MidpointTemperature returns T(L/2).
+func (w FinWire) MidpointTemperature(tref float64) float64 {
+	return w.Temperature(w.Length/2, tref)
+}
+
+// AllowableCurrent returns the largest current for which the wire's peak
+// steady temperature stays below tCrit, found by bisection — the analytic
+// analogue of the paper's design question. The material is evaluated at the
+// critical temperature for a conservative estimate.
+func (w FinWire) AllowableCurrent(tCrit float64) (float64, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	if tCrit <= w.TEndA || tCrit <= w.TEndB {
+		return 0, fmt.Errorf("analytic: critical temperature %g below end temperatures", tCrit)
+	}
+	peakAt := func(i float64) float64 {
+		wi := w
+		wi.Current = i
+		t, _ := wi.MaxTemperature(tCrit)
+		return t
+	}
+	lo, hi := 0.0, 1e-3
+	for peakAt(hi) < tCrit {
+		hi *= 2
+		if hi > 1e4 {
+			return 0, fmt.Errorf("analytic: wire never reaches %g K (lateral cooling dominates)", tCrit)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		mid := 0.5 * (lo + hi)
+		if peakAt(mid) < tCrit {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// LumpedPackage is a one-node transient package model: heat capacity C,
+// thermal resistance R to ambient, and a power source that may depend on the
+// node temperature (voltage-driven Joule heating falls with T for metals).
+type LumpedPackage struct {
+	C     float64 // J/K
+	R     float64 // K/W
+	TInf  float64
+	Power func(T float64) float64
+}
+
+// Step advances the lumped ODE C dT/dt = P(T) − (T−T∞)/R with the implicit
+// Euler method (matching the field solver's integrator) using a fixed-point
+// iteration on the power term.
+func (p LumpedPackage) Step(t, dt float64) float64 {
+	tn := t
+	for k := 0; k < 50; k++ {
+		pw := p.Power(tn)
+		next := (p.C/dt*t + pw + p.TInf/p.R) / (p.C/dt + 1/p.R)
+		if math.Abs(next-tn) < 1e-12 {
+			return next
+		}
+		tn = next
+	}
+	return tn
+}
+
+// Solve integrates from T0 over nSteps of size dt, returning the trajectory
+// including the initial state (length nSteps+1).
+func (p LumpedPackage) Solve(t0, dt float64, nSteps int) []float64 {
+	out := make([]float64, nSteps+1)
+	out[0] = t0
+	t := t0
+	for i := 1; i <= nSteps; i++ {
+		t = p.Step(t, dt)
+		out[i] = t
+	}
+	return out
+}
+
+// SteadyState returns the fixed point of the lumped model.
+func (p LumpedPackage) SteadyState() float64 {
+	t := p.TInf
+	for i := 0; i < 500; i++ {
+		next := p.TInf + p.R*p.Power(t)
+		if math.Abs(next-t) < 1e-10 {
+			return next
+		}
+		t = 0.5*t + 0.5*next
+	}
+	return t
+}
+
+// WirePairPower returns a Power closure for n wire pairs driven at vPair
+// each, with per-wire resistance from the material at temperature T:
+// P(T) = n · vPair² / (2·R_wire(T)).
+func WirePairPower(nPairs int, vPair, length, diameter float64, mat material.Model) func(float64) float64 {
+	area := math.Pi * diameter * diameter / 4
+	return func(t float64) float64 {
+		r := length / (mat.ElecCond(t) * area)
+		return float64(nPairs) * vPair * vPair / (2 * r)
+	}
+}

@@ -1,0 +1,150 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/material"
+)
+
+func constCu() material.Linear {
+	return material.Linear{MatName: "cu0", Sigma0: 5.8e7, Lambda0: 398, RhoC: 3.45e6}
+}
+
+func TestAdiabaticParabola(t *testing.T) {
+	w := FinWire{
+		Length: 1.5e-3, Diameter: 25.4e-6, Mat: constCu(),
+		Current: 0.4, TEndA: 300, TEndB: 300, TInf: 300,
+	}
+	lam := 398.0
+	q := 0.4 * 0.4 / (5.8e7 * w.Area())
+	l := w.Length
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		x := frac * l
+		want := 300 + q*x*(l-x)/(2*lam*w.Area())
+		if got := w.Temperature(x, 300); math.Abs(got-want) > 1e-9 {
+			t.Errorf("T(%g) = %g, want %g", x, got, want)
+		}
+	}
+	mid := w.MidpointTemperature(300)
+	tmax, xmax := w.MaxTemperature(300)
+	if math.Abs(tmax-mid) > 1e-6 || math.Abs(xmax-l/2) > 1e-6*l {
+		t.Errorf("symmetric wire peak not at midpoint: %g at %g", tmax, xmax)
+	}
+}
+
+func TestAsymmetricEndsShiftPeak(t *testing.T) {
+	w := FinWire{
+		Length: 1.5e-3, Diameter: 25.4e-6, Mat: constCu(),
+		Current: 0.3, TEndA: 300, TEndB: 380, TInf: 300,
+	}
+	_, xmax := w.MaxTemperature(300)
+	if xmax <= w.Length/2 {
+		t.Errorf("peak at %g should shift toward the hot end", xmax)
+	}
+}
+
+func TestFinWithLateralLossReducesToEnds(t *testing.T) {
+	// Without current, a fin with both ends at T∞ stays at T∞.
+	w := FinWire{
+		Length: 1.5e-3, Diameter: 25.4e-6, Mat: constCu(),
+		Current: 0, TEndA: 300, TEndB: 300, HEff: 5000, TInf: 300,
+	}
+	for _, x := range []float64{0, 0.5e-3, 1e-3, 1.5e-3} {
+		if got := w.Temperature(x, 300); math.Abs(got-300) > 1e-9 {
+			t.Errorf("T(%g) = %g, want 300", x, got)
+		}
+	}
+}
+
+func TestLateralCoolingLowersPeak(t *testing.T) {
+	base := FinWire{
+		Length: 1.5e-3, Diameter: 25.4e-6, Mat: constCu(),
+		Current: 0.5, TEndA: 300, TEndB: 300, TInf: 300,
+	}
+	cooled := base
+	cooled.HEff = 2000
+	t0, _ := base.MaxTemperature(300)
+	t1, _ := cooled.MaxTemperature(300)
+	if t1 >= t0 {
+		t.Errorf("lateral cooling should lower the peak: %g vs %g", t1, t0)
+	}
+}
+
+func TestAllowableCurrentMonotoneInDiameter(t *testing.T) {
+	prev := 0.0
+	for _, d := range []float64{15e-6, 25.4e-6, 50e-6} {
+		w := FinWire{
+			Length: 1.55e-3, Diameter: d, Mat: material.Copper(),
+			TEndA: 300, TEndB: 300, TInf: 300,
+		}
+		i, err := w.AllowableCurrent(523)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i <= prev {
+			t.Errorf("allowable current should grow with diameter: %g after %g", i, prev)
+		}
+		prev = i
+	}
+}
+
+func TestAllowableCurrentConsistent(t *testing.T) {
+	w := FinWire{
+		Length: 1.55e-3, Diameter: 25.4e-6, Mat: material.Copper(),
+		TEndA: 300, TEndB: 300, TInf: 300,
+	}
+	imax, err := w.AllowableCurrent(523)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Current = imax
+	peak, _ := w.MaxTemperature(523)
+	if math.Abs(peak-523) > 0.5 {
+		t.Errorf("peak at allowable current = %g, want ≈ 523", peak)
+	}
+}
+
+func TestLumpedPackageMatchesClosedForm(t *testing.T) {
+	// Constant power: T(t) = T∞ + PR(1−e^{−t/RC}); implicit Euler converges
+	// to it as dt → 0 and to the exact steady state for any dt.
+	p := LumpedPackage{C: 0.03, R: 500, TInf: 300, Power: func(float64) float64 { return 0.4 }}
+	steady := p.SteadyState()
+	if math.Abs(steady-500) > 1e-6 {
+		t.Errorf("steady %g, want 500", steady)
+	}
+	traj := p.Solve(300, 0.01, 10000) // dt ≪ τ = 15 s
+	exact := 300 + 200*(1-math.Exp(-100*0.01/(500*0.03)))
+	_ = exact
+	tEnd := traj[len(traj)-1]
+	wantEnd := 300 + 200*(1-math.Exp(-100.0/(500*0.03)))
+	if math.Abs(tEnd-wantEnd) > 0.5 {
+		t.Errorf("T(100 s) = %g, want %g", tEnd, wantEnd)
+	}
+}
+
+func TestLumpedTemperatureFeedback(t *testing.T) {
+	// Voltage-driven metal load: power falls with temperature, so the steady
+	// state sits below the constant-power prediction.
+	pw := WirePairPower(6, 114e-3, 1.55e-3, 25.4e-6, material.Copper())
+	pConst := pw(300)
+	fb := LumpedPackage{C: 0.03, R: 500, TInf: 300, Power: pw}
+	noFb := LumpedPackage{C: 0.03, R: 500, TInf: 300, Power: func(float64) float64 { return pConst }}
+	if fb.SteadyState() >= noFb.SteadyState() {
+		t.Errorf("feedback steady %g should be below constant-power %g", fb.SteadyState(), noFb.SteadyState())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	w := FinWire{}
+	if err := w.Validate(); err == nil {
+		t.Error("empty wire accepted")
+	}
+	good := FinWire{Length: 1e-3, Diameter: 25e-6, Mat: constCu(), TEndA: 300, TEndB: 300}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := good.AllowableCurrent(250); err == nil {
+		t.Error("T_crit below end temperature accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package asciiplot renders line plots with error bars and heatmaps as
+// plain text, so the figure harness can show the paper's Fig. 7 and Fig. 8
+// directly in a terminal next to the CSV exports.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve; Err (optional, same length) draws symmetric
+// error bars.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Err    []float64
+	Marker byte
+}
+
+// LinePlot renders series into a width×height character canvas with axes
+// and a legend. Horizontal reference lines can be added via HLine entries.
+type LinePlot struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+	Series        []Series
+	HLines        map[string]float64
+}
+
+// Render draws the plot.
+func (p LinePlot) Render() string {
+	w, h := p.Width, p.Height
+	if w < 20 {
+		w = 72
+	}
+	if h < 8 {
+		h = 22
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			lo, hi := s.Y[i], s.Y[i]
+			if s.Err != nil {
+				lo -= s.Err[i]
+				hi += s.Err[i]
+			}
+			ymin = math.Min(ymin, lo)
+			ymax = math.Max(ymax, hi)
+		}
+	}
+	for _, v := range p.HLines {
+		ymin = math.Min(ymin, v)
+		ymax = math.Max(ymax, v)
+	}
+	if math.IsInf(xmin, 0) || xmin == xmax {
+		xmin, xmax = 0, 1
+	}
+	if math.IsInf(ymin, 0) || ymin == ymax {
+		ymin, ymax = 0, 1
+	}
+	pad := 0.04 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+		return clampInt(c, 0, w-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(h-1)))
+		return clampInt(r, 0, h-1)
+	}
+
+	for name, v := range p.HLines {
+		r := row(v)
+		for c := 0; c < w; c++ {
+			canvas[r][c] = '-'
+		}
+		label := name
+		if len(label) > w-2 {
+			label = label[:w-2]
+		}
+		copy(canvas[r][1:], label)
+	}
+	for si, s := range p.Series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = "*o+x#@"[si%6]
+		}
+		for i := range s.X {
+			c := col(s.X[i])
+			if s.Err != nil && s.Err[i] > 0 {
+				rLo := row(s.Y[i] - s.Err[i])
+				rHi := row(s.Y[i] + s.Err[i])
+				for r := rHi; r <= rLo; r++ {
+					if canvas[r][c] == ' ' || canvas[r][c] == '-' {
+						canvas[r][c] = '|'
+					}
+				}
+			}
+			canvas[row(s.Y[i])][c] = mark
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	for r := 0; r < h; r++ {
+		y := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", y, string(canvas[r]))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", w/2, xmin, w-w/2, xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", p.XLabel, p.YLabel)
+	}
+	for si, s := range p.Series {
+		mark := s.Marker
+		if mark == 0 {
+			mark = "*o+x#@"[si%6]
+		}
+		fmt.Fprintf(&b, "  %c %s\n", mark, s.Name)
+	}
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Heatmap renders a 2D scalar field (row-major, ny rows × nx cols; row 0 at
+// the bottom) with a density character ramp — the terminal rendition of the
+// paper's Fig. 8.
+func Heatmap(values []float64, nx, ny int, title string) string {
+	if len(values) != nx*ny || nx == 0 || ny == 0 {
+		return "heatmap: dimension mismatch\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	ramp := " .:-=+*#%@"
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s  [min %.4g, max %.4g]\n", title, lo, hi)
+	}
+	for j := ny - 1; j >= 0; j-- {
+		for i := 0; i < nx; i++ {
+			v := (values[j*nx+i] - lo) / (hi - lo)
+			idx := int(v * float64(len(ramp)-1))
+			b.WriteByte(ramp[clampInt(idx, 0, len(ramp)-1)])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

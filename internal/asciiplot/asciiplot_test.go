@@ -1,0 +1,67 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotContainsSeriesAndHLine(t *testing.T) {
+	p := LinePlot{
+		Title:  "demo",
+		XLabel: "t", YLabel: "T",
+		Series: []Series{{
+			Name: "hot wire",
+			X:    []float64{0, 10, 20, 30, 40, 50},
+			Y:    []float64{300, 400, 450, 480, 495, 500},
+			Err:  []float64{0, 5, 10, 15, 20, 25},
+		}},
+		HLines: map[string]float64{"T_crit": 523},
+	}
+	s := p.Render()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "hot wire") {
+		t.Error("title/legend missing")
+	}
+	if !strings.Contains(s, "T_crit") {
+		t.Error("hline label missing")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "|") {
+		t.Error("markers or error bars missing")
+	}
+	if len(strings.Split(s, "\n")) < 10 {
+		t.Error("plot suspiciously small")
+	}
+}
+
+func TestLinePlotDegenerateInput(t *testing.T) {
+	p := LinePlot{Series: []Series{{Name: "flat", X: []float64{1}, Y: []float64{5}}}}
+	s := p.Render()
+	if len(s) == 0 {
+		t.Error("degenerate plot rendered empty")
+	}
+}
+
+func TestHeatmapRampAndShape(t *testing.T) {
+	vals := []float64{0, 1, 2, 3, 4, 5}
+	s := Heatmap(vals, 3, 2, "field")
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 { // title + 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "min 0") || !strings.Contains(lines[0], "max 5") {
+		t.Error("range annotation missing")
+	}
+	// Row 0 is plotted at the bottom; the hottest cell (5) sits top-right of
+	// values row 1 → rendered first line after title.
+	if lines[1][2] != '@' {
+		t.Errorf("hottest cell not rendered with densest glyph: %q", lines[1])
+	}
+	if lines[2][0] != ' ' {
+		t.Errorf("coldest cell not rendered blank: %q", lines[2])
+	}
+}
+
+func TestHeatmapMismatch(t *testing.T) {
+	if s := Heatmap([]float64{1, 2}, 3, 2, ""); !strings.Contains(s, "mismatch") {
+		t.Error("dimension mismatch not reported")
+	}
+}

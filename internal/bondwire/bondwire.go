@@ -1,0 +1,276 @@
+// Package bondwire implements the paper's lumped electrothermal bonding-wire
+// model: wires are not resolved by the computational grid but enter the FIT
+// system as point-to-point electrothermal conductances G_bw(T_bw) stamped
+// between pairs of mesh nodes (Fig. 2 of the paper), with the wire Joule
+// power redistributed onto the wire end nodes and the representative wire
+// temperature defined as the end-point average T_bw = Xᵀ T (eq. 5).
+//
+// Beyond the paper's single lumped element, a wire may be subdivided into N
+// concatenated segments with internal degrees of freedom, giving a piecewise
+// linear temperature along the wire — the refinement the paper mentions for
+// nonlinear temperature distributions.
+package bondwire
+
+import (
+	"fmt"
+	"math"
+
+	"etherm/internal/fit"
+	"etherm/internal/material"
+)
+
+// Geometry describes the uncertain wire geometry of Fig. 4: the direct
+// distance d between the bond points, the elongation Δs from pad
+// misplacement and the elongation Δh from bending. All lengths in metres.
+type Geometry struct {
+	Direct   float64 // d
+	DeltaS   float64 // Δs, misplacement elongation
+	DeltaH   float64 // Δh, bending elongation
+	Diameter float64 // wire diameter
+}
+
+// Length returns the total wire length L = d + Δs + Δh.
+func (g Geometry) Length() float64 { return g.Direct + g.DeltaS + g.DeltaH }
+
+// RelElongation returns δ = (L − d)/L, the paper's uncertain quantity.
+func (g Geometry) RelElongation() float64 {
+	l := g.Length()
+	if l == 0 {
+		return 0
+	}
+	return (l - g.Direct) / l
+}
+
+// CrossSection returns the wire cross-section area πD²/4.
+func (g Geometry) CrossSection() float64 { return math.Pi * g.Diameter * g.Diameter / 4 }
+
+// Validate checks physical plausibility.
+func (g Geometry) Validate() error {
+	if g.Direct <= 0 {
+		return fmt.Errorf("bondwire: direct distance %g must be positive", g.Direct)
+	}
+	if g.DeltaS < 0 || g.DeltaH < 0 {
+		return fmt.Errorf("bondwire: elongations must be non-negative (Δs=%g, Δh=%g)", g.DeltaS, g.DeltaH)
+	}
+	if g.Diameter <= 0 {
+		return fmt.Errorf("bondwire: diameter %g must be positive", g.Diameter)
+	}
+	return nil
+}
+
+// FromElongation constructs a Geometry with direct distance d and total
+// length L = d/(1−δ); the excess is booked as Δs. This is the inverse of the
+// paper's δ definition used when sampling uncertain lengths.
+func FromElongation(direct, delta, diameter float64) (Geometry, error) {
+	if delta < 0 || delta >= 1 {
+		return Geometry{}, fmt.Errorf("bondwire: relative elongation δ=%g outside [0,1)", delta)
+	}
+	l := direct / (1 - delta)
+	return Geometry{Direct: direct, DeltaS: l - direct, Diameter: diameter}, nil
+}
+
+// Wire is a lumped electrothermal bonding wire between two grid nodes.
+type Wire struct {
+	Name     string
+	NodeA    int // grid node on the chip side
+	NodeB    int // grid node on the contact-pad side
+	Geom     Geometry
+	Mat      material.Model
+	Segments int // number of concatenated lumped elements; 0/1 = paper model
+}
+
+func (w Wire) segments() int {
+	if w.Segments < 1 {
+		return 1
+	}
+	return w.Segments
+}
+
+// Validate checks the wire definition against nGrid grid DOFs.
+func (w Wire) Validate(nGrid int) error {
+	if err := w.Geom.Validate(); err != nil {
+		return err
+	}
+	if w.NodeA < 0 || w.NodeA >= nGrid || w.NodeB < 0 || w.NodeB >= nGrid {
+		return fmt.Errorf("bondwire: wire %q endpoints (%d,%d) out of range (%d grid nodes)", w.Name, w.NodeA, w.NodeB, nGrid)
+	}
+	if w.NodeA == w.NodeB {
+		return fmt.Errorf("bondwire: wire %q connects a node to itself", w.Name)
+	}
+	if w.Mat == nil {
+		return fmt.Errorf("bondwire: wire %q has no material", w.Name)
+	}
+	return nil
+}
+
+// ElecConductance returns the whole-wire electrical conductance
+// G_el = σ(T)·A/L at wire temperature T.
+func (w Wire) ElecConductance(T float64) float64 {
+	return w.Mat.ElecCond(T) * w.Geom.CrossSection() / w.Geom.Length()
+}
+
+// Resistance returns 1/G_el.
+func (w Wire) Resistance(T float64) float64 { return 1 / w.ElecConductance(T) }
+
+// ThermalConductance returns the whole-wire thermal conductance
+// G_th = λ(T)·A/L at wire temperature T.
+func (w Wire) ThermalConductance(T float64) float64 {
+	return w.Mat.ThermCond(T) * w.Geom.CrossSection() / w.Geom.Length()
+}
+
+// HeatCapacity returns the total heat capacity ρc·A·L of the wire.
+func (w Wire) HeatCapacity() float64 {
+	return w.Mat.VolHeatCap() * w.Geom.CrossSection() * w.Geom.Length()
+}
+
+// Coupling manages the field–circuit coupling for a set of wires: the extra
+// internal DOFs of multi-segment wires, the branch list to merge into the
+// FIT operator, per-segment conductance evaluation, and the paper's
+// incidence (P) and averaging (X) actions.
+type Coupling struct {
+	NGrid    int
+	Wires    []Wire
+	TotalDOF int
+
+	chains   [][]int      // DOF chain per wire: NodeA, internals..., NodeB
+	branches []fit.Branch // all wire segments, wire-major
+	segWire  []int        // owning wire per segment/branch
+}
+
+// NewCoupling validates the wires and lays out internal DOFs after the nGrid
+// grid DOFs.
+func NewCoupling(nGrid int, wires []Wire) (*Coupling, error) {
+	c := &Coupling{NGrid: nGrid, Wires: append([]Wire(nil), wires...), TotalDOF: nGrid}
+	for i, w := range c.Wires {
+		if err := w.Validate(nGrid); err != nil {
+			return nil, fmt.Errorf("bondwire: wire %d: %w", i, err)
+		}
+		s := w.segments()
+		chain := make([]int, 0, s+1)
+		chain = append(chain, w.NodeA)
+		for k := 0; k < s-1; k++ {
+			chain = append(chain, c.TotalDOF)
+			c.TotalDOF++
+		}
+		chain = append(chain, w.NodeB)
+		c.chains = append(c.chains, chain)
+		for k := 0; k < s; k++ {
+			c.branches = append(c.branches, fit.Branch{N1: chain[k], N2: chain[k+1]})
+			c.segWire = append(c.segWire, i)
+		}
+	}
+	return c, nil
+}
+
+// NumSegments returns the total number of wire segments (= branches).
+func (c *Coupling) NumSegments() int { return len(c.branches) }
+
+// NumExtraDOF returns the number of internal wire DOFs beyond the grid.
+func (c *Coupling) NumExtraDOF() int { return c.TotalDOF - c.NGrid }
+
+// Branches returns the wire branch list (shared; do not modify).
+func (c *Coupling) Branches() []fit.Branch { return c.branches }
+
+// Chain returns the DOF chain of wire w (shared; do not modify).
+func (c *Coupling) Chain(w int) []int { return c.chains[w] }
+
+// SegmentConductances evaluates the per-segment conductances into dst
+// (length NumSegments) at the DOF temperature vector T (length ≥ TotalDOF;
+// nil evaluates at 300 K). A wire with s segments of length L/s has segment
+// conductance s·prop(T_seg)·A/L with T_seg the segment end-point average —
+// for s = 1 exactly the paper's G_bw(T_bw) with T_bw = Xᵀ T.
+func (c *Coupling) SegmentConductances(kind fit.Kind, T []float64, dst []float64) {
+	if len(dst) != len(c.branches) {
+		panic("bondwire: SegmentConductances dst length mismatch")
+	}
+	for b, br := range c.branches {
+		w := &c.Wires[c.segWire[b]]
+		var tSeg float64 = material.ReferenceTemperature
+		if T != nil {
+			tSeg = 0.5 * (T[br.N1] + T[br.N2])
+		}
+		var prop float64
+		if kind == fit.Electric {
+			prop = w.Mat.ElecCond(tSeg)
+		} else {
+			prop = w.Mat.ThermCond(tSeg)
+		}
+		dst[b] = float64(w.segments()) * prop * w.Geom.CrossSection() / w.Geom.Length()
+	}
+}
+
+// MassDiagExtra returns the lumped heat capacities of the internal wire DOFs
+// (length NumExtraDOF): each internal node carries the heat capacity of one
+// segment (ρc·A·L/s), so that the total wire heat capacity is preserved up
+// to the end segments, whose capacity the paper's model also neglects.
+func (c *Coupling) MassDiagExtra() []float64 {
+	out := make([]float64, c.NumExtraDOF())
+	for i, w := range c.Wires {
+		s := w.segments()
+		if s == 1 {
+			continue
+		}
+		segCap := w.HeatCapacity() / float64(s)
+		for _, dof := range c.chains[i][1:s] {
+			out[dof-c.NGrid] = segCap
+		}
+	}
+	return out
+}
+
+// InitExtra fills the internal wire DOFs of the full vector x by linear
+// interpolation between the wire end values — the paper's assumption of a
+// linear distribution along the wire, used as the initial condition.
+func (c *Coupling) InitExtra(x []float64) {
+	for i := range c.Wires {
+		chain := c.chains[i]
+		n := len(chain)
+		if n <= 2 {
+			continue
+		}
+		a, b := x[chain[0]], x[chain[n-1]]
+		for k := 1; k < n-1; k++ {
+			x[chain[k]] = a + (b-a)*float64(k)/float64(n-1)
+		}
+	}
+}
+
+// WireTemperature returns the paper's representative wire temperature
+// T_bw = Xᵀ T, the average of the two end-point (grid) temperatures (eq. 5).
+func (c *Coupling) WireTemperature(w int, T []float64) float64 {
+	wire := &c.Wires[w]
+	return 0.5 * (T[wire.NodeA] + T[wire.NodeB])
+}
+
+// WireMaxTemperature returns the maximum temperature over the wire's DOF
+// chain — for multi-segment wires the hottest interior point, a more
+// conservative QoI than the end-point average.
+func (c *Coupling) WireMaxTemperature(w int, T []float64) float64 {
+	m := math.Inf(-1)
+	for _, dof := range c.chains[w] {
+		if T[dof] > m {
+			m = T[dof]
+		}
+	}
+	return m
+}
+
+// WirePower returns the Joule power Q_bw,w = Φᵀ P G_el Pᵀ Φ dissipated in
+// wire w at potentials phi and temperatures T (full DOF vectors).
+func (c *Coupling) WirePower(w int, phi, T []float64) float64 {
+	total := 0.0
+	for b, br := range c.branches {
+		if c.segWire[b] != w {
+			continue
+		}
+		wire := &c.Wires[w]
+		var tSeg float64 = material.ReferenceTemperature
+		if T != nil {
+			tSeg = 0.5 * (T[br.N1] + T[br.N2])
+		}
+		g := float64(wire.segments()) * wire.Mat.ElecCond(tSeg) * wire.Geom.CrossSection() / wire.Geom.Length()
+		dphi := phi[br.N1] - phi[br.N2]
+		total += g * dphi * dphi
+	}
+	return total
+}

@@ -1,0 +1,207 @@
+package bondwire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"etherm/internal/fit"
+	"etherm/internal/material"
+)
+
+func demoGeom() Geometry {
+	return Geometry{Direct: 1.29e-3, DeltaS: 0.2e-3, DeltaH: 0.06e-3, Diameter: 25.4e-6}
+}
+
+func TestGeometryDerivedQuantities(t *testing.T) {
+	g := demoGeom()
+	if math.Abs(g.Length()-1.55e-3) > 1e-12 {
+		t.Errorf("L = %g", g.Length())
+	}
+	want := (1.55e-3 - 1.29e-3) / 1.55e-3
+	if math.Abs(g.RelElongation()-want) > 1e-12 {
+		t.Errorf("δ = %g, want %g", g.RelElongation(), want)
+	}
+	area := math.Pi * 25.4e-6 * 25.4e-6 / 4
+	if math.Abs(g.CrossSection()-area) > 1e-20 {
+		t.Error("cross-section wrong")
+	}
+}
+
+func TestFromElongationRoundTrip(t *testing.T) {
+	f := func(d16 uint16) bool {
+		delta := float64(d16%800) / 1000 // 0 .. 0.799
+		g, err := FromElongation(1.3e-3, delta, 25.4e-6)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g.RelElongation()-delta) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := FromElongation(1e-3, 1.0, 25e-6); err == nil {
+		t.Error("δ = 1 must be rejected")
+	}
+	if _, err := FromElongation(1e-3, -0.1, 25e-6); err == nil {
+		t.Error("negative δ must be rejected")
+	}
+}
+
+func TestWireConductances(t *testing.T) {
+	w := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper()}
+	// Paper's Table II values: R ≈ L/(σA) ≈ 52.7 mΩ for L = 1.55 mm.
+	r := w.Resistance(300)
+	want := 1.55e-3 / (5.8e7 * w.Geom.CrossSection())
+	if math.Abs(r-want) > 1e-9*want {
+		t.Errorf("R = %g, want %g", r, want)
+	}
+	if math.Abs(r-52.7e-3) > 1e-3 {
+		t.Errorf("R(300 K) = %g mΩ, expected ≈ 52.7 mΩ (Table II check)", r*1e3)
+	}
+	// Temperature dependence: conductance falls with T.
+	if w.ElecConductance(400) >= w.ElecConductance(300) {
+		t.Error("electrical conductance should fall with temperature")
+	}
+	gth := w.ThermalConductance(300)
+	if math.Abs(gth-398*w.Geom.CrossSection()/1.55e-3) > 1e-9 {
+		t.Error("thermal conductance wrong")
+	}
+}
+
+func TestCouplingLayout(t *testing.T) {
+	wires := []Wire{
+		{Name: "a", NodeA: 0, NodeB: 5, Geom: demoGeom(), Mat: material.Copper(), Segments: 1},
+		{Name: "b", NodeA: 1, NodeB: 6, Geom: demoGeom(), Mat: material.Copper(), Segments: 4},
+	}
+	c, err := NewCoupling(10, wires)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalDOF != 13 {
+		t.Errorf("TotalDOF = %d, want 13 (10 grid + 3 internals)", c.TotalDOF)
+	}
+	if c.NumSegments() != 5 {
+		t.Errorf("NumSegments = %d, want 5", c.NumSegments())
+	}
+	chain := c.Chain(1)
+	if len(chain) != 5 || chain[0] != 1 || chain[4] != 6 {
+		t.Errorf("chain = %v", chain)
+	}
+	for _, dof := range chain[1:4] {
+		if dof < 10 || dof >= 13 {
+			t.Errorf("internal DOF %d outside extension range", dof)
+		}
+	}
+}
+
+func TestSegmentConductancesSeriesEquivalence(t *testing.T) {
+	// N equal segments in series must reproduce the whole-wire conductance.
+	whole := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper()}
+	chain := whole
+	chain.Segments = 8
+	c, err := NewCoupling(2, []Wire{chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, c.NumSegments())
+	c.SegmentConductances(fit.Electric, nil, g)
+	inv := 0.0
+	for _, gi := range g {
+		inv += 1 / gi
+	}
+	if math.Abs(1/inv-whole.ElecConductance(300)) > 1e-12 {
+		t.Errorf("series chain conductance %g, want %g", 1/inv, whole.ElecConductance(300))
+	}
+}
+
+func TestMassDiagExtraConservesHeatCapacity(t *testing.T) {
+	w := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper(), Segments: 6}
+	c, err := NewCoupling(2, []Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := c.MassDiagExtra()
+	sum := 0.0
+	for _, v := range extra {
+		sum += v
+	}
+	// Internal nodes carry (s−1)/s of the wire's capacity.
+	want := w.HeatCapacity() * 5 / 6
+	if math.Abs(sum-want) > 1e-12*want {
+		t.Errorf("internal capacity %g, want %g", sum, want)
+	}
+}
+
+func TestWireTemperatureAveraging(t *testing.T) {
+	w := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper()}
+	c, err := NewCoupling(2, []Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := []float64{310, 350}
+	if got := c.WireTemperature(0, T); got != 330 {
+		t.Errorf("Xᵀ T = %g, want 330 (eq. 5)", got)
+	}
+	if got := c.WireMaxTemperature(0, T); got != 350 {
+		t.Errorf("max = %g", got)
+	}
+}
+
+func TestInitExtraLinearProfile(t *testing.T) {
+	w := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper(), Segments: 4}
+	c, err := NewCoupling(2, []Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, c.TotalDOF)
+	x[0], x[1] = 300, 340
+	c.InitExtra(x)
+	chain := c.Chain(0)
+	for k, dof := range chain {
+		want := 300 + 40*float64(k)/4
+		if math.Abs(x[dof]-want) > 1e-12 {
+			t.Errorf("chain node %d: %g, want %g", k, x[dof], want)
+		}
+	}
+}
+
+func TestWirePowerMatchesOhm(t *testing.T) {
+	w := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper()}
+	c, err := NewCoupling(2, []Wire{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := []float64{40e-3, 0}
+	T := []float64{300, 300}
+	p := c.WirePower(0, phi, T)
+	want := 40e-3 * 40e-3 * w.ElecConductance(300)
+	if math.Abs(p-want) > 1e-12*want {
+		t.Errorf("P = %g, want %g", p, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := Wire{NodeA: 0, NodeB: 1, Geom: demoGeom(), Mat: material.Copper()}
+	if err := good.Validate(2); err != nil {
+		t.Error(err)
+	}
+	bad := good
+	bad.NodeB = 0
+	if err := bad.Validate(2); err == nil {
+		t.Error("self-loop wire accepted")
+	}
+	bad = good
+	bad.Mat = nil
+	if err := bad.Validate(2); err == nil {
+		t.Error("nil material accepted")
+	}
+	bad = good
+	bad.Geom.Diameter = 0
+	if err := bad.Validate(2); err == nil {
+		t.Error("zero diameter accepted")
+	}
+	if _, err := NewCoupling(1, []Wire{good}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}

@@ -1,0 +1,201 @@
+package chipmodel
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/material"
+)
+
+func buildDefault(t *testing.T) *Layout {
+	t.Helper()
+	lay, err := DATE16().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lay
+}
+
+func TestPaperInventory(t *testing.T) {
+	lay := buildDefault(t)
+	if len(lay.Pads) != 28 {
+		t.Errorf("%d pads, want 28", len(lay.Pads))
+	}
+	long := 0
+	wired := 0
+	for _, p := range lay.Pads {
+		if p.Long {
+			long++
+		}
+		if p.Wired {
+			wired++
+		}
+	}
+	if long != 4 {
+		t.Errorf("%d long pads, want 4", long)
+	}
+	if wired != 12 {
+		t.Errorf("%d wired pads, want 12", wired)
+	}
+	if len(lay.Wires) != 12 || len(lay.Problem.Wires) != 12 {
+		t.Errorf("wire count %d/%d, want 12", len(lay.Wires), len(lay.Problem.Wires))
+	}
+	// Six pairs, each with a +V and a −V pad.
+	pairs := map[int][]float64{}
+	for _, w := range lay.Wires {
+		pairs[w.Pair] = append(pairs[w.Pair], w.Polarity)
+	}
+	if len(pairs) != 6 {
+		t.Errorf("%d pairs, want 6", len(pairs))
+	}
+	for p, pol := range pairs {
+		if len(pol) != 2 || pol[0]*pol[1] != -1 {
+			t.Errorf("pair %d polarities %v", p, pol)
+		}
+	}
+	if len(lay.Problem.ElecDirichlet) != 12 {
+		t.Errorf("%d PEC sets, want 12", len(lay.Problem.ElecDirichlet))
+	}
+}
+
+func TestPadDimensionsMatchTable(t *testing.T) {
+	lay := buildDefault(t)
+	for _, p := range lay.Pads {
+		var w, l float64
+		switch p.Side {
+		case South, North:
+			w = p.Box.X1 - p.Box.X0
+			l = p.Box.Y1 - p.Box.Y0
+		default:
+			w = p.Box.Y1 - p.Box.Y0
+			l = p.Box.X1 - p.Box.X0
+		}
+		if math.Abs(w-0.311e-3) > 1e-12 {
+			t.Fatalf("pad width %g, want 0.311 mm", w)
+		}
+		want := 1.01e-3
+		if p.Long {
+			want = 1.261e-3
+		}
+		if math.Abs(l-want) > 1e-12 {
+			t.Fatalf("pad length %g, want %g", l, want)
+		}
+	}
+}
+
+func TestMeanWireLengthNearPaper(t *testing.T) {
+	lay := buildDefault(t)
+	if l := lay.MeanLength(); math.Abs(l-1.55e-3) > 0.05e-3 {
+		t.Errorf("mean wire length %.4g mm, want ≈ 1.55 mm", l*1e3)
+	}
+	for i, w := range lay.Problem.Wires {
+		if got := w.Geom.RelElongation(); math.Abs(got-0.17) > 1e-9 {
+			t.Errorf("wire %d nominal δ = %g, want 0.17", i, got)
+		}
+	}
+}
+
+func TestWireEndpointsOnCopper(t *testing.T) {
+	lay := buildDefault(t)
+	g := lay.Problem.Grid
+	for i, w := range lay.Wires {
+		// Chip node on the chip box, pad node on the pad box.
+		x, y, z := g.NodePosition(w.ChipNode)
+		if !lay.Chip.Contains(x, y, z) {
+			t.Errorf("wire %d chip node (%g,%g,%g) outside chip box", i, x, y, z)
+		}
+		x, y, z = g.NodePosition(w.PadNode)
+		if !lay.Pads[w.PadID].Box.Contains(x+1e-12, y+1e-12, z) &&
+			!lay.Pads[w.PadID].Box.Contains(x-1e-12, y-1e-12, z) &&
+			!lay.Pads[w.PadID].Box.Contains(x, y, z) {
+			t.Errorf("wire %d pad node (%g,%g,%g) outside its pad box", i, x, y, z)
+		}
+		if w.Direct <= 0.5e-3 || w.Direct > 2.5e-3 {
+			t.Errorf("wire %d direct distance %g mm implausible", i, w.Direct*1e3)
+		}
+	}
+}
+
+func TestNorthWiresShortest(t *testing.T) {
+	// The chip offset makes the north-side wires the shortest — the "closest
+	// contacts" of the paper's Fig. 8 discussion.
+	lay := buildDefault(t)
+	minD, minSide := math.Inf(1), South
+	for _, w := range lay.Wires {
+		if w.Direct < minD {
+			minD, minSide = w.Direct, w.Side
+		}
+	}
+	if minSide != North {
+		t.Errorf("shortest wire on %s side, want north", minSide)
+	}
+}
+
+func TestMaterialVolumes(t *testing.T) {
+	lay := buildDefault(t)
+	g := lay.Problem.Grid
+	copperVol := 0.0
+	for c, id := range lay.Problem.CellMat {
+		if id == lay.CopperMat {
+			copperVol += g.CellVolume(c)
+		}
+	}
+	want := lay.Chip.Volume()
+	for _, p := range lay.Pads {
+		want += p.Box.Volume()
+	}
+	if math.Abs(copperVol-want) > 0.02*want {
+		t.Errorf("copper volume %g, boxes %g — material painting off", copperVol, want)
+	}
+}
+
+func TestCalibratedSpecDiffersOnlyInDrive(t *testing.T) {
+	a, b := DATE16(), DATE16Calibrated()
+	if a.DriveV >= b.DriveV {
+		t.Error("calibrated drive should be higher")
+	}
+	b.DriveV = a.DriveV
+	if a != b {
+		t.Error("calibrated spec changes more than the drive voltage")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := DATE16()
+	s.ChipLx = 5e-3 // chip overlaps pad ring
+	if _, err := s.Build(); err == nil {
+		t.Error("overlapping chip accepted")
+	}
+	s = DATE16()
+	s.PadsPerSide = 1
+	if _, err := s.Build(); err == nil {
+		t.Error("single pad per side accepted")
+	}
+	s = DATE16()
+	s.MeanElong = 1.5
+	if _, err := s.Build(); err == nil {
+		t.Error("elongation ≥ 1 accepted")
+	}
+}
+
+func TestWireMaterialOverride(t *testing.T) {
+	s := DATE16()
+	s.WireMat = material.Gold()
+	lay, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Problem.Wires[0].Mat.Name() != "gold" {
+		t.Error("wire material override ignored")
+	}
+}
+
+func TestProblemValidates(t *testing.T) {
+	lay := buildDefault(t)
+	if err := lay.Problem.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lay.PairVoltage() != 0.04 {
+		t.Errorf("pair voltage %g, want 0.040 (paper)", lay.PairVoltage())
+	}
+}

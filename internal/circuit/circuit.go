@@ -1,0 +1,266 @@
+// Package circuit implements a small lumped electrothermal network solver
+// (modified nodal analysis) used to cross-validate the bonding-wire stamps
+// of the field model and to power the stand-alone bonding-wire calculator.
+// Elements: (nonlinear) conductances, current sources, voltage sources via
+// MNA branch unknowns, grounded thermal capacitances for transients.
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"etherm/internal/sparse"
+)
+
+// CondFunc is a temperature- or state-dependent conductance evaluator.
+type CondFunc func(ctrl float64) float64
+
+// Constant returns a CondFunc with a fixed value.
+func Constant(g float64) CondFunc { return func(float64) float64 { return g } }
+
+// Network is an electrothermal nodal network. Node 0 is ground (fixed zero
+// potential / ambient reference); unknowns are nodes 1..N plus one branch
+// current per voltage source.
+type Network struct {
+	n          int // highest node index
+	conds      []condElem
+	isrcs      []srcElem
+	vsrcs      []vsrcElem
+	capacities []capElem
+}
+
+type condElem struct {
+	a, b int
+	g    CondFunc
+	// ctrlNodes: the conductance is evaluated at the average of these node
+	// values (e.g. a thermal control for electrothermal coupling); empty
+	// means evaluate at the element's own terminal average.
+	ctrlA, ctrlB int
+	hasCtrl      bool
+}
+
+type srcElem struct {
+	a, b int
+	val  float64
+}
+
+type vsrcElem struct {
+	a, b int
+	val  float64
+}
+
+type capElem struct {
+	node int
+	c    float64
+}
+
+// NewNetwork returns a network with nodes 0..n (0 = ground).
+func NewNetwork(n int) *Network { return &Network{n: n} }
+
+// NumNodes returns the highest node index.
+func (nw *Network) NumNodes() int { return nw.n }
+
+func (nw *Network) checkNode(i int) error {
+	if i < 0 || i > nw.n {
+		return fmt.Errorf("circuit: node %d out of range 0..%d", i, nw.n)
+	}
+	return nil
+}
+
+// AddConductance connects nodes a and b with conductance g(ctrl), where ctrl
+// is the average of the element's terminal values.
+func (nw *Network) AddConductance(a, b int, g CondFunc) error {
+	if err := nw.checkNode(a); err != nil {
+		return err
+	}
+	if err := nw.checkNode(b); err != nil {
+		return err
+	}
+	nw.conds = append(nw.conds, condElem{a: a, b: b, g: g})
+	return nil
+}
+
+// AddControlledConductance connects a–b with conductance evaluated at the
+// average of (ctrlA, ctrlB) — e.g. an electrical wire conductance controlled
+// by the thermal sub-network's wire temperature.
+func (nw *Network) AddControlledConductance(a, b, ctrlA, ctrlB int, g CondFunc) error {
+	for _, i := range []int{a, b, ctrlA, ctrlB} {
+		if err := nw.checkNode(i); err != nil {
+			return err
+		}
+	}
+	nw.conds = append(nw.conds, condElem{a: a, b: b, g: g, ctrlA: ctrlA, ctrlB: ctrlB, hasCtrl: true})
+	return nil
+}
+
+// AddCurrentSource injects val into node b and out of node a (a→b).
+func (nw *Network) AddCurrentSource(a, b int, val float64) error {
+	if err := nw.checkNode(a); err != nil {
+		return err
+	}
+	if err := nw.checkNode(b); err != nil {
+		return err
+	}
+	nw.isrcs = append(nw.isrcs, srcElem{a: a, b: b, val: val})
+	return nil
+}
+
+// AddVoltageSource fixes v(a) − v(b) = val through an MNA branch current.
+func (nw *Network) AddVoltageSource(a, b int, val float64) error {
+	if err := nw.checkNode(a); err != nil {
+		return err
+	}
+	if err := nw.checkNode(b); err != nil {
+		return err
+	}
+	nw.vsrcs = append(nw.vsrcs, vsrcElem{a: a, b: b, val: val})
+	return nil
+}
+
+// AddCapacitance attaches a grounded capacitance (thermal mass) to a node.
+func (nw *Network) AddCapacitance(node int, c float64) error {
+	if err := nw.checkNode(node); err != nil {
+		return err
+	}
+	if c <= 0 {
+		return fmt.Errorf("circuit: non-positive capacitance %g", c)
+	}
+	nw.capacities = append(nw.capacities, capElem{node: node, c: c})
+	return nil
+}
+
+// Solution holds node values (index 0 = ground entry, always the reference)
+// and voltage-source branch currents.
+type Solution struct {
+	V []float64 // length n+1
+	I []float64 // per voltage source
+}
+
+// assemble builds the MNA system at the linearization state x (node values),
+// with optional mass/dt terms and history for transient steps.
+func (nw *Network) assemble(x []float64, massOverDt map[int]float64, hist []float64) (*sparse.Dense, []float64) {
+	nv := nw.n + len(nw.vsrcs)
+	a := sparse.NewDense(nv, nv)
+	rhs := make([]float64, nv)
+	stamp := func(i, j int, v float64) {
+		if i > 0 && j > 0 {
+			a.Add(i-1, j-1, v)
+		}
+	}
+	for _, c := range nw.conds {
+		ctrl := 0.5 * (x[c.a] + x[c.b])
+		if c.hasCtrl {
+			ctrl = 0.5 * (x[c.ctrlA] + x[c.ctrlB])
+		}
+		g := c.g(ctrl)
+		stamp(c.a, c.a, g)
+		stamp(c.b, c.b, g)
+		stamp(c.a, c.b, -g)
+		stamp(c.b, c.a, -g)
+	}
+	for _, s := range nw.isrcs {
+		if s.a > 0 {
+			rhs[s.a-1] -= s.val
+		}
+		if s.b > 0 {
+			rhs[s.b-1] += s.val
+		}
+	}
+	for k, vs := range nw.vsrcs {
+		row := nw.n + k
+		if vs.a > 0 {
+			a.Add(vs.a-1, row, 1)
+			a.Add(row, vs.a-1, 1)
+		}
+		if vs.b > 0 {
+			a.Add(vs.b-1, row, -1)
+			a.Add(row, vs.b-1, -1)
+		}
+		rhs[row] = vs.val
+	}
+	for node, m := range massOverDt {
+		a.Add(node-1, node-1, m)
+		rhs[node-1] += m * hist[node]
+	}
+	return a, rhs
+}
+
+// SolveDC solves the stationary network with fixed-point iteration on the
+// nonlinear conductances (tolerance on the node values).
+func (nw *Network) SolveDC() (*Solution, error) {
+	x := make([]float64, nw.n+1)
+	for it := 0; it < 200; it++ {
+		a, rhs := nw.assemble(x, nil, nil)
+		sol, err := sparse.SolveDense(a, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: singular network: %w", err)
+		}
+		maxd := 0.0
+		for i := 1; i <= nw.n; i++ {
+			d := math.Abs(sol[i-1] - x[i])
+			if d > maxd {
+				maxd = d
+			}
+			x[i] = sol[i-1]
+		}
+		if maxd < 1e-12*(1+sparse.NormInf(x)) {
+			out := &Solution{V: x, I: make([]float64, len(nw.vsrcs))}
+			for k := range nw.vsrcs {
+				out.I[k] = sol[nw.n+k]
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("circuit: DC fixed point did not converge")
+}
+
+// SolveTransient advances the network with implicit Euler from the initial
+// node values init over nSteps of size dt, returning the node trajectories
+// ([step][node], including the initial state).
+func (nw *Network) SolveTransient(init []float64, dt float64, nSteps int) ([][]float64, error) {
+	if len(init) != nw.n+1 {
+		return nil, fmt.Errorf("circuit: init has %d entries, want %d", len(init), nw.n+1)
+	}
+	mass := map[int]float64{}
+	for _, c := range nw.capacities {
+		mass[c.node] += c.c / dt
+	}
+	x := append([]float64(nil), init...)
+	out := make([][]float64, 0, nSteps+1)
+	out = append(out, append([]float64(nil), x...))
+	for s := 0; s < nSteps; s++ {
+		hist := append([]float64(nil), x...)
+		for it := 0; it < 100; it++ {
+			a, rhs := nw.assemble(x, mass, hist)
+			sol, err := sparse.SolveDense(a, rhs)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: step %d singular: %w", s, err)
+			}
+			maxd := 0.0
+			for i := 1; i <= nw.n; i++ {
+				d := math.Abs(sol[i-1] - x[i])
+				if d > maxd {
+					maxd = d
+				}
+				x[i] = sol[i-1]
+			}
+			if maxd < 1e-12*(1+sparse.NormInf(x)) {
+				break
+			}
+		}
+		out = append(out, append([]float64(nil), x...))
+	}
+	return out, nil
+}
+
+// PowerIn returns the power dissipated in conductance element k at the
+// solution (g·Δv²), for energy cross-checks against the field model.
+func (nw *Network) PowerIn(k int, sol *Solution) float64 {
+	c := nw.conds[k]
+	ctrl := 0.5 * (sol.V[c.a] + sol.V[c.b])
+	if c.hasCtrl {
+		ctrl = 0.5 * (sol.V[c.ctrlA] + sol.V[c.ctrlB])
+	}
+	dv := sol.V[c.a] - sol.V[c.b]
+	return c.g(ctrl) * dv * dv
+}

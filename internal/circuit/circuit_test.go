@@ -1,0 +1,156 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/material"
+)
+
+func TestVoltageDividerDC(t *testing.T) {
+	// v(1) -- g1 -- v(2) -- g2 -- ground, source 10 V at node 1.
+	nw := NewNetwork(2)
+	if err := nw.AddConductance(1, 2, Constant(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddConductance(2, 0, Constant(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.AddVoltageSource(1, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	sol, err := nw.SolveDC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divider: v2 = 10·(R2/(R1+R2)) with R1=1, R2=1/3.
+	if math.Abs(sol.V[2]-2.5) > 1e-9 {
+		t.Errorf("v2 = %g, want 2.5", sol.V[2])
+	}
+	// Source current: I = 10/(1+1/3)Ω = 7.5 A (leaving the source).
+	if math.Abs(math.Abs(sol.I[0])-7.5) > 1e-9 {
+		t.Errorf("source current %g, want ±7.5", sol.I[0])
+	}
+}
+
+func TestCurrentSourceDC(t *testing.T) {
+	nw := NewNetwork(1)
+	nw.AddConductance(1, 0, Constant(2))
+	nw.AddCurrentSource(0, 1, 4) // 4 A into node 1
+	sol, err := nw.SolveDC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[1]-2) > 1e-9 {
+		t.Errorf("v1 = %g, want 2", sol.V[1])
+	}
+}
+
+func TestNonlinearConductanceFixedPoint(t *testing.T) {
+	// Temperature-like feedback: g(v) = 1/(1+0.1·v̄); solve i = g(v)·v = 1.
+	nw := NewNetwork(1)
+	nw.AddConductance(1, 0, func(ctrl float64) float64 { return 1 / (1 + 0.1*math.Abs(ctrl)) })
+	nw.AddCurrentSource(0, 1, 1)
+	sol, err := nw.SolveDC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sol.V[1]
+	// v solves v/(1+0.05v) = 1 (ctrl is the terminal average v/2).
+	res := v/(1+0.05*v) - 1
+	if math.Abs(res) > 1e-9 {
+		t.Errorf("fixed point residual %g (v=%g)", res, v)
+	}
+}
+
+func TestWireStampAgainstFieldModelNumbers(t *testing.T) {
+	// Two wires in series over 40 mV (the paper's pair drive): the circuit
+	// current must match V/(R1+R2).
+	cu := material.Copper()
+	area := math.Pi * 25.4e-6 * 25.4e-6 / 4
+	gWire := func(l float64) CondFunc {
+		return func(ctrl float64) float64 { return cu.ElecCond(300) * area / l }
+	}
+	nw := NewNetwork(3) // 1: +pad, 2: chip, 3: −pad... node 3 grounded via vsrc
+	nw.AddConductance(1, 2, gWire(1.55e-3))
+	nw.AddConductance(2, 3, gWire(1.55e-3))
+	nw.AddVoltageSource(1, 0, 20e-3)
+	nw.AddVoltageSource(3, 0, -20e-3)
+	sol, err := nw.SolveDC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := 1.55e-3 / (cu.ElecCond(300) * area)
+	wantI := 40e-3 / (2 * r)
+	if math.Abs(math.Abs(sol.I[0])-wantI) > 1e-6*wantI {
+		t.Errorf("pair current %g, want %g", sol.I[0], wantI)
+	}
+	// Chip floats at the midpoint by symmetry.
+	if math.Abs(sol.V[2]) > 1e-12 {
+		t.Errorf("chip potential %g, want 0", sol.V[2])
+	}
+	// Power per wire: I²R ≈ 7.6 mW at 300 K (the paper's operating point).
+	p := nw.PowerIn(0, sol)
+	if math.Abs(p-wantI*wantI*r) > 1e-9 {
+		t.Errorf("wire power %g", p)
+	}
+}
+
+func TestTransientRCMatchesExponential(t *testing.T) {
+	// Thermal RC: C dT/dt = −g(T−0); from 100 decaying to 0.
+	nw := NewNetwork(1)
+	nw.AddConductance(1, 0, Constant(0.5))
+	if err := nw.AddCapacitance(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.01
+	traj, err := nw.SolveTransient([]float64{0, 100}, dt, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 2.0 / 0.5
+	got := traj[1000][1]
+	want := 100 * math.Exp(-10.0/tau)
+	if math.Abs(got-want) > 0.2 {
+		t.Errorf("T(10) = %g, want %g", got, want)
+	}
+}
+
+func TestElectrothermalControlledConductance(t *testing.T) {
+	// Electrical conductance controlled by a thermal node: raising the
+	// control temperature must reduce the current.
+	cu := material.Copper()
+	build := func(temp float64) float64 {
+		nw := NewNetwork(2) // node 1 electrical, node 2 thermal control
+		nw.AddControlledConductance(1, 0, 2, 2, func(ctrl float64) float64 {
+			return cu.ElecCond(ctrl) * 1e-9
+		})
+		nw.AddVoltageSource(1, 0, 1)
+		nw.AddConductance(2, 0, Constant(1)) // pin thermal node via source
+		nw.AddCurrentSource(0, 2, temp)      // v2 = temp
+		sol, err := nw.SolveDC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(sol.I[0])
+	}
+	if build(400) >= build(300) {
+		t.Error("current should drop when the controlling temperature rises")
+	}
+}
+
+func TestErrorsAndValidation(t *testing.T) {
+	nw := NewNetwork(1)
+	if err := nw.AddConductance(0, 5, Constant(1)); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := nw.AddCapacitance(1, -1); err == nil {
+		t.Error("negative capacitance accepted")
+	}
+	// A floating network is singular.
+	nw2 := NewNetwork(2)
+	nw2.AddConductance(1, 2, Constant(1))
+	if _, err := nw2.SolveDC(); err == nil {
+		t.Error("floating network should be singular")
+	}
+}

@@ -1,0 +1,213 @@
+// Package config defines the JSON run configuration consumed by the command
+// line tools, with defaults matching the paper's Table II.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"etherm/internal/chipmodel"
+	"etherm/internal/core"
+)
+
+// Run is the top-level configuration.
+type Run struct {
+	// Chip geometry and drive.
+	Chip ChipConfig `json:"chip"`
+	// Transient solve.
+	Sim SimConfig `json:"sim"`
+	// Uncertainty study.
+	UQ UQConfig `json:"uq"`
+}
+
+// ChipConfig selects and overrides the package model.
+type ChipConfig struct {
+	// Preset: "date16" (faithful drive) or "date16-calibrated" (power level
+	// matched to the paper's Fig. 7, see chipmodel.DATE16Calibrated).
+	Preset string `json:"preset"`
+	// Optional overrides (zero = keep preset value).
+	DriveVoltageV float64 `json:"drive_voltage_v,omitempty"`
+	HMaxM         float64 `json:"hmax_m,omitempty"`
+	WireSegments  int     `json:"wire_segments,omitempty"`
+	WireDiameterM float64 `json:"wire_diameter_m,omitempty"`
+	WireMaterial  string  `json:"wire_material,omitempty"` // copper|gold|aluminum
+}
+
+// SimConfig mirrors core.Options.
+type SimConfig struct {
+	EndTimeS   float64 `json:"end_time_s"`
+	NumSteps   int     `json:"num_steps"`
+	Coupling   string  `json:"coupling,omitempty"`   // strong|weak
+	Nonlinear  string  `json:"nonlinear,omitempty"`  // picard|newton
+	Integrator string  `json:"integrator,omitempty"` // implicit-euler|trapezoidal|bdf2
+	Joule      string  `json:"joule,omitempty"`      // edge-split|cell-average
+	LinTol     float64 `json:"lin_tol,omitempty"`
+}
+
+// UQConfig controls the sampling study.
+type UQConfig struct {
+	Method    string  `json:"method"`  // monte-carlo|lhs|halton|sobol|smolyak
+	Samples   int     `json:"samples"` // M (or Smolyak level when method=smolyak)
+	Seed      uint64  `json:"seed"`
+	Workers   int     `json:"workers,omitempty"`
+	MeanDelta float64 `json:"mean_delta,omitempty"` // default 0.17
+	StdDelta  float64 `json:"std_delta,omitempty"`  // default 0.048
+	CriticalK float64 `json:"critical_k,omitempty"` // default 523
+}
+
+// Default returns the configuration of the paper's study (Table II).
+func Default() Run {
+	return Run{
+		Chip: ChipConfig{Preset: "date16-calibrated"},
+		Sim:  SimConfig{EndTimeS: 50, NumSteps: 50},
+		UQ: UQConfig{
+			Method: "monte-carlo", Samples: 1000, Seed: 2016,
+			MeanDelta: 0.17, StdDelta: 0.048, CriticalK: 523,
+		},
+	}
+}
+
+// Load reads and validates a configuration file; empty path returns Default.
+func Load(path string) (Run, error) {
+	cfg := Default()
+	if path == "" {
+		return cfg, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("config: %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("config: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate checks the configuration.
+func (c Run) Validate() error {
+	switch c.Chip.Preset {
+	case "", "date16", "date16-calibrated":
+	default:
+		return fmt.Errorf("unknown chip preset %q", c.Chip.Preset)
+	}
+	switch c.Chip.WireMaterial {
+	case "", "copper", "gold", "aluminum":
+	default:
+		return fmt.Errorf("unknown wire material %q", c.Chip.WireMaterial)
+	}
+	if c.Sim.EndTimeS <= 0 || c.Sim.NumSteps <= 0 {
+		return fmt.Errorf("end_time_s and num_steps must be positive")
+	}
+	switch c.Sim.Coupling {
+	case "", "strong", "weak":
+	default:
+		return fmt.Errorf("unknown coupling %q", c.Sim.Coupling)
+	}
+	switch c.Sim.Nonlinear {
+	case "", "picard", "newton":
+	default:
+		return fmt.Errorf("unknown nonlinear mode %q", c.Sim.Nonlinear)
+	}
+	switch c.Sim.Integrator {
+	case "", "implicit-euler", "trapezoidal", "bdf2":
+	default:
+		return fmt.Errorf("unknown integrator %q", c.Sim.Integrator)
+	}
+	switch c.Sim.Joule {
+	case "", "edge-split", "cell-average":
+	default:
+		return fmt.Errorf("unknown joule scheme %q", c.Sim.Joule)
+	}
+	switch c.UQ.Method {
+	case "", "monte-carlo", "lhs", "halton", "sobol", "smolyak":
+	default:
+		return fmt.Errorf("unknown UQ method %q", c.UQ.Method)
+	}
+	if c.UQ.Samples <= 0 {
+		return fmt.Errorf("uq.samples must be positive")
+	}
+	return nil
+}
+
+// Spec materializes the chip specification.
+func (c Run) Spec() (chipmodel.Spec, error) {
+	var spec chipmodel.Spec
+	switch c.Chip.Preset {
+	case "", "date16-calibrated":
+		spec = chipmodel.DATE16Calibrated()
+	case "date16":
+		spec = chipmodel.DATE16()
+	default:
+		return spec, fmt.Errorf("unknown preset %q", c.Chip.Preset)
+	}
+	if c.Chip.DriveVoltageV > 0 {
+		spec.DriveV = c.Chip.DriveVoltageV
+	}
+	if c.Chip.HMaxM > 0 {
+		spec.HMax = c.Chip.HMaxM
+	}
+	if c.Chip.WireSegments > 0 {
+		spec.WireSegments = c.Chip.WireSegments
+	}
+	if c.Chip.WireDiameterM > 0 {
+		spec.WireDiameter = c.Chip.WireDiameterM
+	}
+	return spec, nil
+}
+
+// Options materializes the solver options. Ensemble studies default to the
+// fast weak-coupling settings; single runs use the strict defaults.
+func (c Run) Options(forEnsemble bool) core.Options {
+	var o core.Options
+	if forEnsemble {
+		o = core.FastOptions()
+	}
+	o.EndTime = c.Sim.EndTimeS
+	o.NumSteps = c.Sim.NumSteps
+	switch c.Sim.Coupling {
+	case "strong":
+		o.Coupling = core.StrongCoupling
+	case "weak":
+		o.Coupling = core.WeakCoupling
+	}
+	switch c.Sim.Nonlinear {
+	case "picard":
+		o.Nonlinear = core.Picard
+	case "newton":
+		o.Nonlinear = core.NewtonLinearized
+	}
+	switch c.Sim.Integrator {
+	case "trapezoidal":
+		o.TimeIntegrator = core.Trapezoidal
+	case "bdf2":
+		o.TimeIntegrator = core.BDF2
+	case "implicit-euler":
+		o.TimeIntegrator = core.ImplicitEuler
+	}
+	switch c.Sim.Joule {
+	case "cell-average":
+		o.Joule = core.CellAverage
+	case "edge-split":
+		o.Joule = core.EdgeSplit
+	}
+	if c.Sim.LinTol > 0 {
+		o.LinTol = c.Sim.LinTol
+	}
+	return o
+}
+
+// WriteExample writes a commented example configuration.
+func WriteExample(path string) error {
+	data, err := json.MarshalIndent(Default(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

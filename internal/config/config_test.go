@@ -1,0 +1,94 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"etherm/internal/core"
+)
+
+func TestDefaultMatchesTableII(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sim.EndTimeS != 50 || cfg.Sim.NumSteps != 50 {
+		t.Error("time discretization differs from Table II")
+	}
+	if cfg.UQ.Samples != 1000 || cfg.UQ.MeanDelta != 0.17 || cfg.UQ.StdDelta != 0.048 {
+		t.Error("UQ defaults differ from the paper")
+	}
+	if cfg.UQ.CriticalK != 523 {
+		t.Error("critical temperature differs from the paper")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.json")
+	if err := WriteExample(path); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != Default() {
+		t.Error("round trip changed the configuration")
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	os.WriteFile(path, []byte(`{"chip":{"preset":"date16"},"sim":{"end_time_s":1,"num_steps":1},"uq":{"method":"monte-carlo","samples":1,"typo":true}}`), 0o644)
+	if _, err := Load(path); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := Default()
+	bad.Chip.Preset = "nope"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad preset accepted")
+	}
+	bad = Default()
+	bad.Sim.Integrator = "rk4"
+	if err := bad.Validate(); err == nil {
+		t.Error("bad integrator accepted")
+	}
+	bad = Default()
+	bad.UQ.Samples = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestSpecAndOptionsMaterialization(t *testing.T) {
+	cfg := Default()
+	cfg.Chip.Preset = "date16"
+	cfg.Chip.WireSegments = 4
+	cfg.Sim.Coupling = "weak"
+	cfg.Sim.Integrator = "bdf2"
+	spec, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.WireSegments != 4 {
+		t.Error("wire segments override lost")
+	}
+	if spec.DriveV != 0.020 {
+		t.Error("faithful preset drive wrong")
+	}
+	opt := cfg.Options(false)
+	if opt.Coupling != core.WeakCoupling || opt.TimeIntegrator != core.BDF2 {
+		t.Error("options materialization wrong")
+	}
+	// Ensemble options start from the fast profile.
+	optE := cfg.Options(true)
+	if optE.Nonlinear != core.NewtonLinearized {
+		t.Error("ensemble options should start from FastOptions")
+	}
+}

@@ -1,0 +1,415 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/bondwire"
+	"etherm/internal/fit"
+	"etherm/internal/grid"
+	"etherm/internal/material"
+)
+
+// constCopper is copper with temperature-independent properties, for tests
+// with exact analytic references.
+func constCopper() material.Linear {
+	return material.Linear{MatName: "const-copper", Sigma0: 5.8e7, Lambda0: 398, RhoC: 3.45e6}
+}
+
+func mustLib(t *testing.T, models ...material.Model) *material.Library {
+	t.Helper()
+	lib, err := material.NewLibrary(models...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func uniformProblem(t *testing.T, m material.Model, lx, ly, lz float64, nx, ny, nz int) *Problem {
+	t.Helper()
+	g, err := grid.NewUniform(lx, ly, lz, nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellMat := make([]int, g.NumCells())
+	return &Problem{
+		Grid:      g,
+		CellMat:   cellMat,
+		Lib:       mustLib(t, m),
+		ThermalBC: fit.RobinBC{H: 0, Emissivity: 0, TInf: 300},
+	}
+}
+
+func faceNodes(g *grid.Grid, face int) []int {
+	var out []int
+	for n := 0; n < g.NumNodes(); n++ {
+		i, j, k := g.NodeCoordsOf(n)
+		hit := false
+		switch face {
+		case 0:
+			hit = i == 0
+		case 1:
+			hit = i == g.Nx-1
+		case 2:
+			hit = j == 0
+		case 3:
+			hit = j == g.Ny-1
+		case 4:
+			hit = k == 0
+		case 5:
+			hit = k == g.Nz-1
+		}
+		if hit {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestSteadyRodLinearProfile drives a copper rod with fixed end temperatures
+// and checks the transient settles to the exact linear profile.
+func TestSteadyRodLinearProfile(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 2e-4, 2e-4, 11, 3, 3)
+	p.ThermDirichlet = []fit.Dirichlet{
+		{Nodes: faceNodes(p.Grid, 0), Values: []float64{300}},
+		{Nodes: faceNodes(p.Grid, 1), Values: []float64{400}},
+	}
+	s, err := NewSimulator(p, Options{EndTime: 0.05, NumSteps: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Grid
+	for n := 0; n < g.NumNodes(); n++ {
+		x, _, _ := g.NodePosition(n)
+		want := 300 + 100*x/1e-3
+		if math.Abs(res.FinalField[n]-want) > 0.02 {
+			t.Fatalf("node %d (x=%g): T = %g, want %g", n, x, res.FinalField[n], want)
+		}
+	}
+}
+
+// TestLumpedCoolingMatchesDiscreteODE cools a highly conductive block by
+// convection; because the block is effectively isothermal (Bi ≪ 1), the FIT
+// solution must match the implicit-Euler discretization of the lumped ODE
+// C dT/dt = −hA (T − T∞) to tight tolerance.
+func TestLumpedCoolingMatchesDiscreteODE(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 4, 4, 4)
+	p.ThermalBC = fit.RobinBC{H: 25, Emissivity: 0, TInf: 300}
+	p.TInit = 400
+	const endTime, nSteps = 10.0, 20
+	s, err := NewSimulator(p, Options{EndTime: endTime, NumSteps: nSteps, RecordFieldEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := constCopper().VolHeatCap() * 1e-9 // ρc·V
+	hA := 25.0 * 6e-6
+	dt := endTime / nSteps
+	tOde := 400.0
+	for n := 1; n <= nSteps; n++ {
+		tOde = (c/dt*tOde + hA*300) / (c/dt + hA)
+		got := res.WireTempOrField(n, p.Grid.NodeIndex(2, 2, 2))
+		if math.Abs(got-tOde) > 5e-3 {
+			t.Fatalf("step %d: T = %g, lumped IE ODE %g", n, got, tOde)
+		}
+	}
+	// And the continuous solution within the IE discretization error.
+	exact := 300 + 100*math.Exp(-hA*endTime/c)
+	if math.Abs(res.FinalField[0]-exact) > 1.0 {
+		t.Errorf("final T %g too far from exact %g", res.FinalField[0], exact)
+	}
+}
+
+// TestTrapezoidalMoreAccurateThanEuler checks the integrator order on the
+// lumped cooling problem.
+func TestTrapezoidalMoreAccurateThanEuler(t *testing.T) {
+	run := func(integ Integrator) float64 {
+		p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+		p.ThermalBC = fit.RobinBC{H: 200, Emissivity: 0, TInf: 300}
+		p.TInit = 400
+		s, err := NewSimulator(p, Options{EndTime: 4, NumSteps: 8, TimeIntegrator: integ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := constCopper().VolHeatCap() * 1e-9
+		hA := 200.0 * 6e-6
+		exact := 300 + 100*math.Exp(-hA*4/c)
+		return math.Abs(res.FinalField[0] - exact)
+	}
+	errIE := run(ImplicitEuler)
+	errCN := run(Trapezoidal)
+	errBDF2 := run(BDF2)
+	if errCN >= errIE {
+		t.Errorf("trapezoidal error %g should beat implicit Euler %g", errCN, errIE)
+	}
+	if errBDF2 >= errIE {
+		t.Errorf("BDF2 error %g should beat implicit Euler %g", errBDF2, errIE)
+	}
+}
+
+// TestJouleSteadyBalance drives a copper bar electrically and verifies the
+// steady state: electric power matches V²/R and equals the boundary loss.
+func TestJouleSteadyBalance(t *testing.T) {
+	const lx, a = 1e-3, 1e-8 // 1 mm bar, 1e-4 × 1e-4 m cross-section
+	p := uniformProblem(t, constCopper(), lx, 1e-4, 1e-4, 21, 3, 3)
+	p.ThermalBC = fit.RobinBC{H: 5000, Emissivity: 0, TInf: 300}
+	const v = 1e-3
+	p.ElecDirichlet = []fit.Dirichlet{
+		{Nodes: faceNodes(p.Grid, 0), Values: []float64{0}},
+		{Nodes: faceNodes(p.Grid, 1), Values: []float64{v}},
+	}
+	s, err := NewSimulator(p, Options{EndTime: 2, NumSteps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma := constCopper().ElecCond(300)
+	r := lx / (sigma * a)
+	wantP := v * v / r
+	last := len(res.Times) - 1
+	gotP := res.FieldPower[last]
+	if math.Abs(gotP-wantP) > 1e-3*wantP {
+		t.Errorf("electric power %g, want %g", gotP, wantP)
+	}
+	// Steady state: boundary loss balances input power.
+	if math.Abs(res.BoundaryLoss[last]-gotP) > 0.02*gotP {
+		t.Errorf("boundary loss %g vs power %g — not stationary", res.BoundaryLoss[last], gotP)
+	}
+	if res.Stats.MaxEnergyImbalance > 1e-6 {
+		t.Errorf("energy imbalance %g too large", res.Stats.MaxEnergyImbalance)
+	}
+}
+
+// TestWireChainParabolicProfile checks the N-segment wire model against the
+// exact solution of a Joule-heated wire with fixed end temperatures and no
+// lateral loss: T(x) = T0 + q·x(L−x)/(2λA), exact at chain nodes.
+func TestWireChainParabolicProfile(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 2, 2, 2)
+	g := p.Grid
+	nodeA := g.NodeIndex(0, 0, 0)
+	nodeB := g.NodeIndex(1, 1, 1)
+	const segments = 8
+	const vWire = 20e-3
+	wire := bondwire.Wire{
+		Name:  "w0",
+		NodeA: nodeA, NodeB: nodeB,
+		Geom:     bondwire.Geometry{Direct: 1.5e-3, Diameter: 25.4e-6},
+		Mat:      constCopper(),
+		Segments: segments,
+	}
+	p.Wires = []bondwire.Wire{wire}
+	// Pin every grid node thermally and drive the wire electrically.
+	all := make([]int, g.NumNodes())
+	for i := range all {
+		all[i] = i
+	}
+	p.ThermDirichlet = []fit.Dirichlet{{Nodes: all, Values: []float64{300}}}
+	p.ElecDirichlet = []fit.Dirichlet{
+		{Nodes: []int{nodeA}, Values: []float64{vWire}},
+		{Nodes: []int{nodeB}, Values: []float64{0}},
+	}
+	s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lam := constCopper().ThermCond(300)
+	area := wire.Geom.CrossSection()
+	l := wire.Geom.Length()
+	// The grid short-circuits the wire ends electrically (all-copper block is
+	// nearly equipotential per PEC set), so the wire sees vWire.
+	q := vWire * vWire * constCopper().ElecCond(300) * area / l / l // W/m
+
+	T := s.Temperatures()
+	chainTemps := make([]float64, segments+1)
+	for i, dof := range s.coup.Chain(0) {
+		chainTemps[i] = T[dof]
+	}
+	for i := 0; i <= segments; i++ {
+		x := l * float64(i) / segments
+		want := 300 + q*x*(l-x)/(2*lam*area)
+		if math.Abs(chainTemps[i]-want) > 0.02*(want-300+1) {
+			t.Fatalf("chain node %d: T = %g, want %g (profile %v)", i, chainTemps[i], want, chainTemps)
+		}
+	}
+	// The paper's end-point average must stay at the pinned 300 K while the
+	// max-over-chain QoI sees the hot midpoint.
+	last := len(res.Times) - 1
+	if math.Abs(res.WireTemp[last][0]-300) > 1e-6 {
+		t.Errorf("end-point average %g, want 300", res.WireTemp[last][0])
+	}
+	mid := 300 + q*l*l/(8*lam*area)
+	if math.Abs(res.WireMaxTemp[last][0]-mid) > 0.05*(mid-300) {
+		t.Errorf("chain max %g, want midpoint %g", res.WireMaxTemp[last][0], mid)
+	}
+}
+
+// TestWireConnectsIsolatedBlocks checks the electrothermal wire stamp: two
+// copper blocks joined only by a wire carry the analytic current.
+func TestWireConnectsIsolatedBlocks(t *testing.T) {
+	// Two copper cells at the ends of an epoxy-filled bar.
+	g, err := grid.NewTensor(
+		[]float64{0, 0.2e-3, 1.0e-3, 1.2e-3},
+		[]float64{0, 0.2e-3},
+		[]float64{0, 0.2e-3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := mustLib(t, material.EpoxyResin(), constCopper())
+	cellMat := make([]int, g.NumCells())
+	cellMat[0] = 1 // copper
+	cellMat[2] = 1 // copper
+	p := &Problem{
+		Grid: g, CellMat: cellMat, Lib: lib,
+		ThermalBC: fit.RobinBC{H: 25, Emissivity: 0, TInf: 300},
+	}
+	nodeA := g.NodeIndex(1, 0, 0) // inner face of left block
+	nodeB := g.NodeIndex(2, 1, 1) // inner face of right block
+	wire := bondwire.Wire{
+		Name:  "bridge",
+		NodeA: nodeA, NodeB: nodeB,
+		Geom: bondwire.Geometry{Direct: 1.5e-3, Diameter: 25.4e-6},
+		Mat:  constCopper(),
+	}
+	p.Wires = []bondwire.Wire{wire}
+	const v = 10e-3
+	p.ElecDirichlet = []fit.Dirichlet{
+		{Nodes: faceNodes(g, 0), Values: []float64{0}},
+		{Nodes: faceNodes(g, 1), Values: []float64{v}},
+	}
+	s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blocks are far more conductive than the wire, so nearly the whole
+	// voltage drops across the wire (the residual drop is within tolerance).
+	gw := wire.ElecConductance(material.ReferenceTemperature)
+	wantP := v * v * gw
+	last := len(res.Times) - 1
+	gotP := res.WirePower[last][0]
+	if math.Abs(gotP-wantP) > 0.05*wantP {
+		t.Errorf("wire power %g, want ≈ %g", gotP, wantP)
+	}
+	if gotP <= 0 {
+		t.Error("no current flows through the wire")
+	}
+}
+
+// TestWeakVsStrongCouplingAgreeForMildHeating: with weak heating the
+// staggered and iterated schemes must agree closely.
+func TestWeakVsStrongCouplingAgreeForMildHeating(t *testing.T) {
+	run := func(mode CouplingMode) float64 {
+		p := uniformProblem(t, material.Copper(), 1e-3, 1e-4, 1e-4, 11, 3, 3)
+		p.ThermalBC = fit.RobinBC{H: 1000, Emissivity: 0, TInf: 300}
+		p.ElecDirichlet = []fit.Dirichlet{
+			{Nodes: faceNodes(p.Grid, 0), Values: []float64{0}},
+			{Nodes: faceNodes(p.Grid, 1), Values: []float64{2e-4}},
+		}
+		s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 10, Coupling: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalField[p.Grid.NodeIndex(5, 1, 1)]
+	}
+	tw := run(WeakCoupling)
+	ts := run(StrongCoupling)
+	if math.Abs(tw-ts) > 0.01 {
+		t.Errorf("weak %g and strong %g coupling diverge", tw, ts)
+	}
+}
+
+// TestSetWireElongationChangesResistance verifies the δ → length → G path.
+func TestSetWireElongationChangesResistance(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 2, 2, 2)
+	p.Wires = []bondwire.Wire{{
+		Name: "w", NodeA: 0, NodeB: 7,
+		Geom: bondwire.Geometry{Direct: 1.0e-3, Diameter: 25.4e-6},
+		Mat:  constCopper(),
+	}}
+	s, err := NewSimulator(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := s.Wires()[0].Resistance(300)
+	if err := s.SetWireElongation(0, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	r1 := s.Wires()[0].Resistance(300)
+	if math.Abs(r1/r0-1.25) > 1e-9 {
+		t.Errorf("R(δ=0.2)/R(δ=0) = %g, want 1.25", r1/r0)
+	}
+	if got := s.Wires()[0].Geom.RelElongation(); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RelElongation = %g, want 0.2", got)
+	}
+}
+
+// TestCloneIsIndependent ensures clones do not share mutable state.
+func TestCloneIsIndependent(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.Wires = []bondwire.Wire{{
+		Name: "w", NodeA: 0, NodeB: 26,
+		Geom: bondwire.Geometry{Direct: 1.0e-3, Diameter: 25.4e-6},
+		Mat:  constCopper(),
+	}}
+	s1, err := NewSimulator(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := s1.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SetWireElongation(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Wires()[0].Geom.RelElongation() == s2.Wires()[0].Geom.RelElongation() {
+		t.Error("clone shares wire state with original")
+	}
+	if s1.asm != s2.asm {
+		t.Error("clone should share the immutable assembler")
+	}
+}
+
+// WireTempOrField is a small test helper on Result: temperature of grid node
+// n at time index step (falls back to snapshots being absent by using the
+// recorded final field only at the last step).
+func (r *Result) WireTempOrField(step, node int) float64 {
+	if step == len(r.Times)-1 {
+		return r.FinalField[node]
+	}
+	if f, ok := r.Snapshots[step]; ok {
+		return f[node]
+	}
+	// For the lumped test the block is isothermal; wire-free problems can
+	// use any recorded wire series. Fall back to re-deriving from snapshots
+	// is not possible — tests request RecordFieldEvery when needed.
+	panic("core_test: field not recorded at this step")
+}

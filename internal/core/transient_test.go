@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/bondwire"
+	"etherm/internal/fit"
+)
+
+// TestJouleSchemesAgreeOnSmoothProblem: edge-split and the paper's
+// cell-average redistribution must produce nearly identical temperatures on
+// a smooth current distribution.
+func TestJouleSchemesAgreeOnSmoothProblem(t *testing.T) {
+	run := func(js JouleScheme) float64 {
+		p := uniformProblem(t, constCopper(), 1e-3, 2e-4, 2e-4, 15, 3, 3)
+		p.ThermalBC = fit.RobinBC{H: 2000, Emissivity: 0, TInf: 300}
+		p.ElecDirichlet = []fit.Dirichlet{
+			{Nodes: faceNodes(p.Grid, 0), Values: []float64{0}},
+			{Nodes: faceNodes(p.Grid, 1), Values: []float64{5e-4}},
+		}
+		s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 10, Joule: js})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalField[p.Grid.NodeIndex(7, 1, 1)]
+	}
+	a, b := run(EdgeSplit), run(CellAverage)
+	if math.Abs(a-b) > 0.05*(a-300+1e-9) {
+		t.Errorf("Joule schemes diverge: %g vs %g", a, b)
+	}
+}
+
+// TestRadiationOnlyEquilibrium: with h = 0 and pure radiation the block must
+// settle exactly at the ambient temperature from above.
+func TestRadiationOnlyEquilibrium(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.ThermalBC = fit.RobinBC{H: 0, Emissivity: 0.9, TInf: 300}
+	p.TInit = 500
+	for _, nl := range []NonlinearMode{Picard, NewtonLinearized} {
+		s, err := NewSimulator(p, Options{EndTime: 2000, NumSteps: 40, Nonlinear: nl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.FinalField[0]
+		if final < 300-1e-6 {
+			t.Errorf("%v: cooled below ambient: %g", nl, final)
+		}
+		if final > 310 {
+			t.Errorf("%v: radiation equilibrium not reached: %g", nl, final)
+		}
+		// Monotone cooling.
+		prev := math.Inf(1)
+		for ti := range res.Times {
+			v := res.MaxWireTempAtOrField(ti)
+			if v > prev+1e-9 {
+				t.Fatalf("%v: non-monotone cooling at step %d", nl, ti)
+			}
+			prev = v
+		}
+	}
+}
+
+// MaxWireTempAtOrField is a test helper: the max wire temperature when wires
+// exist, otherwise a field probe is unavailable per step, so fall back to
+// boundary-loss monotonicity via stored series.
+func (r *Result) MaxWireTempAtOrField(t int) float64 {
+	if r.NumWires() > 0 {
+		return r.MaxWireTempAt(t)
+	}
+	// Without wires use the boundary loss as a monotone proxy (cooling ⇒
+	// decreasing loss for a body above ambient).
+	return r.BoundaryLoss[t]
+}
+
+// TestSnapshotsRecorded checks RecordFieldEvery.
+func TestSnapshotsRecorded(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.ThermalBC = fit.RobinBC{H: 100, Emissivity: 0, TInf: 300}
+	p.TInit = 350
+	s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 6, RecordFieldEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []int{2, 4, 6} {
+		if _, ok := res.Snapshots[step]; !ok {
+			t.Errorf("snapshot at step %d missing", step)
+		}
+	}
+	if _, ok := res.Snapshots[3]; ok {
+		t.Error("unexpected snapshot at step 3")
+	}
+	if len(res.Snapshots[2]) != p.Grid.NumNodes() {
+		t.Error("snapshot has wrong length")
+	}
+}
+
+// TestBDF2MatchesEulerAtSteadyState: different integrators must agree once
+// the transient has decayed.
+func TestBDF2MatchesEulerAtSteadyState(t *testing.T) {
+	run := func(integ Integrator) float64 {
+		p := uniformProblem(t, constCopper(), 1e-3, 2e-4, 2e-4, 9, 3, 3)
+		p.ThermalBC = fit.RobinBC{H: 3000, Emissivity: 0, TInf: 300}
+		p.ElecDirichlet = []fit.Dirichlet{
+			{Nodes: faceNodes(p.Grid, 0), Values: []float64{0}},
+			{Nodes: faceNodes(p.Grid, 1), Values: []float64{1e-3}},
+		}
+		s, err := NewSimulator(p, Options{EndTime: 3, NumSteps: 30, TimeIntegrator: integ})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalField[p.Grid.NodeIndex(4, 1, 1)]
+	}
+	ie := run(ImplicitEuler)
+	bdf := run(BDF2)
+	cn := run(Trapezoidal)
+	if math.Abs(ie-bdf) > 0.01*(ie-300) || math.Abs(ie-cn) > 0.01*(ie-300) {
+		t.Errorf("steady states diverge: IE %g, BDF2 %g, CN %g", ie, bdf, cn)
+	}
+}
+
+// TestMultiSegmentWireMatchesSingleForLinearProfile: when the temperature
+// along the wire is linear (no wire Joule heating), chains and single
+// segments are equivalent.
+func TestMultiSegmentWireMatchesSingleForLinearProfile(t *testing.T) {
+	run := func(segs int) float64 {
+		p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+		g := p.Grid
+		p.ThermDirichlet = []fit.Dirichlet{
+			{Nodes: []int{g.NodeIndex(0, 0, 0)}, Values: []float64{320}},
+			{Nodes: []int{g.NodeIndex(2, 2, 2)}, Values: []float64{400}},
+		}
+		p.Wires = []bondwire.Wire{{
+			Name: "w", NodeA: g.NodeIndex(0, 0, 0), NodeB: g.NodeIndex(2, 2, 2),
+			Geom: bondwire.Geometry{Direct: 1.2e-3, Diameter: 25.4e-6},
+			Mat:  constCopper(), Segments: segs,
+		}}
+		s, err := NewSimulator(p, Options{EndTime: 5, NumSteps: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WireTemp[len(res.Times)-1][0]
+	}
+	a, b := run(1), run(6)
+	if math.Abs(a-b) > 0.05 {
+		t.Errorf("segment counts disagree without wire heating: %g vs %g", a, b)
+	}
+	if math.Abs(a-360) > 1.0 {
+		t.Errorf("end-point average %g, want ≈ 360 (eq. 5)", a)
+	}
+}
+
+// TestElectricSolveWithoutDrive returns zero potentials and zero power.
+func TestElectricSolveWithoutDrive(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.ThermalBC = fit.RobinBC{H: 10, Emissivity: 0, TInf: 300}
+	s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Times) - 1
+	if res.FieldPower[last] != 0 || res.WirePowerTotal[last] != 0 {
+		t.Error("undriven problem dissipates power")
+	}
+	for _, v := range res.FinalField {
+		if math.Abs(v-300) > 1e-9 {
+			t.Error("undriven problem changed temperature")
+		}
+	}
+}
+
+// TestOptionsDefaults checks the Table II defaults.
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.EndTime != 50 || o.NumSteps != 50 {
+		t.Errorf("defaults (%g, %d) differ from the paper's 50 s / 50 steps", o.EndTime, o.NumSteps)
+	}
+	f := FastOptions()
+	if f.Coupling != WeakCoupling || f.Nonlinear != NewtonLinearized {
+		t.Error("FastOptions changed")
+	}
+	// Enum strings for reports.
+	if StrongCoupling.String() != "strong" || WeakCoupling.String() != "weak" ||
+		ImplicitEuler.String() != "implicit-euler" || CellAverage.String() != "cell-average" ||
+		PrecondIC0.String() != "ic0" || Picard.String() != "picard" {
+		t.Error("enum strings changed")
+	}
+}
+
+// TestProblemValidation exercises the error paths.
+func TestProblemValidation(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.ElecDirichlet = []fit.Dirichlet{{Nodes: []int{9999}, Values: []float64{0}}}
+	if _, err := NewSimulator(p, Options{}); err == nil {
+		t.Error("out-of-range Dirichlet accepted")
+	}
+	p = uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.ThermalBC.TInf = -1
+	if _, err := NewSimulator(p, Options{}); err == nil {
+		t.Error("negative ambient accepted")
+	}
+	p = uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	p.CellMat = p.CellMat[:1]
+	if _, err := NewSimulator(p, Options{}); err == nil {
+		t.Error("short cell material map accepted")
+	}
+}
+
+// TestWirePowerReportedPerWire: the per-wire power series sums to the wire
+// total.
+func TestWirePowerReportedPerWire(t *testing.T) {
+	p := uniformProblem(t, constCopper(), 1e-3, 1e-3, 1e-3, 3, 3, 3)
+	g := p.Grid
+	p.ThermalBC = fit.RobinBC{H: 1000, Emissivity: 0, TInf: 300}
+	p.Wires = []bondwire.Wire{
+		{Name: "w1", NodeA: g.NodeIndex(0, 0, 0), NodeB: g.NodeIndex(2, 2, 2),
+			Geom: bondwire.Geometry{Direct: 1.2e-3, Diameter: 25.4e-6}, Mat: constCopper()},
+		{Name: "w2", NodeA: g.NodeIndex(0, 2, 0), NodeB: g.NodeIndex(2, 0, 2),
+			Geom: bondwire.Geometry{Direct: 1.3e-3, Diameter: 25.4e-6}, Mat: constCopper()},
+	}
+	p.ElecDirichlet = []fit.Dirichlet{
+		{Nodes: []int{g.NodeIndex(0, 0, 0), g.NodeIndex(0, 2, 0)}, Values: []float64{10e-3}},
+		{Nodes: []int{g.NodeIndex(2, 2, 2), g.NodeIndex(2, 0, 2)}, Values: []float64{0}},
+	}
+	s, err := NewSimulator(p, Options{EndTime: 1, NumSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Times) - 1
+	sum := res.WirePower[last][0] + res.WirePower[last][1]
+	if math.Abs(sum-res.WirePowerTotal[last]) > 1e-9*(1+sum) {
+		t.Errorf("per-wire powers %g do not sum to total %g", sum, res.WirePowerTotal[last])
+	}
+	if sum <= 0 {
+		t.Error("wires carry no power")
+	}
+}

@@ -1,0 +1,228 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+
+	"etherm/internal/grid"
+	"etherm/internal/sparse"
+)
+
+// RobinBC describes the thermal boundary exchange of the paper: convection
+// with heat transfer coefficient H and radiation with emissivity Emissivity
+// against the ambient temperature TInf, applied on the selected faces of the
+// domain box. The outgoing flux density at a boundary node is
+//
+//	q = H (T − T∞) + ε σ_SB (T⁴ − T∞⁴).
+type RobinBC struct {
+	H          float64 // W/(m²·K)
+	Emissivity float64 // dimensionless, in [0,1]
+	TInf       float64 // K
+	// Faces masks the box faces: -x, +x, -y, +y, -z, +z. The zero value
+	// (all false) is interpreted as "all faces active", matching the paper.
+	Faces [6]bool
+}
+
+// AllFaces reports whether the BC applies to every face.
+func (bc RobinBC) AllFaces() bool {
+	for _, f := range bc.Faces {
+		if f {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the physical ranges.
+func (bc RobinBC) Validate() error {
+	if bc.H < 0 {
+		return fmt.Errorf("fit: negative heat transfer coefficient %g", bc.H)
+	}
+	if bc.Emissivity < 0 || bc.Emissivity > 1 {
+		return fmt.Errorf("fit: emissivity %g outside [0,1]", bc.Emissivity)
+	}
+	if bc.TInf <= 0 {
+		return fmt.Errorf("fit: ambient temperature %g K must be positive", bc.TInf)
+	}
+	return nil
+}
+
+// BoundaryAreasMasked returns the per-node exposed area restricted to the
+// faces active in bc.
+func (a *Assembler) BoundaryAreasMasked(bc RobinBC) []float64 {
+	g := a.Grid
+	out := make([]float64, g.NumNodes())
+	all := bc.AllFaces()
+	for n := 0; n < g.NumNodes(); n++ {
+		i, j, k := g.NodeCoordsOf(n)
+		var area float64
+		add := func(face int, ax grid.Axis) {
+			if all || bc.Faces[face] {
+				area += g.DualFacetArea(ax, n)
+			}
+		}
+		if i == 0 {
+			add(0, grid.X)
+		}
+		if i == g.Nx-1 {
+			add(1, grid.X)
+		}
+		if j == 0 {
+			add(2, grid.Y)
+		}
+		if j == g.Ny-1 {
+			add(3, grid.Y)
+		}
+		if k == 0 {
+			add(4, grid.Z)
+		}
+		if k == g.Nz-1 {
+			add(5, grid.Z)
+		}
+		out[n] = area
+	}
+	return out
+}
+
+// RobinLoss accumulates the outgoing boundary heat flow per node into dst:
+// dst[n] += area[n]·(H (T[n]−T∞) + ε σ_SB (T[n]⁴−T∞⁴)). It returns the total
+// outgoing power.
+func RobinLoss(T, areas []float64, bc RobinBC, dst []float64) float64 {
+	total := 0.0
+	sb := bc.Emissivity * StefanBoltzmann
+	t4inf := bc.TInf * bc.TInf * bc.TInf * bc.TInf
+	for n, area := range areas {
+		if area == 0 {
+			continue
+		}
+		t := T[n]
+		q := area * (bc.H*(t-bc.TInf) + sb*(t*t*t*t-t4inf))
+		dst[n] += q
+		total += q
+	}
+	return total
+}
+
+// RobinLinearized returns, for the current iterate T, the per-node boundary
+// conductance diag[n] and source rhs[n] of the linearization
+//
+//	q(T_new) ≈ diag·T_new − rhs
+//
+// Two linearizations are supported:
+//
+//   - Picard (newton=false): q ≈ area·h_eff(T)·(T_new − T∞) with
+//     h_eff = H + εσ(T²+T∞²)(T+T∞), the secant radiation coefficient.
+//   - Newton (newton=true): first-order expansion around T with
+//     dq/dT = area·(H + 4εσT³).
+//
+// Both make the thermal step matrix symmetric positive definite.
+func RobinLinearized(T, areas []float64, bc RobinBC, newton bool, diag, rhs []float64) {
+	sb := bc.Emissivity * StefanBoltzmann
+	t4inf := bc.TInf * bc.TInf * bc.TInf * bc.TInf
+	for n, area := range areas {
+		if area == 0 {
+			diag[n], rhs[n] = 0, 0
+			continue
+		}
+		t := T[n]
+		if newton {
+			d := area * (bc.H + 4*sb*t*t*t)
+			q := area * (bc.H*(t-bc.TInf) + sb*(t*t*t*t-t4inf))
+			diag[n] = d
+			rhs[n] = d*t - q
+		} else {
+			heff := bc.H + sb*(t*t+bc.TInf*bc.TInf)*(t+bc.TInf)
+			diag[n] = area * heff
+			rhs[n] = area * heff * bc.TInf
+		}
+	}
+}
+
+// Dirichlet fixes a set of DOFs to prescribed values (the paper's PEC
+// contacts at ±20 mV, or fixed-temperature experiments in tests).
+type Dirichlet struct {
+	Nodes  []int
+	Values []float64 // either one value per node, or a single shared value
+}
+
+// Value returns the prescribed value for the i-th constrained node.
+func (d Dirichlet) Value(i int) float64 {
+	if len(d.Values) == 1 {
+		return d.Values[0]
+	}
+	return d.Values[i]
+}
+
+// Validate checks index/value consistency against n DOFs.
+func (d Dirichlet) Validate(n int) error {
+	if len(d.Values) != 1 && len(d.Values) != len(d.Nodes) {
+		return fmt.Errorf("fit: Dirichlet has %d nodes but %d values", len(d.Nodes), len(d.Values))
+	}
+	for _, node := range d.Nodes {
+		if node < 0 || node >= n {
+			return fmt.Errorf("fit: Dirichlet node %d out of range (%d DOFs)", node, n)
+		}
+	}
+	return nil
+}
+
+// ApplyDirichlet imposes the constraints on the symmetric system A x = rhs by
+// symmetric elimination: constrained rows and columns are zeroed, the
+// diagonal is set to the row's original diagonal (or 1 when it was zero) to
+// preserve conditioning, and rhs is updated so unconstrained equations see
+// the prescribed values. After solving, x holds the prescribed values at the
+// constrained DOFs exactly.
+//
+// The matrix pattern must be symmetric (true for all operators assembled in
+// this package).
+func ApplyDirichlet(a *sparse.CSR, rhs []float64, sets ...Dirichlet) error {
+	n := a.Rows
+	if len(rhs) != n {
+		return fmt.Errorf("fit: ApplyDirichlet rhs length %d != %d", len(rhs), n)
+	}
+	constrained := make(map[int]float64)
+	for _, d := range sets {
+		if err := d.Validate(n); err != nil {
+			return err
+		}
+		for i, node := range d.Nodes {
+			v := d.Value(i)
+			if prev, dup := constrained[node]; dup && prev != v {
+				return fmt.Errorf("fit: node %d constrained to both %g and %g", node, prev, v)
+			}
+			constrained[node] = v
+		}
+	}
+	for node, val := range constrained {
+		// Walk row `node`; for each off-diagonal entry (node, j) also locate
+		// the symmetric entry (j, node), move its contribution to rhs[j] and
+		// zero both.
+		var diag float64
+		for k := a.RowPtr[node]; k < a.RowPtr[node+1]; k++ {
+			j := a.ColIdx[k]
+			if j == node {
+				diag = a.Val[k]
+				continue
+			}
+			if _, isC := constrained[j]; !isC {
+				if kj, ok := a.Find(j, node); ok {
+					rhs[j] -= a.Val[kj] * val
+					a.Val[kj] = 0
+				}
+			} else if kj, ok := a.Find(j, node); ok {
+				a.Val[kj] = 0
+			}
+			a.Val[k] = 0
+		}
+		if diag == 0 || math.IsNaN(diag) {
+			diag = 1
+		}
+		kd, ok := a.Find(node, node)
+		if !ok {
+			return fmt.Errorf("fit: diagonal entry for constrained node %d missing", node)
+		}
+		a.Val[kd] = diag
+		rhs[node] = diag * val
+	}
+	return nil
+}

@@ -1,0 +1,449 @@
+package fit
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"etherm/internal/grid"
+	"etherm/internal/material"
+	"etherm/internal/solver"
+	"etherm/internal/sparse"
+)
+
+func testLib(t *testing.T) *material.Library {
+	t.Helper()
+	lib, err := material.NewLibrary(material.EpoxyResin(), material.Copper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib
+}
+
+func uniformAssembler(t *testing.T, matID int, nx, ny, nz int) (*Assembler, *grid.Grid) {
+	t.Helper()
+	g, err := grid.NewUniform(1e-3, 1e-3, 1e-3, nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellMat := make([]int, g.NumCells())
+	for i := range cellMat {
+		cellMat[i] = matID
+	}
+	a, err := NewAssembler(g, cellMat, testLib(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, g
+}
+
+func gridBranches(g *grid.Grid) []Branch {
+	out := make([]Branch, g.NumEdges())
+	for e := range out {
+		n1, n2 := g.EdgeNodes(e)
+		out[e] = Branch{N1: n1, N2: n2}
+	}
+	return out
+}
+
+func TestEdgeConductanceUniformMaterial(t *testing.T) {
+	a, g := uniformAssembler(t, 1, 4, 3, 3) // copper
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Electric, nil, cond)
+	sigma := material.Copper().ElecCond(300)
+	for e := 0; e < g.NumEdges(); e++ {
+		want := sigma * g.DualArea(e) / g.EdgeLength(e)
+		if math.Abs(cond[e]-want) > 1e-9*want {
+			t.Fatalf("edge %d conductance %g, want %g", e, cond[e], want)
+		}
+	}
+}
+
+func TestEdgeConductanceTwoMaterialInterface(t *testing.T) {
+	// Lower half copper, upper half epoxy, split at z = 0.5 mm: an x-edge on
+	// the interface plane must see the 50/50 volumetric average.
+	g, err := grid.NewUniform(1e-3, 1e-3, 1e-3, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := testLib(t)
+	cellMat := make([]int, g.NumCells())
+	for c := range cellMat {
+		_, _, ck := g.CellCoordsOf(c)
+		if ck == 0 {
+			cellMat[c] = 1 // copper below
+		} else {
+			cellMat[c] = 0 // epoxy above
+		}
+	}
+	a, err := NewAssembler(g, cellMat, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Thermal, nil, cond)
+
+	e := g.EdgeIndex(grid.X, 0, 1, 1) // on the interface plane, interior in y
+	lamAvg := 0.5*material.Copper().ThermCond(300) + 0.5*material.EpoxyResin().ThermCond(300)
+	want := lamAvg * g.DualArea(e) / g.EdgeLength(e)
+	if math.Abs(cond[e]-want) > 1e-9*want {
+		t.Fatalf("interface edge conductance %g, want %g", cond[e], want)
+	}
+}
+
+func TestMassDiagSumsToHeatCapacity(t *testing.T) {
+	a, g := uniformAssembler(t, 0, 4, 4, 4) // epoxy
+	mass := a.MassDiag()
+	sum := 0.0
+	for _, v := range mass {
+		sum += v
+	}
+	want := material.EpoxyResin().VolHeatCap() * g.TotalVolume()
+	if math.Abs(sum-want) > 1e-9*want {
+		t.Errorf("ΣMρc = %g, want %g", sum, want)
+	}
+}
+
+func TestOperatorMatchesExplicitProduct(t *testing.T) {
+	// The branch-stamped Laplacian must equal Gᵀ Mσ G = −S̃ Mσ G.
+	a, g := uniformAssembler(t, 1, 3, 4, 3)
+	house := a.BuildHouse(nil)
+	explicit := house.ElectricLaplacian()
+
+	op, err := NewOperator(g.NumNodes(), gridBranches(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Electric, nil, cond)
+	op.SetValues(cond)
+	stamped := op.Matrix()
+
+	if stamped.Rows != explicit.Rows {
+		t.Fatal("shape mismatch")
+	}
+	for i := 0; i < stamped.Rows; i++ {
+		for k := stamped.RowPtr[i]; k < stamped.RowPtr[i+1]; k++ {
+			j := stamped.ColIdx[k]
+			if d := math.Abs(stamped.Val[k] - explicit.At(i, j)); d > 1e-6 {
+				t.Fatalf("(%d,%d): stamped %g vs explicit %g", i, j, stamped.Val[k], explicit.At(i, j))
+			}
+		}
+	}
+}
+
+func TestHouseVerify(t *testing.T) {
+	a, g := uniformAssembler(t, 1, 3, 3, 4)
+	house := a.BuildHouse(nil)
+	if err := house.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s := house.Render(g); len(s) < 100 {
+		t.Error("house rendering suspiciously short")
+	}
+}
+
+func TestLaplacianRowSumsZero(t *testing.T) {
+	a, g := uniformAssembler(t, 1, 4, 3, 3)
+	op, err := NewOperator(g.NumNodes(), gridBranches(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Thermal, nil, cond)
+	op.SetValues(cond)
+	m := op.Matrix()
+	ones := make([]float64, m.Cols)
+	for i := range ones {
+		ones[i] = 1
+	}
+	out := make([]float64, m.Rows)
+	m.MulVec(out, ones)
+	if sparse.NormInf(out) > 1e-9 {
+		t.Errorf("Laplacian row sums not zero: %g", sparse.NormInf(out))
+	}
+	if !m.IsSymmetric(1e-12) {
+		t.Error("Laplacian not symmetric")
+	}
+}
+
+func TestJouleEdgeSplitConservesEnergy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 23))
+		n := 4 + r.IntN(20)
+		var branches []Branch
+		var g []float64
+		for i := 0; i < n-1; i++ {
+			branches = append(branches, Branch{N1: i, N2: i + 1})
+			g = append(g, 0.1+r.Float64())
+		}
+		for k := 0; k < n/2; k++ {
+			i, j := r.IntN(n), r.IntN(n)
+			if i != j {
+				branches = append(branches, Branch{N1: i, N2: j})
+				g = append(g, 0.1+r.Float64())
+			}
+		}
+		phi := make([]float64, n)
+		for i := range phi {
+			phi[i] = r.NormFloat64()
+		}
+		dst := make([]float64, n)
+		JouleEdgeSplit(branches, g, phi, dst)
+		sum := 0.0
+		for _, v := range dst {
+			sum += v
+		}
+		total := TotalPower(branches, g, phi)
+		return math.Abs(sum-total) <= 1e-12*(1+total) && total >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJouleCellAverageMatchesEdgeSplitForUniformField(t *testing.T) {
+	// φ = E·x in uniform copper: both schemes must give σE²·V in total.
+	a, g := uniformAssembler(t, 1, 5, 4, 4)
+	phi := make([]float64, g.NumNodes())
+	const efield = 2.5 // V/m
+	for n := range phi {
+		x, _, _ := g.NodePosition(n)
+		phi[n] = efield * x
+	}
+	branches := gridBranches(g)
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Electric, nil, cond)
+
+	dstEdge := make([]float64, g.NumNodes())
+	JouleEdgeSplit(branches, cond, phi, dstEdge)
+	totalEdge := TotalPower(branches, cond, phi)
+
+	dstCell := make([]float64, g.NumNodes())
+	totalCell := a.JouleCellAverage(phi, nil, dstCell)
+
+	sigma := material.Copper().ElecCond(300)
+	want := sigma * efield * efield * g.TotalVolume()
+	if math.Abs(totalEdge-want) > 1e-9*want {
+		t.Errorf("edge-split total %g, want %g", totalEdge, want)
+	}
+	if math.Abs(totalCell-want) > 1e-9*want {
+		t.Errorf("cell-average total %g, want %g", totalCell, want)
+	}
+	// Node sums agree with totals.
+	sum := 0.0
+	for _, v := range dstCell {
+		sum += v
+	}
+	if math.Abs(sum-totalCell) > 1e-12*want {
+		t.Errorf("cell-average node sum %g vs total %g", sum, totalCell)
+	}
+}
+
+func TestApplyDirichletPathGraph(t *testing.T) {
+	// 1D path of equal conductances with ends fixed at 0 and 1 must give a
+	// linear profile; the eliminated system must stay symmetric.
+	n := 9
+	var branches []Branch
+	for i := 0; i < n-1; i++ {
+		branches = append(branches, Branch{N1: i, N2: i + 1})
+	}
+	op, err := NewOperator(n, branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float64, n-1)
+	for i := range g {
+		g[i] = 3.7
+	}
+	op.SetValues(g)
+	a := op.Matrix()
+	rhs := make([]float64, n)
+	err = ApplyDirichlet(a, rhs,
+		Dirichlet{Nodes: []int{0}, Values: []float64{0}},
+		Dirichlet{Nodes: []int{n - 1}, Values: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsSymmetric(1e-12) {
+		t.Error("matrix lost symmetry after Dirichlet elimination")
+	}
+	x := make([]float64, n)
+	if _, err := solver.CG(a, rhs, x, solver.NewJacobi(a), solver.Options{Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := float64(i) / float64(n-1)
+		if math.Abs(x[i]-want) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want)
+		}
+	}
+}
+
+func TestApplyDirichletConflictingValues(t *testing.T) {
+	op, err := NewOperator(3, []Branch{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op.SetValues([]float64{1, 1})
+	rhs := make([]float64, 3)
+	err = ApplyDirichlet(op.Matrix(), rhs,
+		Dirichlet{Nodes: []int{0}, Values: []float64{1}},
+		Dirichlet{Nodes: []int{0}, Values: []float64{2}})
+	if err == nil {
+		t.Error("expected conflict error")
+	}
+}
+
+func TestRobinLossAndLinearizationsAgreeAtPoint(t *testing.T) {
+	bc := RobinBC{H: 25, Emissivity: 0.2475, TInf: 300}
+	if err := bc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	areas := []float64{1e-6, 2e-6, 0}
+	T := []float64{450, 320, 999}
+	loss := make([]float64, 3)
+	total := RobinLoss(T, areas, bc, loss)
+
+	sum := 0.0
+	for _, v := range loss {
+		sum += v
+	}
+	if math.Abs(total-sum) > 1e-15 {
+		t.Error("RobinLoss total disagrees with node sum")
+	}
+	if loss[2] != 0 {
+		t.Error("zero-area node received boundary loss")
+	}
+
+	for _, newton := range []bool{false, true} {
+		diag := make([]float64, 3)
+		rhs := make([]float64, 3)
+		RobinLinearized(T, areas, bc, newton, diag, rhs)
+		for n := range areas {
+			// At the linearization point: diag·T − rhs == q exactly.
+			got := diag[n]*T[n] - rhs[n]
+			if math.Abs(got-loss[n]) > 1e-9*(1+math.Abs(loss[n])) {
+				t.Errorf("newton=%v node %d: linearization %g vs loss %g", newton, n, got, loss[n])
+			}
+		}
+	}
+}
+
+func TestRobinRadiationOnly(t *testing.T) {
+	bc := RobinBC{H: 0, Emissivity: 1, TInf: 300}
+	areas := []float64{1}
+	T := []float64{400}
+	dst := make([]float64, 1)
+	total := RobinLoss(T, areas, bc, dst)
+	want := StefanBoltzmann * (math.Pow(400, 4) - math.Pow(300, 4))
+	if math.Abs(total-want) > 1e-9*want {
+		t.Errorf("radiation loss %g, want %g", total, want)
+	}
+}
+
+func TestRobinValidate(t *testing.T) {
+	bad := []RobinBC{
+		{H: -1, TInf: 300},
+		{H: 1, Emissivity: 2, TInf: 300},
+		{H: 1, Emissivity: 0.5, TInf: 0},
+	}
+	for i, bc := range bad {
+		if err := bc.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBoundaryAreasMasked(t *testing.T) {
+	a, g := uniformAssembler(t, 0, 4, 4, 4)
+	all := a.BoundaryAreasMasked(RobinBC{H: 1, TInf: 300})
+	topOnly := a.BoundaryAreasMasked(RobinBC{H: 1, TInf: 300, Faces: [6]bool{false, false, false, false, false, true}})
+	sumAll, sumTop := 0.0, 0.0
+	for n := range all {
+		sumAll += all[n]
+		sumTop += topOnly[n]
+	}
+	if math.Abs(sumAll-g.SurfaceArea()) > 1e-12*g.SurfaceArea() {
+		t.Errorf("all-face area %g, want %g", sumAll, g.SurfaceArea())
+	}
+	wantTop := 1e-6 // 1 mm × 1 mm
+	if math.Abs(sumTop-wantTop) > 1e-12 {
+		t.Errorf("top-face area %g, want %g", sumTop, wantTop)
+	}
+}
+
+func TestOperatorRejectsBadBranches(t *testing.T) {
+	if _, err := NewOperator(3, []Branch{{0, 3}}); err == nil {
+		t.Error("expected out-of-range branch error")
+	}
+	if _, err := NewOperator(3, []Branch{{1, 1}}); err == nil {
+		t.Error("expected self-loop error")
+	}
+}
+
+func TestApplyLaplacianMatchesMatrix(t *testing.T) {
+	a, g := uniformAssembler(t, 1, 3, 3, 3)
+	branches := gridBranches(g)
+	op, err := NewOperator(g.NumNodes(), branches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := make([]float64, g.NumEdges())
+	a.EdgeConductances(Thermal, nil, cond)
+	op.SetValues(cond)
+
+	rng := rand.New(rand.NewPCG(31, 7))
+	x := make([]float64, g.NumNodes())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := make([]float64, g.NumNodes())
+	op.Matrix().MulVec(y1, x)
+	y2 := make([]float64, g.NumNodes())
+	ApplyLaplacian(branches, cond, x, y2)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-9*(1+math.Abs(y1[i])) {
+			t.Fatalf("ApplyLaplacian mismatch at %d: %g vs %g", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestAssemblerRejectsBadInput(t *testing.T) {
+	g, err := grid.NewUniform(1, 1, 1, 3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := testLib(t)
+	if _, err := NewAssembler(g, make([]int, 3), lib); err == nil {
+		t.Error("expected cell-count mismatch error")
+	}
+	bad := make([]int, g.NumCells())
+	bad[0] = 99
+	if _, err := NewAssembler(g, bad, lib); err == nil {
+		t.Error("expected invalid material ID error")
+	}
+}
+
+func TestEdgeConductanceTemperatureDependence(t *testing.T) {
+	a, g := uniformAssembler(t, 1, 3, 3, 3)
+	T := make([]float64, g.NumNodes())
+	for i := range T {
+		T[i] = 400
+	}
+	cold := make([]float64, g.NumEdges())
+	hot := make([]float64, g.NumEdges())
+	a.EdgeConductances(Electric, nil, cold)
+	a.EdgeConductances(Electric, T, hot)
+	for e := range cold {
+		if hot[e] >= cold[e] {
+			t.Fatalf("copper conductance should fall with temperature (edge %d: %g vs %g)", e, hot[e], cold[e])
+		}
+	}
+	ratio := cold[0] / hot[0]
+	want := 1 + 3.9e-3*100
+	if math.Abs(ratio-want) > 1e-6 {
+		t.Errorf("σ(300)/σ(400) = %g, want %g", ratio, want)
+	}
+}

@@ -1,0 +1,66 @@
+package fit
+
+import "etherm/internal/material"
+
+// JouleCellAverage implements the paper's Joule redistribution path: the edge
+// voltages are interpolated to the primary cell midpoints, the power density
+// Q_el,k = σ_k |E_k|² is evaluated per cell and the cell powers are averaged
+// back to the primary nodes with dual-volume overlap weights, so that the
+// node receives Q_el = Ṽ_j q_j.
+//
+// Unlike JouleEdgeSplit this variant is not exactly energy conserving at the
+// discrete level (the interpolation redistributes power between neighbouring
+// cells); the difference is quantified by the Joule-scheme ablation bench.
+// phi and T are grid-node vectors; dst (grid-node length) is accumulated.
+// It returns the total injected power.
+func (a *Assembler) JouleCellAverage(phi, T, dst []float64) float64 {
+	g := a.Grid
+	nxm, nym := g.Nx-1, g.Ny-1
+	total := 0.0
+	for c := 0; c < g.NumCells(); c++ {
+		ci := c % nxm
+		cj := (c / nxm) % nym
+		ck := c / (nxm * nym)
+
+		dx := g.Xs[ci+1] - g.Xs[ci]
+		dy := g.Ys[cj+1] - g.Ys[cj]
+		dz := g.Zs[ck+1] - g.Zs[ck]
+
+		nodes := g.CellNodes(c)
+		// Average field components from the four parallel edges of the cell.
+		// Node order: (i,j,k),(i+1,j,k),(i,j+1,k),(i+1,j+1,k), then k+1 layer.
+		ex := (phi[nodes[0]] - phi[nodes[1]] + phi[nodes[2]] - phi[nodes[3]] +
+			phi[nodes[4]] - phi[nodes[5]] + phi[nodes[6]] - phi[nodes[7]]) / (4 * dx)
+		ey := (phi[nodes[0]] - phi[nodes[2]] + phi[nodes[1]] - phi[nodes[3]] +
+			phi[nodes[4]] - phi[nodes[6]] + phi[nodes[5]] - phi[nodes[7]]) / (4 * dy)
+		ez := (phi[nodes[0]] - phi[nodes[4]] + phi[nodes[1]] - phi[nodes[5]] +
+			phi[nodes[2]] - phi[nodes[6]] + phi[nodes[3]] - phi[nodes[7]]) / (4 * dz)
+
+		// Cell temperature: average of the eight nodes.
+		var tc float64
+		if T != nil {
+			for _, n := range nodes {
+				tc += T[n]
+			}
+			tc /= 8
+		} else {
+			tc = material.ReferenceTemperature
+		}
+		sigma := a.Lib.At(a.cellMat[c]).ElecCond(tc)
+		p := sigma * (ex*ex + ey*ey + ez*ez) * dx * dy * dz
+		if p == 0 {
+			continue
+		}
+		total += p
+
+		// Distribute to the eight nodes with dual-volume overlap weights.
+		// For a tensor cell the overlap fractions factor per direction into
+		// 1/2·1/2·1/2 shares (each node owns half of the cell extent in each
+		// direction), i.e. equal 1/8 shares.
+		share := p / 8
+		for _, n := range nodes {
+			dst[n] += share
+		}
+	}
+	return total
+}

@@ -1,0 +1,345 @@
+package grid
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"etherm/internal/sparse"
+)
+
+func mustUniform(t *testing.T, lx, ly, lz float64, nx, ny, nz int) *Grid {
+	t.Helper()
+	g, err := NewUniform(lx, ly, lz, nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCounts(t *testing.T) {
+	g := mustUniform(t, 1, 2, 3, 3, 4, 5)
+	if got, want := g.NumNodes(), 3*4*5; got != want {
+		t.Errorf("NumNodes = %d, want %d", got, want)
+	}
+	if got, want := g.NumCells(), 2*3*4; got != want {
+		t.Errorf("NumCells = %d, want %d", got, want)
+	}
+	wantEdges := 2*4*5 + 3*3*5 + 3*4*4
+	if got := g.NumEdges(); got != wantEdges {
+		t.Errorf("NumEdges = %d, want %d", got, wantEdges)
+	}
+}
+
+func TestNodeIndexRoundTrip(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 4, 5, 6)
+	for n := 0; n < g.NumNodes(); n++ {
+		i, j, k := g.NodeCoordsOf(n)
+		if g.NodeIndex(i, j, k) != n {
+			t.Fatalf("round trip failed for node %d", n)
+		}
+	}
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 3, 4, 5)
+	for e := 0; e < g.NumEdges(); e++ {
+		a, i, j, k := g.EdgeOf(e)
+		if g.EdgeIndex(a, i, j, k) != e {
+			t.Fatalf("edge round trip failed for edge %d (axis %v, %d,%d,%d)", e, a, i, j, k)
+		}
+	}
+}
+
+func TestEdgeNodesAreNeighbours(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 3, 3, 3)
+	for e := 0; e < g.NumEdges(); e++ {
+		n1, n2 := g.EdgeNodes(e)
+		x1, y1, z1 := g.NodePosition(n1)
+		x2, y2, z2 := g.NodePosition(n2)
+		d := math.Abs(x2-x1) + math.Abs(y2-y1) + math.Abs(z2-z1)
+		if math.Abs(d-g.EdgeLength(e)) > 1e-14 {
+			t.Fatalf("edge %d length %g does not match node distance %g", e, g.EdgeLength(e), d)
+		}
+	}
+}
+
+func TestDualVolumesPartitionDomain(t *testing.T) {
+	xs := []float64{0, 0.1, 0.35, 0.4}
+	ys := []float64{0, 0.2, 0.5}
+	zs := []float64{-1, 0, 2}
+	g, err := NewTensor(xs, ys, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for n := 0; n < g.NumNodes(); n++ {
+		sum += g.DualVolume(n)
+	}
+	if want := g.TotalVolume(); math.Abs(sum-want) > 1e-12*want {
+		t.Errorf("dual volumes sum to %g, domain volume %g", sum, want)
+	}
+}
+
+func TestCellVolumesPartitionDomain(t *testing.T) {
+	g := mustUniform(t, 2, 3, 4, 5, 4, 3)
+	sum := 0.0
+	for c := 0; c < g.NumCells(); c++ {
+		sum += g.CellVolume(c)
+	}
+	if want := g.TotalVolume(); math.Abs(sum-want) > 1e-12*want {
+		t.Errorf("cell volumes sum to %g, want %g", sum, want)
+	}
+}
+
+func TestBoundaryAreaPartitionsSurface(t *testing.T) {
+	xs := []float64{0, 0.3, 0.5, 1.2}
+	ys := []float64{0, 1, 1.5}
+	zs := []float64{0, 0.25, 0.5, 0.75, 1}
+	g, err := NewTensor(xs, ys, zs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for n := 0; n < g.NumNodes(); n++ {
+		sum += g.BoundaryArea(n)
+		if !g.IsBoundaryNode(n) && g.BoundaryArea(n) != 0 {
+			t.Fatalf("interior node %d has boundary area", n)
+		}
+	}
+	if want := g.SurfaceArea(); math.Abs(sum-want) > 1e-12*want {
+		t.Errorf("boundary areas sum to %g, surface %g", sum, want)
+	}
+}
+
+func TestGradientDivergenceDuality(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 3, 4, 3)
+	grad := g.Gradient()
+	div := g.Divergence()
+	gt := grad.Transpose()
+	gt.Scale(-1)
+	if gt.Rows != div.Rows || gt.NNZ() != div.NNZ() {
+		t.Fatal("S̃ and −Gᵀ differ structurally")
+	}
+	for i := range gt.Val {
+		if gt.Val[i] != div.Val[i] || gt.ColIdx[i] != div.ColIdx[i] {
+			t.Fatal("S̃ ≠ −Gᵀ")
+		}
+	}
+}
+
+func TestGradientOfConstantIsZero(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 4, 4, 4)
+	grad := g.Gradient()
+	ones := make([]float64, g.NumNodes())
+	for i := range ones {
+		ones[i] = 7.5
+	}
+	out := make([]float64, g.NumEdges())
+	grad.MulVec(out, ones)
+	if sparse.NormInf(out) != 0 {
+		t.Error("G applied to a constant is not zero")
+	}
+}
+
+func TestGradientOfLinearField(t *testing.T) {
+	// φ = 2x + 3y − z must give exact edge differences.
+	g := mustUniform(t, 1, 2, 1.5, 4, 5, 4)
+	grad := g.Gradient()
+	phi := make([]float64, g.NumNodes())
+	for n := range phi {
+		x, y, z := g.NodePosition(n)
+		phi[n] = 2*x + 3*y - z
+	}
+	out := make([]float64, g.NumEdges())
+	grad.MulVec(out, phi)
+	for e := 0; e < g.NumEdges(); e++ {
+		a, _, _, _ := g.EdgeOf(e)
+		var want float64
+		switch a {
+		case X:
+			want = 2 * g.EdgeLength(e)
+		case Y:
+			want = 3 * g.EdgeLength(e)
+		default:
+			want = -g.EdgeLength(e)
+		}
+		if math.Abs(out[e]-want) > 1e-12 {
+			t.Fatalf("edge %d (axis %v): got %g, want %g", e, a, out[e], want)
+		}
+	}
+}
+
+func TestEdgeAdjacentCellsWeightsSumToOne(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 4, 3, 5)
+	for e := 0; e < g.NumEdges(); e++ {
+		cells, weights := g.EdgeAdjacentCells(e)
+		if len(cells) == 0 || len(cells) > 4 {
+			t.Fatalf("edge %d: %d adjacent cells", e, len(cells))
+		}
+		sum := 0.0
+		for _, w := range weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("edge %d weights sum to %g", e, sum)
+		}
+	}
+}
+
+func TestNodeAdjacentCellsWeightsSumToOne(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 3, 4, 3)
+	for n := 0; n < g.NumNodes(); n++ {
+		cells, weights := g.NodeAdjacentCells(n)
+		if len(cells) == 0 || len(cells) > 8 {
+			t.Fatalf("node %d: %d adjacent cells", n, len(cells))
+		}
+		sum := 0.0
+		for _, w := range weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("node %d weights sum to %g", n, sum)
+		}
+	}
+}
+
+func TestNearestNodeAndFindCell(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 11, 11, 11)
+	n := g.NearestNode(0.52, 0.19, 0.98)
+	x, y, z := g.NodePosition(n)
+	if math.Abs(x-0.5) > 1e-12 || math.Abs(y-0.2) > 1e-12 || math.Abs(z-1.0) > 1e-12 {
+		t.Errorf("NearestNode(0.52,0.19,0.98) at (%g,%g,%g)", x, y, z)
+	}
+	c := g.FindCell(0.55, 0.55, 0.55)
+	i, j, k := g.CellCoordsOf(c)
+	if i != 5 || j != 5 || k != 5 {
+		t.Errorf("FindCell gave cell (%d,%d,%d), want (5,5,5)", i, j, k)
+	}
+	// Clamping outside the domain.
+	if g.FindCell(-1, -1, -1) != 0 {
+		t.Error("FindCell should clamp below")
+	}
+}
+
+func TestCellNodesAreCorners(t *testing.T) {
+	g := mustUniform(t, 1, 1, 1, 3, 3, 3)
+	for c := 0; c < g.NumCells(); c++ {
+		nodes := g.CellNodes(c)
+		cx, cy, cz := g.CellCenter(c)
+		for _, n := range nodes {
+			x, y, z := g.NodePosition(n)
+			if math.Abs(x-cx) > 0.51*(g.Xs[1]-g.Xs[0]) ||
+				math.Abs(y-cy) > 0.51*(g.Ys[1]-g.Ys[0]) ||
+				math.Abs(z-cz) > 0.51*(g.Zs[1]-g.Zs[0]) {
+				t.Fatalf("cell %d node %d not a corner", c, n)
+			}
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	l := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace = %v", l)
+		}
+	}
+}
+
+func TestLinesFromBreakpoints(t *testing.T) {
+	line, err := LinesFromBreakpoints([]float64{0, 1e-3, 2.5e-3}, 4e-4, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breakpoints must appear exactly.
+	for _, bp := range []float64{0, 1e-3, 2.5e-3} {
+		found := false
+		for _, v := range line {
+			if v == bp {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("breakpoint %g missing from line %v", bp, line)
+		}
+	}
+	// Spacing must respect hmax.
+	for i := 1; i < len(line); i++ {
+		if line[i]-line[i-1] > 4e-4+1e-12 {
+			t.Errorf("spacing %g exceeds hmax", line[i]-line[i-1])
+		}
+		if line[i] <= line[i-1] {
+			t.Errorf("line not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestLinesFromBreakpointsMergesClose(t *testing.T) {
+	line, err := LinesFromBreakpoints([]float64{0, 1, 1 + 1e-12}, 0.5, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(line); i++ {
+		if line[i]-line[i-1] < 1e-10 {
+			t.Fatalf("near-duplicate points survive merging: %v", line)
+		}
+	}
+}
+
+func TestInvalidGrids(t *testing.T) {
+	if _, err := NewUniform(1, 1, 1, 1, 2, 2); err == nil {
+		t.Error("expected error for single-node direction")
+	}
+	if _, err := NewTensor([]float64{0, 0}, []float64{0, 1}, []float64{0, 1}); err == nil {
+		t.Error("expected error for non-increasing line")
+	}
+	if _, err := NewUniform(-1, 1, 1, 2, 2, 2); err == nil {
+		t.Error("expected error for negative box")
+	}
+}
+
+func TestDualFacetAreaMatchesEdgeDualArea(t *testing.T) {
+	g := mustUniform(t, 1, 2, 3, 4, 4, 4)
+	// For an interior edge along x at (i,j,k), the dual area equals the dual
+	// facet area (normal x) of either endpoint node.
+	e := g.EdgeIndex(X, 1, 2, 2)
+	n1, _ := g.EdgeNodes(e)
+	if math.Abs(g.DualArea(e)-g.DualFacetArea(X, n1)) > 1e-15 {
+		t.Error("DualArea and DualFacetArea disagree for interior edge")
+	}
+}
+
+func TestPropertyDualPartitions(t *testing.T) {
+	// Property: for random tensor grids, dual volumes partition the domain
+	// and boundary areas partition the surface.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		randLine := func() []float64 {
+			n := 2 + r.IntN(5)
+			line := make([]float64, n)
+			x := r.Float64()
+			for i := range line {
+				line[i] = x
+				x += 0.01 + r.Float64()
+			}
+			return line
+		}
+		g, err := NewTensor(randLine(), randLine(), randLine())
+		if err != nil {
+			return false
+		}
+		vol, area := 0.0, 0.0
+		for n := 0; n < g.NumNodes(); n++ {
+			vol += g.DualVolume(n)
+			area += g.BoundaryArea(n)
+		}
+		return math.Abs(vol-g.TotalVolume()) < 1e-10*g.TotalVolume() &&
+			math.Abs(area-g.SurfaceArea()) < 1e-10*g.SurfaceArea()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+package material
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableIValuesAt300K(t *testing.T) {
+	cases := []struct {
+		m          Model
+		lam, sigma float64
+	}{
+		{EpoxyResin(), 0.87, 1e-6},
+		{Copper(), 398, 5.80e7},
+	}
+	for _, c := range cases {
+		if got := c.m.ThermCond(300); math.Abs(got-c.lam) > 1e-9*c.lam {
+			t.Errorf("%s λ(300) = %g, want %g", c.m.Name(), got, c.lam)
+		}
+		if got := c.m.ElecCond(300); math.Abs(got-c.sigma) > 1e-9*c.sigma {
+			t.Errorf("%s σ(300) = %g, want %g", c.m.Name(), got, c.sigma)
+		}
+	}
+}
+
+func TestCopperTCR(t *testing.T) {
+	cu := Copper()
+	// σ(400)/σ(300) = 1/(1+α·100).
+	ratio := cu.ElecCond(300) / cu.ElecCond(400)
+	if math.Abs(ratio-(1+0.39)) > 1e-12 {
+		t.Errorf("TCR ratio %g, want 1.39", ratio)
+	}
+}
+
+func TestConductivityMonotoneDecreasing(t *testing.T) {
+	f := func(dT uint8) bool {
+		cu := Copper()
+		t1 := 300 + float64(dT)
+		t2 := t1 + 1
+		return cu.ElecCond(t2) <= cu.ElecCond(t1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampPreventsNegativeConductivity(t *testing.T) {
+	cu := Copper()
+	if s := cu.ElecCond(1e6); s <= 0 || math.IsInf(s, 0) {
+		t.Errorf("extreme-temperature conductivity %g invalid", s)
+	}
+}
+
+func TestWiedemannFranz(t *testing.T) {
+	wf := WiedemannFranz{Base: Copper()}
+	got := wf.ThermCond(300)
+	want := LorenzNumber * Copper().ElecCond(300) * 300
+	if math.Abs(got-want) > 1e-9*want {
+		t.Errorf("WF λ(300) = %g, want %g", got, want)
+	}
+	// WF gives the right order for copper: λ ≈ 425 vs tabulated 398.
+	if got < 300 || got > 500 {
+		t.Errorf("WF λ(300) = %g outside plausible copper range", got)
+	}
+	if wf.Name() != "copper+WF" {
+		t.Errorf("name %q", wf.Name())
+	}
+}
+
+func TestLibrary(t *testing.T) {
+	lib, err := NewLibrary(EpoxyResin(), Copper(), Gold())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Len() != 3 {
+		t.Fatal("wrong length")
+	}
+	id, ok := lib.IDByName("copper")
+	if !ok || id != 1 {
+		t.Errorf("IDByName copper = %d, %v", id, ok)
+	}
+	if lib.At(2).Name() != "gold" {
+		t.Error("At(2) wrong")
+	}
+	if err := lib.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewLibrary(Copper(), Copper()); err == nil {
+		t.Error("expected duplicate-name error")
+	}
+}
+
+func TestLibraryValidateCatchesBadModel(t *testing.T) {
+	bad := Linear{MatName: "bad", Sigma0: 1, Lambda0: -1, RhoC: 1}
+	lib, err := NewLibrary(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Validate(); err == nil {
+		t.Error("expected validation failure for negative λ")
+	}
+}
+
+func TestPresetsPhysical(t *testing.T) {
+	for _, m := range []Model{Copper(), Gold(), Aluminum(), Silicon(), EpoxyResin()} {
+		if m.VolHeatCap() < 1e5 || m.VolHeatCap() > 1e7 {
+			t.Errorf("%s ρc = %g implausible", m.Name(), m.VolHeatCap())
+		}
+	}
+	// Conductivity ordering of the wire metals.
+	if !(Copper().ElecCond(300) > Gold().ElecCond(300) && Gold().ElecCond(300) > Aluminum().ElecCond(300)) {
+		t.Error("metal conductivity ordering wrong")
+	}
+}

@@ -1,0 +1,162 @@
+// Package measure is the synthetic substitute for the paper's X-ray
+// measurement campaign (Fig. 3): it generates physical wire geometries with
+// placement and bending imperfections, "measures" them with the camera
+// limitation the paper reports (the bending elongation Δh is observable for
+// only 6 of the 12 wires; the average of the visible ones is imputed for the
+// rest), extracts the relative elongations δ = (L−d)/L and fits the normal
+// PDF of Fig. 5.
+//
+// The generator is calibrated so the fitted law reproduces the paper's
+// N(µ = 0.17, σ = 0.048); the downstream UQ consumes only that fitted law.
+package measure
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"etherm/internal/bondwire"
+	"etherm/internal/stats"
+)
+
+// Campaign parameterizes the synthetic measurement campaign.
+type Campaign struct {
+	NumWires   int     // wires on the chip (12 in the paper)
+	VisibleDH  int     // wires whose Δh is visible in the perspective view (6)
+	Diameter   float64 // wire diameter, m
+	MeanDirect float64 // mean direct distance d, m
+	SpanDirect float64 // half-spread of d across the package, m
+	// Imperfection magnitudes (calibrated): misplacement Δs ~ |N(0, SigmaS)|
+	// plus bending Δh ~ N(MuH, SigmaH) clamped at ≥ 0.
+	SigmaS      float64
+	MuH, SigmaH float64
+	Seed        uint64
+}
+
+// DefaultCampaign returns a campaign calibrated to reproduce the paper's
+// fitted elongation law within small-sample scatter.
+func DefaultCampaign(seed uint64) Campaign {
+	return Campaign{
+		NumWires:   12,
+		VisibleDH:  6,
+		Diameter:   25.4e-6,
+		MeanDirect: 1.29e-3,
+		SpanDirect: 0.25e-3,
+		SigmaS:     0.050e-3,
+		MuH:        0.22e-3,
+		SigmaH:     0.055e-3,
+		Seed:       seed,
+	}
+}
+
+// Validate checks the campaign parameters.
+func (c Campaign) Validate() error {
+	if c.NumWires < 2 {
+		return fmt.Errorf("measure: need ≥2 wires, got %d", c.NumWires)
+	}
+	if c.VisibleDH < 1 || c.VisibleDH > c.NumWires {
+		return fmt.Errorf("measure: visible Δh count %d outside 1..%d", c.VisibleDH, c.NumWires)
+	}
+	if c.Diameter <= 0 || c.MeanDirect <= 0 {
+		return fmt.Errorf("measure: non-positive diameter or direct distance")
+	}
+	return nil
+}
+
+// Sample is one measured wire.
+type Sample struct {
+	True     bondwire.Geometry // ground-truth geometry (unknown to the lab)
+	Measured bondwire.Geometry // what the X-ray measurement yields
+	DHSeen   bool              // whether Δh was visible in the perspective view
+}
+
+// Run generates and measures the wire population.
+func (c Campaign) Run() ([]Sample, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(c.Seed, 0x5851f42d4c957f2d))
+	samples := make([]Sample, c.NumWires)
+	for i := range samples {
+		frac := 0.0
+		if c.NumWires > 1 {
+			frac = float64(i)/float64(c.NumWires-1)*2 - 1 // −1..1 across the package
+		}
+		d := c.MeanDirect + frac*c.SpanDirect
+		ds := abs(rng.NormFloat64()) * c.SigmaS
+		dh := c.MuH + rng.NormFloat64()*c.SigmaH
+		if dh < 0 {
+			dh = 0
+		}
+		samples[i].True = bondwire.Geometry{Direct: d, DeltaS: ds, DeltaH: dh, Diameter: c.Diameter}
+	}
+
+	// Perspective censoring: Δh is visible for the first VisibleDH wires (the
+	// ones facing the camera); the others get the average of the visible Δh,
+	// exactly the paper's imputation.
+	visSum := 0.0
+	for i := 0; i < c.VisibleDH; i++ {
+		visSum += samples[i].True.DeltaH
+	}
+	visAvg := visSum / float64(c.VisibleDH)
+	for i := range samples {
+		m := samples[i].True
+		if i < c.VisibleDH {
+			samples[i].DHSeen = true
+		} else {
+			m.DeltaH = visAvg
+		}
+		samples[i].Measured = m
+	}
+	return samples, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Elongations extracts the measured relative elongations δ.
+func Elongations(samples []Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Measured.RelElongation()
+	}
+	return out
+}
+
+// FitResult is the outcome of the Fig. 5 pipeline.
+type FitResult struct {
+	Samples    []Sample
+	Deltas     []float64
+	Fit        stats.NormalFit
+	Histogram  *stats.Histogram
+	KSDistance float64
+}
+
+// FitElongationPDF runs the full pipeline: measure → extract δ → histogram →
+// normal MLE fit, mirroring section IV-B of the paper.
+func (c Campaign) FitElongationPDF(bins int) (*FitResult, error) {
+	samples, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	deltas := Elongations(samples)
+	fit, err := stats.FitNormal(deltas)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := 0.0, 0.4 // the paper's Fig. 5 axis range
+	hist, err := stats.NewHistogram(deltas, lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	return &FitResult{
+		Samples:    samples,
+		Deltas:     deltas,
+		Fit:        fit,
+		Histogram:  hist,
+		KSDistance: fit.KSDistance(deltas),
+	}, nil
+}

@@ -1,0 +1,104 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"etherm/internal/stats"
+)
+
+func TestCampaignReproducesPaperFit(t *testing.T) {
+	// Average over many campaign seeds: the fitted (µ, σ) must center on the
+	// paper's N(0.17, 0.048) within small-sample scatter.
+	var mus, sigmas []float64
+	for seed := uint64(1); seed <= 40; seed++ {
+		res, err := DefaultCampaign(seed).FitElongationPDF(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mus = append(mus, res.Fit.Mu)
+		sigmas = append(sigmas, res.Fit.Sigma)
+	}
+	if m := stats.Mean(mus); math.Abs(m-0.17) > 0.02 {
+		t.Errorf("mean fitted µ = %g, want ≈ 0.17", m)
+	}
+	if s := stats.Mean(sigmas); math.Abs(s-0.048) > 0.02 {
+		t.Errorf("mean fitted σ = %g, want ≈ 0.048", s)
+	}
+}
+
+func TestCensoringImputesAverage(t *testing.T) {
+	c := DefaultCampaign(7)
+	samples, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 12 {
+		t.Fatalf("%d samples, want 12", len(samples))
+	}
+	seen := 0
+	visSum := 0.0
+	for i, s := range samples {
+		if s.DHSeen {
+			seen++
+			visSum += s.True.DeltaH
+			if s.Measured.DeltaH != s.True.DeltaH {
+				t.Error("visible wire's Δh altered by measurement")
+			}
+		} else {
+			_ = i
+		}
+	}
+	if seen != 6 {
+		t.Fatalf("%d visible wires, want 6 (paper)", seen)
+	}
+	avg := visSum / 6
+	for _, s := range samples {
+		if !s.DHSeen && math.Abs(s.Measured.DeltaH-avg) > 1e-15 {
+			t.Errorf("censored wire got Δh = %g, want imputed average %g", s.Measured.DeltaH, avg)
+		}
+	}
+}
+
+func TestElongationsPhysical(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		samples, err := DefaultCampaign(seed).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range Elongations(samples) {
+			if d < 0 || d >= 1 {
+				t.Fatalf("seed %d wire %d: δ = %g outside [0,1)", seed, i, d)
+			}
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := DefaultCampaign(5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultCampaign(5).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].True != b[i].True {
+			t.Fatal("campaign not deterministic per seed")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := DefaultCampaign(1)
+	c.NumWires = 1
+	if _, err := c.Run(); err == nil {
+		t.Error("single-wire campaign accepted")
+	}
+	c = DefaultCampaign(1)
+	c.VisibleDH = 99
+	if _, err := c.Run(); err == nil {
+		t.Error("too many visible wires accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"errors"
+	"math"
+
+	"etherm/internal/sparse"
+)
+
+// IC0Prec is a zero-fill incomplete Cholesky preconditioner A ≈ L Lᵀ where L
+// keeps the sparsity pattern of the lower triangle of A. It substantially
+// reduces CG iteration counts on the FIT Laplacians.
+type IC0Prec struct {
+	n      int
+	rowPtr []int // lower-triangular pattern, strictly-lower entries
+	colIdx []int
+	val    []float64
+	diag   []float64 // diagonal of L
+	work   []float64
+}
+
+// NewIC0 computes an IC(0) factorization of the symmetric positive definite
+// matrix a. It returns an error when a pivot becomes non-positive, in which
+// case callers should fall back to Jacobi preconditioning.
+func NewIC0(a *sparse.CSR) (*IC0Prec, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("solver: IC0 needs a square matrix")
+	}
+	p := &IC0Prec{n: n, rowPtr: make([]int, n+1), diag: make([]float64, n), work: make([]float64, n)}
+
+	// Extract the strictly-lower triangle pattern and values, plus diagonal.
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j < i {
+				p.colIdx = append(p.colIdx, j)
+				p.val = append(p.val, a.Val[k])
+			} else if j == i {
+				p.diag[i] = a.Val[k]
+			}
+		}
+		p.rowPtr[i+1] = len(p.colIdx)
+	}
+
+	// Up-looking IC(0): process rows in order; for row i, update entries using
+	// previously computed rows via sparse dot products restricted to pattern.
+	// A simple O(nnz·rowlen) scheme is adequate for our banded FIT matrices.
+	for i := 0; i < n; i++ {
+		// L(i,j) for j<i in pattern:
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			j := p.colIdx[k]
+			// s = A(i,j) − Σ_{m<j} L(i,m) L(j,m)
+			s := p.val[k]
+			ki, kj := p.rowPtr[i], p.rowPtr[j]
+			for ki < k && kj < p.rowPtr[j+1] {
+				ci, cj := p.colIdx[ki], p.colIdx[kj]
+				switch {
+				case ci == cj:
+					s -= p.val[ki] * p.val[kj]
+					ki++
+					kj++
+				case ci < cj:
+					ki++
+				default:
+					kj++
+				}
+			}
+			if p.diag[j] == 0 {
+				return nil, errors.New("solver: IC0 zero pivot")
+			}
+			p.val[k] = s / p.diag[j]
+		}
+		// Diagonal: L(i,i) = sqrt(A(i,i) − Σ_m L(i,m)²)
+		s := p.diag[i]
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			s -= p.val[k] * p.val[k]
+		}
+		if s <= 0 {
+			return nil, errors.New("solver: IC0 non-positive pivot; matrix not sufficiently SPD")
+		}
+		p.diag[i] = math.Sqrt(s)
+	}
+	return p, nil
+}
+
+// Apply solves L Lᵀ dst = r.
+func (p *IC0Prec) Apply(dst, r []float64) {
+	y := p.work
+	// Forward solve L y = r.
+	for i := 0; i < p.n; i++ {
+		s := r[i]
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			s -= p.val[k] * y[p.colIdx[k]]
+		}
+		y[i] = s / p.diag[i]
+	}
+	// Backward solve Lᵀ dst = y.
+	copy(dst, y)
+	for i := p.n - 1; i >= 0; i-- {
+		dst[i] /= p.diag[i]
+		xi := dst[i]
+		for k := p.rowPtr[i]; k < p.rowPtr[i+1]; k++ {
+			dst[p.colIdx[k]] -= p.val[k] * xi
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"fmt"
+
+	"etherm/internal/sparse"
+)
+
+// NewtonProblem describes a nonlinear system F(x) = 0 for the damped Newton
+// method. Implementations may reuse internal buffers between calls.
+type NewtonProblem interface {
+	// Residual evaluates F(x) into f (len(f) == len(x)).
+	Residual(x, f []float64) error
+	// Jacobian returns ∂F/∂x at x. The returned matrix may be reused or
+	// reassembled in place between calls.
+	Jacobian(x []float64) (*sparse.CSR, error)
+}
+
+// NewtonOptions controls the damped Newton iteration.
+type NewtonOptions struct {
+	Tol        float64 // absolute residual 2-norm target; default 1e-9
+	RelTol     float64 // relative reduction target vs initial residual; default 1e-12
+	MaxIter    int     // default 50
+	Damping    float64 // backtracking factor in (0,1); default 0.5
+	MaxHalving int     // maximum backtracking steps per iteration; default 12
+	Linear     Options // options for the inner linear solve
+	UseCG      bool    // use CG (Jacobian SPD) instead of BiCGSTAB
+}
+
+func (o NewtonOptions) withDefaults() NewtonOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 50
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.5
+	}
+	if o.MaxHalving <= 0 {
+		o.MaxHalving = 12
+	}
+	return o
+}
+
+// NewtonStats reports the work performed by a Newton solve.
+type NewtonStats struct {
+	Iterations   int
+	Residual     float64
+	LinearIters  int
+	Backtrackers int
+	Converged    bool
+}
+
+// Newton solves F(x) = 0 by a damped Newton iteration with residual-based
+// backtracking line search. x is the initial guess, updated in place.
+func Newton(p NewtonProblem, x []float64, opt NewtonOptions) (NewtonStats, error) {
+	opt = opt.withDefaults()
+	n := len(x)
+	f := make([]float64, n)
+	dx := make([]float64, n)
+	xTrial := make([]float64, n)
+	fTrial := make([]float64, n)
+
+	if err := p.Residual(x, f); err != nil {
+		return NewtonStats{}, fmt.Errorf("solver: Newton initial residual: %w", err)
+	}
+	res0 := sparse.Norm2(f)
+	res := res0
+	stats := NewtonStats{Residual: res}
+	if res <= opt.Tol {
+		stats.Converged = true
+		return stats, nil
+	}
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		jac, err := p.Jacobian(x)
+		if err != nil {
+			return stats, fmt.Errorf("solver: Newton Jacobian at iteration %d: %w", it, err)
+		}
+		// Solve J dx = −F.
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = -f[i]
+		}
+		for i := range dx {
+			dx[i] = 0
+		}
+		var ls Stats
+		var lerr error
+		prec := NewJacobi(jac)
+		if opt.UseCG {
+			ls, lerr = CG(jac, rhs, dx, prec, opt.Linear)
+		} else {
+			ls, lerr = BiCGSTAB(jac, rhs, dx, prec, opt.Linear)
+		}
+		stats.LinearIters += ls.Iterations
+		if lerr != nil && !ls.Converged {
+			return stats, fmt.Errorf("solver: Newton linear solve failed at iteration %d: %w", it, lerr)
+		}
+
+		// Backtracking line search on ‖F‖.
+		step := 1.0
+		accepted := false
+		for h := 0; h <= opt.MaxHalving; h++ {
+			for i := range xTrial {
+				xTrial[i] = x[i] + step*dx[i]
+			}
+			if err := p.Residual(xTrial, fTrial); err == nil {
+				if resTrial := sparse.Norm2(fTrial); resTrial < res {
+					copy(x, xTrial)
+					copy(f, fTrial)
+					res = resTrial
+					accepted = true
+					break
+				}
+			}
+			step *= opt.Damping
+			stats.Backtrackers++
+		}
+		stats.Iterations = it
+		stats.Residual = res
+		if !accepted {
+			return stats, fmt.Errorf("solver: Newton stagnated at iteration %d (residual %g)", it, res)
+		}
+		if res <= opt.Tol || res <= opt.RelTol*res0 {
+			stats.Converged = true
+			return stats, nil
+		}
+	}
+	return stats, ErrMaxIterations
+}

@@ -1,0 +1,225 @@
+// Package solver provides the iterative and direct linear solvers and the
+// damped Newton method used by the electrothermal simulator. The conjugate
+// gradient solver with Jacobi or incomplete-Cholesky preconditioning is the
+// workhorse for the symmetric positive definite FIT operators.
+package solver
+
+import (
+	"errors"
+	"fmt"
+
+	"etherm/internal/sparse"
+)
+
+// ErrMaxIterations is returned when an iterative method exhausts its
+// iteration budget without meeting the requested tolerance.
+var ErrMaxIterations = errors.New("solver: maximum iterations reached")
+
+// Stats reports the work performed by an iterative solve.
+type Stats struct {
+	Iterations int
+	Residual   float64 // final relative residual ‖b−Ax‖/‖b‖
+	Converged  bool
+}
+
+// Preconditioner approximates A⁻¹ application for Krylov methods.
+type Preconditioner interface {
+	// Apply computes dst ≈ A⁻¹ r. dst and r have equal length and do not alias.
+	Apply(dst, r []float64)
+}
+
+// IdentityPrec is the trivial preconditioner M = I.
+type IdentityPrec struct{}
+
+// Apply copies r into dst.
+func (IdentityPrec) Apply(dst, r []float64) { copy(dst, r) }
+
+// JacobiPrec preconditions with the inverse diagonal of A.
+type JacobiPrec struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the diagonal of a. Zero
+// diagonal entries are treated as one, which keeps the preconditioner usable
+// on rows eliminated by Dirichlet conditions.
+func NewJacobi(a *sparse.CSR) *JacobiPrec {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v != 0 {
+			inv[i] = 1 / v
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &JacobiPrec{invDiag: inv}
+}
+
+// Apply computes dst = D⁻¹ r.
+func (p *JacobiPrec) Apply(dst, r []float64) {
+	for i := range r {
+		dst[i] = r[i] * p.invDiag[i]
+	}
+}
+
+// Options controls the iterative solvers.
+type Options struct {
+	Tol     float64 // relative residual target; default 1e-10
+	MaxIter int     // default 10·n
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 100 {
+			o.MaxIter = 100
+		}
+	}
+	return o
+}
+
+// CG solves the symmetric positive definite system A x = b with the
+// preconditioned conjugate gradient method. x is used as the starting guess
+// and is updated in place. A nil preconditioner defaults to identity.
+func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("solver: CG dimension mismatch (A %d×%d, b %d, x %d)", a.Rows, a.Cols, len(b), len(x))
+	}
+	opt = opt.withDefaults(n)
+	if m == nil {
+		m = IdentityPrec{}
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := sparse.Norm2(b)
+	if normB == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Stats{Iterations: 0, Residual: 0, Converged: true}, nil
+	}
+	if sparse.Norm2(r)/normB <= opt.Tol {
+		return Stats{Iterations: 0, Residual: sparse.Norm2(r) / normB, Converged: true}, nil
+	}
+
+	m.Apply(z, r)
+	copy(p, z)
+	rz := sparse.Dot(r, z)
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		a.MulVec(ap, p)
+		pap := sparse.Dot(p, ap)
+		if pap <= 0 {
+			return Stats{Iterations: it, Residual: sparse.Norm2(r) / normB},
+				fmt.Errorf("solver: CG detected non-positive curvature (pᵀAp=%g); matrix not SPD", pap)
+		}
+		alpha := rz / pap
+		sparse.Axpy(alpha, p, x)
+		sparse.Axpy(-alpha, ap, r)
+
+		res := sparse.Norm2(r) / normB
+		if res <= opt.Tol {
+			return Stats{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		m.Apply(z, r)
+		rzNew := sparse.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return Stats{Iterations: opt.MaxIter, Residual: sparse.Norm2(r) / normB}, ErrMaxIterations
+}
+
+// BiCGSTAB solves the (possibly nonsymmetric) system A x = b. x is the
+// starting guess, updated in place.
+func BiCGSTAB(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n || len(x) != n {
+		return Stats{}, fmt.Errorf("solver: BiCGSTAB dimension mismatch")
+	}
+	opt = opt.withDefaults(n)
+	if m == nil {
+		m = IdentityPrec{}
+	}
+
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := sparse.Norm2(b)
+	if normB == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Stats{Converged: true}, nil
+	}
+	rHat := append([]float64(nil), r...)
+	var (
+		rho, alpha, omega = 1.0, 1.0, 1.0
+		v                 = make([]float64, n)
+		p                 = make([]float64, n)
+		ph                = make([]float64, n)
+		s                 = make([]float64, n)
+		sh                = make([]float64, n)
+		t                 = make([]float64, n)
+	)
+	for it := 1; it <= opt.MaxIter; it++ {
+		rhoNew := sparse.Dot(rHat, r)
+		if rhoNew == 0 {
+			return Stats{Iterations: it, Residual: sparse.Norm2(r) / normB},
+				errors.New("solver: BiCGSTAB breakdown (rho=0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		m.Apply(ph, p)
+		a.MulVec(v, ph)
+		alpha = rho / sparse.Dot(rHat, v)
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if res := sparse.Norm2(s) / normB; res <= opt.Tol {
+			sparse.Axpy(alpha, ph, x)
+			return Stats{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		m.Apply(sh, s)
+		a.MulVec(t, sh)
+		tt := sparse.Dot(t, t)
+		if tt == 0 {
+			return Stats{Iterations: it, Residual: sparse.Norm2(s) / normB},
+				errors.New("solver: BiCGSTAB breakdown (t=0)")
+		}
+		omega = sparse.Dot(t, s) / tt
+		for i := range x {
+			x[i] += alpha*ph[i] + omega*sh[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		if res := sparse.Norm2(r) / normB; res <= opt.Tol {
+			return Stats{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		if omega == 0 {
+			return Stats{Iterations: it, Residual: sparse.Norm2(r) / normB},
+				errors.New("solver: BiCGSTAB breakdown (omega=0)")
+		}
+	}
+	return Stats{Iterations: opt.MaxIter, Residual: sparse.Norm2(r) / normB}, ErrMaxIterations
+}

@@ -1,0 +1,149 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. It backs small lumped-network solves and
+// reference solutions in tests.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed rows×cols dense matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dense dimensions")
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the entry at (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
+
+// Set stores v at (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
+
+// Add accumulates v at (i, j).
+func (d *Dense) Add(i, j int, v float64) { d.Data[i*d.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	return &Dense{Rows: d.Rows, Cols: d.Cols, Data: append([]float64(nil), d.Data...)}
+}
+
+// MulVec computes dst = D x.
+func (d *Dense) MulVec(dst, x []float64) {
+	if len(dst) != d.Rows || len(x) != d.Cols {
+		panic("sparse: dense MulVec dimension mismatch")
+	}
+	for i := 0; i < d.Rows; i++ {
+		s := 0.0
+		row := d.Data[i*d.Cols : (i+1)*d.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// LU holds an LU factorization with partial pivoting.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of a square dense matrix with partial
+// pivoting. It returns an error when the matrix is numerically singular.
+func (d *Dense) Factor() (*LU, error) {
+	if d.Rows != d.Cols {
+		return nil, fmt.Errorf("sparse: LU of non-square %d×%d matrix", d.Rows, d.Cols)
+	}
+	n := d.Rows
+	f := &LU{n: n, lu: append([]float64(nil), d.Data...), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot selection.
+		p, maxAbs := col, math.Abs(f.lu[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if a := math.Abs(f.lu[r*n+col]); a > maxAbs {
+				p, maxAbs = r, a
+			}
+		}
+		if maxAbs == 0 {
+			return nil, fmt.Errorf("sparse: singular matrix at column %d", col)
+		}
+		if p != col {
+			for j := 0; j < n; j++ {
+				f.lu[p*n+j], f.lu[col*n+j] = f.lu[col*n+j], f.lu[p*n+j]
+			}
+			f.piv[p], f.piv[col] = f.piv[col], f.piv[p]
+			f.sign = -f.sign
+		}
+		pivot := f.lu[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := f.lu[r*n+col] / pivot
+			f.lu[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for j := col + 1; j < n; j++ {
+				f.lu[r*n+j] -= m * f.lu[col*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b using the factorization and returns x.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic("sparse: LU Solve length mismatch")
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower-triangular L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[i*n+j] * x[j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense is a convenience wrapper factoring a and solving a x = b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := a.Factor()
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

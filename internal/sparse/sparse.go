@@ -1,0 +1,360 @@
+// Package sparse provides the sparse and dense linear-algebra primitives used
+// by the FIT electrothermal solver: a coordinate-format builder, compressed
+// sparse row matrices with pattern-stable in-place reassembly, and a small
+// dense matrix type with LU factorization used for tests and lumped networks.
+//
+// All matrices are real-valued (float64). The package is self-contained and
+// depends only on the standard library.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder accumulates matrix entries in coordinate (COO) form. Duplicate
+// entries for the same (row, col) position are summed when converting to CSR,
+// which matches the finite-integration "stamping" style of assembly.
+type Builder struct {
+	rows, cols int
+	ri, ci     []int
+	v          []float64
+}
+
+// NewBuilder returns a Builder for an rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative dimensions %d×%d", rows, cols))
+	}
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Rows returns the number of rows of the matrix under construction.
+func (b *Builder) Rows() int { return b.rows }
+
+// Cols returns the number of columns of the matrix under construction.
+func (b *Builder) Cols() int { return b.cols }
+
+// NNZ returns the number of accumulated (not yet deduplicated) entries.
+func (b *Builder) NNZ() int { return len(b.v) }
+
+// Add accumulates v at position (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: Add(%d,%d) out of bounds for %d×%d", i, j, b.rows, b.cols))
+	}
+	b.ri = append(b.ri, i)
+	b.ci = append(b.ci, j)
+	b.v = append(b.v, v)
+}
+
+// AddSym accumulates the 2×2 conductance stamp [g,-g;-g,g] for a branch
+// between nodes i and j. This is the fundamental operation when assembling
+// graph Laplacians such as S̃ Mσ G.
+func (b *Builder) AddSym(i, j int, g float64) {
+	b.Add(i, i, g)
+	b.Add(j, j, g)
+	b.Add(i, j, -g)
+	b.Add(j, i, -g)
+}
+
+// ToCSR converts the accumulated entries to a CSR matrix, summing duplicates.
+// The Builder remains usable afterwards.
+func (b *Builder) ToCSR() *CSR {
+	n := len(b.v)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, c := order[x], order[y]
+		if b.ri[a] != b.ri[c] {
+			return b.ri[a] < b.ri[c]
+		}
+		return b.ci[a] < b.ci[c]
+	})
+
+	m := &CSR{Rows: b.rows, Cols: b.cols, RowPtr: make([]int, b.rows+1)}
+	lastR, lastC := -1, -1
+	for _, k := range order {
+		r, c, v := b.ri[k], b.ci[k], b.v[k]
+		if r == lastR && c == lastC {
+			m.Val[len(m.Val)-1] += v
+			continue
+		}
+		m.ColIdx = append(m.ColIdx, c)
+		m.Val = append(m.Val, v)
+		m.RowPtr[r+1]++
+		lastR, lastC = r, c
+	}
+	for i := 0; i < b.rows; i++ {
+		m.RowPtr[i+1] += m.RowPtr[i]
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix. Column indices within each row are
+// strictly increasing.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.Val) }
+
+// MulVec computes dst = A x. dst must have length Rows and x length Cols;
+// dst and x must not alias.
+func (a *CSR) MulVec(dst, x []float64) {
+	if len(dst) != a.Rows || len(x) != a.Cols {
+		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: A is %d×%d, dst %d, x %d",
+			a.Rows, a.Cols, len(dst), len(x)))
+	}
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVecAdd computes dst += s * A x.
+func (a *CSR) MulVecAdd(dst []float64, s float64, x []float64) {
+	if len(dst) != a.Rows || len(x) != a.Cols {
+		panic("sparse: MulVecAdd dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		acc := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			acc += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] += s * acc
+	}
+}
+
+// At returns the entry at (i, j), zero when not stored.
+func (a *CSR) At(i, j int) float64 {
+	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
+		panic("sparse: At out of bounds")
+	}
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	row := a.ColIdx[lo:hi]
+	k := sort.SearchInts(row, j)
+	if k < len(row) && row[k] == j {
+		return a.Val[lo+k]
+	}
+	return 0
+}
+
+// Find returns the value-slice index of entry (i, j) and whether it is stored.
+// The index can be used to update Val in place during pattern-stable
+// reassembly.
+func (a *CSR) Find(i, j int) (int, bool) {
+	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
+		return 0, false
+	}
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	row := a.ColIdx[lo:hi]
+	k := sort.SearchInts(row, j)
+	if k < len(row) && row[k] == j {
+		return lo + k, true
+	}
+	return 0, false
+}
+
+// Diag returns a copy of the main diagonal.
+func (a *CSR) Diag() []float64 {
+	n := a.Rows
+	if a.Cols < n {
+		n = a.Cols
+	}
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// Zero sets every stored value to zero, keeping the pattern.
+func (a *CSR) Zero() {
+	for i := range a.Val {
+		a.Val[i] = 0
+	}
+}
+
+// Scale multiplies every stored value by s.
+func (a *CSR) Scale(s float64) {
+	for i := range a.Val {
+		a.Val[i] *= s
+	}
+}
+
+// Clone returns a deep copy.
+func (a *CSR) Clone() *CSR {
+	c := &CSR{Rows: a.Rows, Cols: a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...)}
+	return c
+}
+
+// Transpose returns Aᵀ as a new CSR matrix.
+func (a *CSR) Transpose() *CSR {
+	t := &CSR{Rows: a.Cols, Cols: a.Rows,
+		RowPtr: make([]int, a.Cols+1),
+		ColIdx: make([]int, a.NNZ()),
+		Val:    make([]float64, a.NNZ()),
+	}
+	for _, c := range a.ColIdx {
+		t.RowPtr[c+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	next := append([]int(nil), t.RowPtr...)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := a.ColIdx[k]
+			p := next[c]
+			t.ColIdx[p] = i
+			t.Val[p] = a.Val[k]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether |A - Aᵀ| entries all stay below tol relative to
+// the largest magnitude entry.
+func (a *CSR) IsSymmetric(tol float64) bool {
+	if a.Rows != a.Cols {
+		return false
+	}
+	maxAbs := 0.0
+	for _, v := range a.Val {
+		if m := math.Abs(v); m > maxAbs {
+			maxAbs = m
+		}
+	}
+	if maxAbs == 0 {
+		return true
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if math.Abs(a.Val[k]-a.At(j, i)) > tol*maxAbs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddScaledSamePattern computes a.Val += s*b.Val, requiring a and b to share
+// an identical sparsity pattern (it panics otherwise). Used to combine
+// operators that were assembled on a merged pattern.
+func (a *CSR) AddScaledSamePattern(s float64, b *CSR) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.Val) != len(b.Val) {
+		panic("sparse: AddScaledSamePattern shape mismatch")
+	}
+	for i := range a.Val {
+		a.Val[i] += s * b.Val[i]
+	}
+}
+
+// AddToDiag adds d[i] to entry (i,i). Every diagonal entry must be present in
+// the pattern; assemblies in this module always stamp the full diagonal.
+func (a *CSR) AddToDiag(d []float64) {
+	if len(d) != a.Rows {
+		panic("sparse: AddToDiag length mismatch")
+	}
+	for i, v := range d {
+		if v == 0 {
+			continue
+		}
+		k, ok := a.Find(i, i)
+		if !ok {
+			panic(fmt.Sprintf("sparse: AddToDiag: diagonal entry %d not in pattern", i))
+		}
+		a.Val[k] += v
+	}
+}
+
+// ToDense converts to a dense matrix (intended for tests and small systems).
+func (a *CSR) ToDense() *Dense {
+	d := NewDense(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d.Set(i, a.ColIdx[k], a.Val[k])
+		}
+	}
+	return d
+}
+
+// Identity returns the n×n identity in CSR form.
+func Identity(n int) *CSR {
+	m := &CSR{Rows: n, Cols: n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, n),
+		Val:    make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// DiagCSR returns a diagonal CSR matrix with diagonal d.
+func DiagCSR(d []float64) *CSR {
+	n := len(d)
+	m := &CSR{Rows: n, Cols: n,
+		RowPtr: make([]int, n+1),
+		ColIdx: make([]int, n),
+		Val:    append([]float64(nil), d...)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+	}
+	return m
+}
+
+// Dot returns the Euclidean inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("sparse: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// NormInf returns the maximum-magnitude entry of x.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: Axpy length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}

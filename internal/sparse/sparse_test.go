@@ -1,0 +1,316 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestBuilderToCSRSumsDuplicates(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(1, 2, 5)
+	b.Add(1, 2, -1)
+	b.Add(2, 1, 7)
+	m := b.ToCSR()
+	if got := m.At(0, 0); got != 3 {
+		t.Errorf("At(0,0) = %g, want 3", got)
+	}
+	if got := m.At(1, 2); got != 4 {
+		t.Errorf("At(1,2) = %g, want 4", got)
+	}
+	if got := m.At(2, 1); got != 7 {
+		t.Errorf("At(2,1) = %g, want 7", got)
+	}
+	if got := m.At(2, 2); got != 0 {
+		t.Errorf("At(2,2) = %g, want 0", got)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+}
+
+func TestCSRColumnIndicesSorted(t *testing.T) {
+	b := NewBuilder(2, 5)
+	for _, j := range []int{4, 0, 2, 1, 3} {
+		b.Add(0, j, float64(j))
+	}
+	m := b.ToCSR()
+	for k := m.RowPtr[0] + 1; k < m.RowPtr[1]; k++ {
+		if m.ColIdx[k] <= m.ColIdx[k-1] {
+			t.Fatalf("column indices not strictly increasing: %v", m.ColIdx)
+		}
+	}
+}
+
+func TestAddSymStamp(t *testing.T) {
+	b := NewBuilder(4, 4)
+	b.AddSym(1, 3, 2.5)
+	m := b.ToCSR()
+	checks := []struct {
+		i, j int
+		want float64
+	}{{1, 1, 2.5}, {3, 3, 2.5}, {1, 3, -2.5}, {3, 1, -2.5}}
+	for _, c := range checks {
+		if got := m.At(c.i, c.j); got != c.want {
+			t.Errorf("At(%d,%d) = %g, want %g", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func randomCSR(rng *rand.Rand, n, m int, density float64) *CSR {
+	b := NewBuilder(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if rng.Float64() < density {
+				b.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return b.ToCSR()
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.IntN(20)
+		m := 1 + rng.IntN(20)
+		a := randomCSR(rng, n, m, 0.3)
+		d := a.ToDense()
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		a.MulVec(y1, x)
+		d.MulVec(y2, x)
+		for i := range y1 {
+			if !almostEqual(y1[i], y2[i], 1e-12) {
+				t.Fatalf("trial %d: sparse and dense MulVec differ at %d: %g vs %g", trial, i, y1[i], y2[i])
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := randomCSR(rng, 15, 9, 0.25)
+	tt := a.Transpose().Transpose()
+	if tt.Rows != a.Rows || tt.Cols != a.Cols || tt.NNZ() != a.NNZ() {
+		t.Fatalf("transpose-of-transpose changed shape/pattern")
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if tt.At(i, a.ColIdx[k]) != a.Val[k] {
+				t.Fatalf("(AᵀᵀvsA) mismatch at (%d,%d)", i, a.ColIdx[k])
+			}
+		}
+	}
+}
+
+func TestTransposeMatVecProperty(t *testing.T) {
+	// Property: yᵀ(Ax) == xᵀ(Aᵀy) for random A, x, y.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		n, m := 1+r.IntN(12), 1+r.IntN(12)
+		a := randomCSR(r, n, m, 0.4)
+		at := a.Transpose()
+		x := make([]float64, m)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		ax := make([]float64, n)
+		aty := make([]float64, m)
+		a.MulVec(ax, x)
+		at.MulVec(aty, y)
+		return almostEqual(Dot(y, ax), Dot(x, aty), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(5)
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, 5)
+	id.MulVec(y, x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity MulVec changed vector")
+		}
+	}
+	d := DiagCSR([]float64{2, 3, 4})
+	got := d.Diag()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Diag = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddSym(0, 1, 2)
+	b.AddSym(1, 2, 3)
+	m := b.ToCSR()
+	if !m.IsSymmetric(1e-14) {
+		t.Error("Laplacian stamp should be symmetric")
+	}
+	b2 := NewBuilder(2, 2)
+	b2.Add(0, 1, 1)
+	if b2.ToCSR().IsSymmetric(1e-14) {
+		t.Error("strictly upper matrix reported symmetric")
+	}
+}
+
+func TestFindAndInPlaceUpdate(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.AddSym(0, 2, 1)
+	m := b.ToCSR()
+	k, ok := m.Find(0, 2)
+	if !ok {
+		t.Fatal("Find(0,2) not found")
+	}
+	m.Val[k] = 42
+	if m.At(0, 2) != 42 {
+		t.Fatal("in-place update via Find failed")
+	}
+	if _, ok := m.Find(1, 2); ok {
+		t.Fatal("Find reported a structural zero as present")
+	}
+}
+
+func TestAddToDiag(t *testing.T) {
+	b := NewBuilder(3, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(i, i, 1)
+	}
+	m := b.ToCSR()
+	m.AddToDiag([]float64{1, 2, 3})
+	for i, want := range []float64{2, 3, 4} {
+		if m.At(i, i) != want {
+			t.Fatalf("diag[%d] = %g, want %g", i, m.At(i, i), want)
+		}
+	}
+}
+
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(25)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Add(i, i, float64(n)) // diagonal dominance for stability
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		a.MulVec(b, xTrue)
+		x, err := SolveDense(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-9) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := a.Factor(); err == nil {
+		t.Error("expected singular-matrix error")
+	}
+}
+
+func TestLUDeterminant(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 3)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 5)
+	f, err := a.Factor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), 13, 1e-12) {
+		t.Errorf("Det = %g, want 13", f.Det())
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if Norm2(x) != 5 {
+		t.Errorf("Norm2 = %g, want 5", Norm2(x))
+	}
+	if NormInf([]float64{-7, 2}) != 7 {
+		t.Error("NormInf wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Axpy result %v, want [7 9]", y)
+	}
+	if Dot(x, x) != 25 {
+		t.Error("Dot wrong")
+	}
+}
+
+func TestScaleZeroClone(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddSym(0, 1, 4)
+	m := b.ToCSR()
+	c := m.Clone()
+	m.Scale(0.5)
+	if m.At(0, 0) != 2 || c.At(0, 0) != 4 {
+		t.Error("Scale/Clone interaction wrong")
+	}
+	m.Zero()
+	if m.At(0, 0) != 0 || m.NNZ() == 0 {
+		t.Error("Zero should keep pattern but clear values")
+	}
+}
+
+func TestAddScaledSamePattern(t *testing.T) {
+	b1 := NewBuilder(2, 2)
+	b1.AddSym(0, 1, 1)
+	m1 := b1.ToCSR()
+	m2 := m1.Clone()
+	m1.AddScaledSamePattern(3, m2)
+	if m1.At(0, 0) != 4 {
+		t.Errorf("AddScaledSamePattern: got %g, want 4", m1.At(0, 0))
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-bounds Add")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}

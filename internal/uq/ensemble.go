@@ -1,0 +1,211 @@
+package uq
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"etherm/internal/stats"
+)
+
+// Model is a deterministic forward model mapping input parameters to output
+// quantities of interest (for the paper: 12 wire elongations → wire
+// temperatures at every time step).
+type Model interface {
+	// Dim returns the number of uncertain inputs.
+	Dim() int
+	// NumOutputs returns the number of outputs per evaluation.
+	NumOutputs() int
+	// Eval evaluates the model at params (length Dim) into out (length
+	// NumOutputs). Eval must be safe for repeated calls on the same Model
+	// instance; parallelism happens across instances.
+	Eval(params, out []float64) error
+}
+
+// ModelFactory produces an independent model instance per parallel worker
+// (e.g. a cloned simulator sharing the immutable mesh assembly).
+type ModelFactory func() (Model, error)
+
+// SingleFactory wraps one model for serial execution.
+func SingleFactory(m Model) ModelFactory {
+	return func() (Model, error) { return m, nil }
+}
+
+// EnsembleOptions controls an ensemble run.
+type EnsembleOptions struct {
+	Samples int // number of model evaluations M
+	Workers int // parallel workers; 0 = GOMAXPROCS (serial evaluation order is deterministic anyway)
+}
+
+// Ensemble holds the results of a sampling study. All sample outputs are
+// stored so statistics are bit-identical regardless of worker count.
+type Ensemble struct {
+	SamplerName string
+	M           int
+	NumOutputs  int
+	Params      [][]float64 // input parameters per sample
+	Outputs     [][]float64 // outputs per sample
+	Failures    int
+}
+
+// RunEnsemble evaluates M sampler points through models from the factory.
+// Sample i is deterministic: sampler point i transformed through dists.
+// Failed evaluations are recorded and excluded from statistics; an error is
+// returned only when every evaluation fails or setup fails.
+func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOptions) (*Ensemble, error) {
+	if opt.Samples <= 0 {
+		return nil, fmt.Errorf("uq: ensemble needs a positive sample count")
+	}
+	if s.Dim() != len(dists) {
+		return nil, fmt.Errorf("uq: sampler dimension %d does not match %d distributions", s.Dim(), len(dists))
+	}
+	probe, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("uq: model factory: %w", err)
+	}
+	if probe.Dim() != len(dists) {
+		return nil, fmt.Errorf("uq: model dimension %d does not match %d distributions", probe.Dim(), len(dists))
+	}
+	nOut := probe.NumOutputs()
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Samples {
+		workers = opt.Samples
+	}
+
+	ens := &Ensemble{
+		SamplerName: s.Name(),
+		M:           opt.Samples,
+		NumOutputs:  nOut,
+		Params:      make([][]float64, opt.Samples),
+		Outputs:     make([][]float64, opt.Samples),
+	}
+
+	type job struct{ i int }
+	jobs := make(chan job)
+	errs := make([]error, workers)
+	var failures sync.Map
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var m Model
+			if w == 0 {
+				m = probe
+			} else {
+				var err error
+				if m, err = factory(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			u := make([]float64, s.Dim())
+			for jb := range jobs {
+				i := jb.i
+				params := make([]float64, s.Dim())
+				out := make([]float64, nOut)
+				s.Sample(i, u)
+				TransformPoint(dists, u, params)
+				if err := m.Eval(params, out); err != nil {
+					failures.Store(i, err)
+					continue
+				}
+				ens.Params[i] = params
+				ens.Outputs[i] = out
+			}
+		}(w)
+	}
+	for i := 0; i < opt.Samples; i++ {
+		jobs <- job{i}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("uq: worker setup: %w", e)
+		}
+	}
+	failures.Range(func(_, _ any) bool { ens.Failures++; return true })
+	if ens.Failures == opt.Samples {
+		var first error
+		failures.Range(func(_, v any) bool { first = v.(error); return false })
+		return nil, fmt.Errorf("uq: every ensemble evaluation failed; first error: %w", first)
+	}
+	return ens, nil
+}
+
+// Succeeded returns the number of successful evaluations.
+func (e *Ensemble) Succeeded() int { return e.M - e.Failures }
+
+// OutputSeries returns the values of output j across successful samples.
+func (e *Ensemble) OutputSeries(j int) []float64 {
+	out := make([]float64, 0, e.Succeeded())
+	for _, o := range e.Outputs {
+		if o != nil {
+			out = append(out, o[j])
+		}
+	}
+	return out
+}
+
+// Mean returns the sample mean of output j.
+func (e *Ensemble) Mean(j int) float64 { return stats.Mean(e.OutputSeries(j)) }
+
+// StdDev returns the unbiased sample standard deviation of output j.
+func (e *Ensemble) StdDev(j int) float64 { return stats.StdDev(e.OutputSeries(j)) }
+
+// MCError returns the paper's eq. (6) estimate σ_MC/√M for output j.
+func (e *Ensemble) MCError(j int) float64 {
+	return stats.MCError(e.StdDev(j), e.Succeeded())
+}
+
+// Quantile returns the p-quantile of output j.
+func (e *Ensemble) Quantile(j int, p float64) float64 {
+	return stats.Quantile(e.OutputSeries(j), p)
+}
+
+// MeanAll returns the means of all outputs.
+func (e *Ensemble) MeanAll() []float64 {
+	out := make([]float64, e.NumOutputs)
+	acc := make([]stats.Welford, e.NumOutputs)
+	for _, o := range e.Outputs {
+		if o == nil {
+			continue
+		}
+		for j, v := range o {
+			acc[j].Add(v)
+		}
+	}
+	for j := range out {
+		out[j] = acc[j].Mean
+	}
+	return out
+}
+
+// StdAll returns the standard deviations of all outputs.
+func (e *Ensemble) StdAll() []float64 {
+	out := make([]float64, e.NumOutputs)
+	acc := make([]stats.Welford, e.NumOutputs)
+	for _, o := range e.Outputs {
+		if o == nil {
+			continue
+		}
+		for j, v := range o {
+			acc[j].Add(v)
+		}
+	}
+	for j := range out {
+		v := acc[j].Variance()
+		if math.IsNaN(v) {
+			v = 0
+		}
+		out[j] = math.Sqrt(v)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package uq
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// failingModel fails on selected sample values to exercise the failure
+// accounting of the ensemble driver.
+type failingModel struct{ failAbove float64 }
+
+func (m *failingModel) Dim() int        { return 1 }
+func (m *failingModel) NumOutputs() int { return 1 }
+func (m *failingModel) Eval(p, out []float64) error {
+	if p[0] > m.failAbove {
+		return errors.New("synthetic divergence")
+	}
+	out[0] = p[0]
+	return nil
+}
+
+func TestEnsemblePartialFailures(t *testing.T) {
+	dists := []Dist{Uniform{0, 1}}
+	ens, err := RunEnsemble(SingleFactory(&failingModel{failAbove: 0.5}), dists,
+		PseudoRandom{D: 1, Seed: 3}, EnsembleOptions{Samples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Failures == 0 || ens.Failures == 200 {
+		t.Fatalf("failures = %d, expected a partial count", ens.Failures)
+	}
+	if ens.Succeeded()+ens.Failures != 200 {
+		t.Error("accounting broken")
+	}
+	// Statistics exclude failed samples: all retained outputs ≤ 0.5.
+	for _, v := range ens.OutputSeries(0) {
+		if v > 0.5 {
+			t.Fatalf("failed sample leaked into statistics: %g", v)
+		}
+	}
+	if q := ens.Quantile(0, 1.0); q > 0.5 {
+		t.Error("quantile includes failed samples")
+	}
+}
+
+func TestEnsembleAllFailures(t *testing.T) {
+	dists := []Dist{Uniform{0.9, 1}}
+	_, err := RunEnsemble(SingleFactory(&failingModel{failAbove: 0.1}), dists,
+		PseudoRandom{D: 1, Seed: 3}, EnsembleOptions{Samples: 10})
+	if err == nil {
+		t.Error("fully failed ensemble should error")
+	}
+}
+
+func TestEnsembleDimensionChecks(t *testing.T) {
+	dists := []Dist{Uniform{0, 1}, Uniform{0, 1}}
+	_, err := RunEnsemble(SingleFactory(&failingModel{}), dists,
+		PseudoRandom{D: 2, Seed: 3}, EnsembleOptions{Samples: 4})
+	if err == nil {
+		t.Error("model/dists dimension mismatch accepted")
+	}
+	_, err = RunEnsemble(SingleFactory(&failingModel{failAbove: 2}), dists[:1],
+		PseudoRandom{D: 2, Seed: 3}, EnsembleOptions{Samples: 4})
+	if err == nil {
+		t.Error("sampler/dists dimension mismatch accepted")
+	}
+	_, err = RunEnsemble(SingleFactory(&failingModel{failAbove: 2}), dists[:1],
+		PseudoRandom{D: 1, Seed: 3}, EnsembleOptions{Samples: 0})
+	if err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestMeanStdAllMatchScalarAccessors(t *testing.T) {
+	dists := []Dist{Normal{2, 0.5}}
+	model := &failingModel{failAbove: math.Inf(1)}
+	ens, err := RunEnsemble(SingleFactory(model), dists,
+		PseudoRandom{D: 1, Seed: 9}, EnsembleOptions{Samples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := ens.MeanAll()
+	stds := ens.StdAll()
+	if math.Abs(means[0]-ens.Mean(0)) > 1e-12 {
+		t.Error("MeanAll disagrees with Mean")
+	}
+	if math.Abs(stds[0]-ens.StdDev(0)) > 1e-12 {
+		t.Error("StdAll disagrees with StdDev")
+	}
+}
+
+func TestHaltonShiftDeterministicAndDifferent(t *testing.T) {
+	a, err := NewHalton(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHalton(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewHalton(4, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := make([]float64, 4)
+	pb := make([]float64, 4)
+	pc := make([]float64, 4)
+	a.Sample(10, pa)
+	b.Sample(10, pb)
+	c.Sample(10, pc)
+	for j := range pa {
+		if pa[j] != pb[j] {
+			t.Fatal("same seed produced different shifts")
+		}
+	}
+	same := true
+	for j := range pa {
+		if pa[j] != pc[j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical shifts")
+	}
+}
+
+func TestSobolRejectsTooManyDims(t *testing.T) {
+	if _, err := NewSobol(MaxSobolDim() + 1); err == nil {
+		t.Error("over-dimension Sobol accepted")
+	}
+	if _, err := NewHalton(len(primes)+1, 0); err == nil {
+		t.Error("over-dimension Halton accepted")
+	}
+	if _, err := NewLatinHypercube(0, 5, 1); err == nil {
+		t.Error("zero-dimension LHS accepted")
+	}
+}
+
+func TestPCEInsufficientSamplesRejected(t *testing.T) {
+	dists := []Dist{Normal{0, 1}, Normal{0, 1}}
+	params := [][]float64{{0, 0}, {1, 1}}
+	outputs := [][]float64{{1}, {2}}
+	if _, err := FitPCE(dists, params, outputs, 3); err == nil {
+		t.Error("under-determined PCE accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Package vtkio writes field data on the FIT tensor grid as legacy-VTK
+// rectilinear files (loadable in ParaView/VisIt) and as CSV slices, for the
+// paper's Fig. 6 (mesh/materials) and Fig. 8 (temperature field) outputs.
+package vtkio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"etherm/internal/grid"
+)
+
+// Field is one named nodal or cell scalar field.
+type Field struct {
+	Name   string
+	Values []float64
+	OnCell bool // false → point data (per node), true → cell data
+}
+
+// WriteRectilinear writes a legacy-VTK rectilinear grid with the given
+// fields. Point fields need NumNodes values, cell fields NumCells.
+func WriteRectilinear(w io.Writer, g *grid.Grid, title string, fields ...Field) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	if title == "" {
+		title = "etherm field export"
+	}
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET RECTILINEAR_GRID")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", g.Nx, g.Ny, g.Nz)
+	writeCoords := func(name string, line []float64) {
+		fmt.Fprintf(bw, "%s_COORDINATES %d double\n", name, len(line))
+		for i, v := range line {
+			if i > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%g", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	writeCoords("X", g.Xs)
+	writeCoords("Y", g.Ys)
+	writeCoords("Z", g.Zs)
+
+	wrotePoint, wroteCell := false, false
+	for _, f := range fields {
+		want := g.NumNodes()
+		if f.OnCell {
+			want = g.NumCells()
+		}
+		if len(f.Values) != want {
+			return fmt.Errorf("vtkio: field %q has %d values, want %d", f.Name, len(f.Values), want)
+		}
+		if f.OnCell && !wroteCell {
+			fmt.Fprintf(bw, "CELL_DATA %d\n", g.NumCells())
+			wroteCell = true
+		}
+		if !f.OnCell && !wrotePoint {
+			fmt.Fprintf(bw, "POINT_DATA %d\n", g.NumNodes())
+			wrotePoint = true
+		}
+		fmt.Fprintf(bw, "SCALARS %s double 1\n", f.Name)
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for _, v := range f.Values {
+			fmt.Fprintf(bw, "%g\n", v)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRectilinearFile writes the VTK export to a file path.
+func WriteRectilinearFile(path string, g *grid.Grid, title string, fields ...Field) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteRectilinear(f, g, title, fields...); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// WriteSliceCSV writes a z-slice of a nodal field as x,y,value CSV rows (the
+// flattened form of the paper's Fig. 8 color map).
+func WriteSliceCSV(w io.Writer, g *grid.Grid, values []float64, k int) error {
+	if len(values) < g.NumNodes() {
+		return fmt.Errorf("vtkio: field too short (%d values)", len(values))
+	}
+	if k < 0 || k >= g.Nz {
+		return fmt.Errorf("vtkio: slice index %d outside 0..%d", k, g.Nz-1)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "x_m,y_m,value")
+	for j := 0; j < g.Ny; j++ {
+		for i := 0; i < g.Nx; i++ {
+			n := g.NodeIndex(i, j, k)
+			fmt.Fprintf(bw, "%g,%g,%g\n", g.Xs[i], g.Ys[j], values[n])
+		}
+	}
+	return bw.Flush()
+}
+
+// NodeMaterialMajority returns a per-node material field (for Fig. 6-style
+// exports): each node takes the material of the adjacent cell contributing
+// the largest dual-volume share.
+func NodeMaterialMajority(g *grid.Grid, cellMat []int) []float64 {
+	out := make([]float64, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		cells, weights := g.NodeAdjacentCells(n)
+		best, bestW := 0, -1.0
+		for i, c := range cells {
+			if weights[i] > bestW {
+				best, bestW = cellMat[c], weights[i]
+			}
+		}
+		out[n] = float64(best)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package vtkio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"etherm/internal/grid"
+)
+
+func testGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.NewUniform(1e-3, 2e-3, 0.5e-3, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteRectilinearStructure(t *testing.T) {
+	g := testGrid(t)
+	temps := make([]float64, g.NumNodes())
+	for i := range temps {
+		temps[i] = 300 + float64(i)
+	}
+	mats := make([]float64, g.NumCells())
+	var buf bytes.Buffer
+	if err := WriteRectilinear(&buf, g, "test export",
+		Field{Name: "T", Values: temps},
+		Field{Name: "mat", Values: mats, OnCell: true}); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"DATASET RECTILINEAR_GRID",
+		"DIMENSIONS 3 4 2",
+		"X_COORDINATES 3 double",
+		"POINT_DATA 24",
+		"CELL_DATA 6",
+		"SCALARS T double 1",
+		"SCALARS mat double 1",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every nodal value present.
+	if got := strings.Count(s, "\n"); got < g.NumNodes()+g.NumCells() {
+		t.Error("too few data lines")
+	}
+}
+
+func TestWriteRectilinearRejectsBadLengths(t *testing.T) {
+	g := testGrid(t)
+	var buf bytes.Buffer
+	err := WriteRectilinear(&buf, g, "", Field{Name: "T", Values: make([]float64, 3)})
+	if err == nil {
+		t.Error("short field accepted")
+	}
+}
+
+func TestWriteSliceCSV(t *testing.T) {
+	g := testGrid(t)
+	vals := make([]float64, g.NumNodes())
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteSliceCSV(&buf, g, vals, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+g.Nx*g.Ny {
+		t.Errorf("%d lines, want %d", len(lines), 1+g.Nx*g.Ny)
+	}
+	if lines[0] != "x_m,y_m,value" {
+		t.Errorf("header %q", lines[0])
+	}
+	if err := WriteSliceCSV(&buf, g, vals, 99); err == nil {
+		t.Error("bad slice index accepted")
+	}
+}
+
+func TestNodeMaterialMajority(t *testing.T) {
+	g := testGrid(t)
+	cellMat := make([]int, g.NumCells())
+	for c := range cellMat {
+		cellMat[c] = 1
+	}
+	out := NodeMaterialMajority(g, cellMat)
+	for n, v := range out {
+		if v != 1 {
+			t.Fatalf("node %d majority %g, want 1", n, v)
+		}
+	}
+}
