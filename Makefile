@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build verify test vet fmt-check bench demo clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# verify is the tier-1 gate mirrored by CI.
+verify: build vet fmt-check test
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# bench regenerates the paper's tables and figures (expensive).
+bench:
+	$(GO) test -bench . -benchtime 1x -timeout 60m
+
+# demo runs the bundled batch scenario suite.
+demo:
+	$(GO) run ./cmd/etbatch -bundled -out out/etbatch_manifest.json
+
+clean:
+	rm -rf out

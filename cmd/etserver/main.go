@@ -1,0 +1,50 @@
+// Command etserver serves the batch scenario engine over HTTP: clients
+// submit declarative scenario batches as asynchronous jobs, poll their
+// status and fetch the structured results manifest. One assembly cache is
+// shared across all jobs, so repeated studies on the same package geometry
+// skip mesh construction and FIT assembly entirely.
+//
+// API:
+//
+//	POST /v1/jobs                 submit a scenario.Batch (JSON) → 202 + job
+//	GET  /v1/jobs                 list jobs (without result payloads)
+//	GET  /v1/jobs/{id}            job status, progress and, when done, results
+//	GET  /v1/scenarios/presets    the bundled paper-grounded scenario suite
+//	GET  /healthz                 liveness + assembly-cache statistics
+//
+// Usage:
+//
+//	etserver [-addr :8080] [-max-jobs 2] [-history 128]
+//
+// Quickstart against a running server:
+//
+//	curl -s localhost:8080/v1/scenarios/presets > batch.json
+//	curl -s -X POST --data-binary @batch.json localhost:8080/v1/jobs
+//	curl -s localhost:8080/v1/jobs/job-000001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxJobs = flag.Int("max-jobs", 2, "batch jobs evaluated concurrently")
+		history = flag.Int("history", DefaultMaxHistory, "finished jobs retained before oldest-first eviction")
+	)
+	flag.Parse()
+
+	srv := NewServerWithHistory(*maxJobs, *history)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("etserver: listening on %s (max %d concurrent jobs)\n", *addr, *maxJobs)
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"etherm/internal/scenario"
+)
+
+// JobStatus is the lifecycle state of a submitted batch job.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	// JobQueued means the job waits for a free runner slot.
+	JobQueued JobStatus = "queued"
+	// JobRunning means the batch is being evaluated.
+	JobRunning JobStatus = "running"
+	// JobDone means the batch finished (individual scenarios may still have
+	// failed; see the result's failed_count).
+	JobDone JobStatus = "done"
+	// JobFailed means the batch as a whole errored before producing results.
+	JobFailed JobStatus = "failed"
+)
+
+// JobProgress counts finished scenarios while a job runs.
+type JobProgress struct {
+	ScenariosDone   int `json:"scenarios_done"`
+	ScenariosFailed int `json:"scenarios_failed"`
+	ScenariosTotal  int `json:"scenarios_total"`
+}
+
+// Job is the public view of one submitted batch.
+type Job struct {
+	ID          string      `json:"id"`
+	Status      JobStatus   `json:"status"`
+	BatchName   string      `json:"batch_name,omitempty"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Progress    JobProgress `json:"progress"`
+	// Error is set when Status is JobFailed.
+	Error string `json:"error,omitempty"`
+	// Result is set when Status is JobDone.
+	Result *scenario.BatchResult `json:"result,omitempty"`
+}
+
+// Server is the HTTP job service: an in-memory job store, a bounded number
+// of concurrent batch runners, and one shared assembly cache that stays
+// warm across jobs. Finished jobs beyond the retention cap are evicted
+// oldest-first (queued and running jobs are never evicted), so a
+// long-running server does not accumulate result payloads without bound.
+type Server struct {
+	cache      *scenario.AssemblyCache
+	sem        chan struct{}
+	maxBody    int64
+	maxHistory int
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	order []string // job IDs in submission order
+	seq   int
+
+	mux *http.ServeMux
+}
+
+// DefaultMaxHistory is the default finished-job retention cap.
+const DefaultMaxHistory = 128
+
+// NewServer returns a server allowing maxConcurrent batch jobs to run in
+// parallel (minimum 1), retaining at most DefaultMaxHistory finished jobs.
+func NewServer(maxConcurrent int) *Server {
+	return NewServerWithHistory(maxConcurrent, DefaultMaxHistory)
+}
+
+// NewServerWithHistory is NewServer with an explicit finished-job retention
+// cap (minimum 1).
+func NewServerWithHistory(maxConcurrent, maxHistory int) *Server {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxHistory < 1 {
+		maxHistory = 1
+	}
+	s := &Server{
+		cache:      scenario.NewCache(),
+		sem:        make(chan struct{}, maxConcurrent),
+		maxBody:    4 << 20,
+		maxHistory: maxHistory,
+		jobs:       make(map[string]*Job),
+		mux:        http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/scenarios/presets", s.handlePresets)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Handler returns the HTTP handler (also used by httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// handleSubmit accepts a scenario.Batch as JSON, enqueues it and returns
+// 202 with the job description.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if int64(len(body)) > s.maxBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{"scenario file exceeds the size limit"})
+		return
+	}
+	batch, err := scenario.ParseBatch(body)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	job := &Job{
+		ID:          fmt.Sprintf("job-%06d", s.seq),
+		Status:      JobQueued,
+		BatchName:   batch.Name,
+		SubmittedAt: time.Now().UTC(),
+		Progress:    JobProgress{ScenariosTotal: len(batch.Scenarios)},
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	go s.runJob(job.ID, batch)
+
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, s.snapshot(job.ID))
+}
+
+// runJob executes one batch under the runner-slot semaphore, streaming
+// scenario completions into the job's progress counters.
+func (s *Server) runJob(id string, batch *scenario.Batch) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	now := time.Now().UTC()
+	s.update(id, func(j *Job) {
+		j.Status = JobRunning
+		j.StartedAt = &now
+	})
+
+	eng := scenario.NewEngineWithCache(s.cache)
+	eng.OnEvent = func(ev scenario.Event) {
+		switch ev.Phase {
+		case scenario.PhaseDone, scenario.PhaseFailed:
+			s.update(id, func(j *Job) {
+				j.Progress.ScenariosDone++
+				if ev.Phase == scenario.PhaseFailed {
+					j.Progress.ScenariosFailed++
+				}
+			})
+		}
+	}
+	res, err := eng.Run(context.Background(), batch)
+	done := time.Now().UTC()
+	s.update(id, func(j *Job) {
+		j.FinishedAt = &done
+		if err != nil {
+			j.Status = JobFailed
+			j.Error = err.Error()
+			return
+		}
+		j.Status = JobDone
+		j.Result = res
+	})
+}
+
+// evictLocked drops the oldest finished jobs until at most maxHistory
+// remain. Queued and running jobs are kept regardless, so the store can
+// transiently exceed the cap while work is in flight. Caller holds s.mu.
+func (s *Server) evictLocked() {
+	if len(s.order) <= s.maxHistory {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.maxHistory
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && (j.Status == JobDone || j.Status == JobFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// update mutates a job under the store lock.
+func (s *Server) update(id string, f func(*Job)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		f(j)
+	}
+}
+
+// snapshot returns a deep-enough copy of a job for rendering without racing
+// the runner goroutine. The result pointer is shared but immutable once set.
+func (s *Server) snapshot(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	cp := *j
+	return &cp
+}
+
+// handleGet returns one job by ID.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.snapshot(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// jobList is the body of GET /v1/jobs.
+type jobList struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// handleList returns all jobs in submission order, without embedded results
+// (fetch an individual job for its manifest).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := jobList{Jobs: make([]*Job, 0, len(s.order))}
+	for _, id := range s.order {
+		cp := *s.jobs[id]
+		cp.Result = nil
+		out.Jobs = append(out.Jobs, &cp)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePresets serves the bundled scenario suite so clients can fetch,
+// edit and resubmit it.
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, scenario.Presets())
+}
+
+// health is the body of GET /healthz.
+type health struct {
+	Status       string `json:"status"`
+	Jobs         int    `json:"jobs"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    int64  `json:"cache_hits"`
+	CacheMisses  int64  `json:"cache_misses"`
+}
+
+// handleHealth reports liveness plus cache statistics.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, health{
+		Status: "ok", Jobs: n,
+		CacheEntries: s.cache.Len(),
+		CacheHits:    s.cache.Hits(),
+		CacheMisses:  s.cache.Misses(),
+	})
+}

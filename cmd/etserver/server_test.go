@@ -1,0 +1,277 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etherm/internal/config"
+	"etherm/internal/scenario"
+)
+
+// postBatch submits a batch and returns the decoded job.
+func postBatch(t *testing.T, ts *httptest.Server, b *scenario.Batch) Job {
+	t.Helper()
+	body, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/job-") {
+		t.Errorf("Location header %q", loc)
+	}
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// getJob fetches one job by ID.
+func getJob(t *testing.T, ts *httptest.Server, id string) (Job, int) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job Job
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return job, resp.StatusCode
+}
+
+// waitDone polls until the job leaves the queued/running states.
+func waitDone(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		job, code := getJob(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s: status code %d", id, code)
+		}
+		if job.Status == JobDone || job.Status == JobFailed {
+			return job
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within %v", id, timeout)
+	return Job{}
+}
+
+// tinyBatch is a fast two-scenario batch (shared coarse mesh, short
+// horizon) for API round-trip tests.
+func tinyBatch() *scenario.Batch {
+	sim := config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"}
+	return &scenario.Batch{
+		Name: "api-test",
+		Scenarios: []scenario.Scenario{
+			{Name: "pair", Chip: scenario.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}}, Sim: sim},
+			{Name: "full", Chip: scenario.ChipSpec{HMaxM: 0.8e-3}, Sim: sim},
+		},
+	}
+}
+
+func TestJobRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs coupled-field simulations")
+	}
+	ts := httptest.NewServer(NewServer(1).Handler())
+	defer ts.Close()
+
+	job := postBatch(t, ts, tinyBatch())
+	if job.ID == "" || (job.Status != JobQueued && job.Status != JobRunning) {
+		t.Fatalf("unexpected submit response: %+v", job)
+	}
+	if job.Progress.ScenariosTotal != 2 {
+		t.Errorf("progress total %d, want 2", job.Progress.ScenariosTotal)
+	}
+
+	done := waitDone(t, ts, job.ID, 3*time.Minute)
+	if done.Status != JobDone {
+		t.Fatalf("job finished as %s (%s)", done.Status, done.Error)
+	}
+	if done.Result == nil || len(done.Result.Scenarios) != 2 {
+		t.Fatalf("missing results: %+v", done.Result)
+	}
+	if done.Result.FailedCount != 0 {
+		t.Fatalf("scenarios failed: %+v", done.Result.Failed())
+	}
+	if done.Progress.ScenariosDone != 2 {
+		t.Errorf("progress done %d, want 2", done.Progress.ScenariosDone)
+	}
+	for _, s := range done.Result.Scenarios {
+		if s.TEndMaxK < 300 || s.TEndMaxK > 700 {
+			t.Errorf("scenario %s end temperature %g K implausible", s.Name, s.TEndMaxK)
+		}
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Error("timestamps not recorded")
+	}
+
+	// The two scenarios share one geometry: the second must hit the cache.
+	if !done.Result.Scenarios[1].CacheHit && !done.Result.Scenarios[0].CacheHit {
+		t.Error("no scenario hit the assembly cache")
+	}
+
+	// A second identical job on the warm server caches everything.
+	job2 := postBatch(t, ts, tinyBatch())
+	done2 := waitDone(t, ts, job2.ID, 3*time.Minute)
+	if done2.Status != JobDone {
+		t.Fatalf("second job finished as %s (%s)", done2.Status, done2.Error)
+	}
+	for _, s := range done2.Result.Scenarios {
+		if !s.CacheHit {
+			t.Errorf("scenario %s missed the warm cross-job cache", s.Name)
+		}
+	}
+
+	// Listing returns both jobs in order, without result payloads.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != job.ID || list.Jobs[1].ID != job2.ID {
+		t.Errorf("job list wrong: %+v", list.Jobs)
+	}
+	for _, j := range list.Jobs {
+		if j.Result != nil {
+			t.Error("job list embeds result payloads")
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	ts := httptest.NewServer(NewServer(1).Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"not json":      "}{",
+		"empty batch":   `{"scenarios": []}`,
+		"unknown field": `{"scenarios": [{"name": "x", "chipp": 1}]}`,
+		"duplicate":     `{"scenarios": [{"name": "x"}, {"name": "x"}]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestFinishedJobEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs coupled-field simulations")
+	}
+	ts := httptest.NewServer(NewServerWithHistory(1, 2).Handler())
+	defer ts.Close()
+
+	small := &scenario.Batch{Scenarios: []scenario.Scenario{{
+		Name: "pair",
+		Chip: scenario.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
+		Sim:  config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
+	}}}
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job := postBatch(t, ts, small)
+		waitDone(t, ts, job.ID, time.Minute)
+		ids = append(ids, job.ID)
+	}
+	// Retention cap 2: the two oldest finished jobs are gone, newest remain.
+	if _, code := getJob(t, ts, ids[0]); code != http.StatusNotFound {
+		t.Errorf("oldest job survived eviction (status %d)", code)
+	}
+	if _, code := getJob(t, ts, ids[3]); code != http.StatusOK {
+		t.Errorf("newest job evicted (status %d)", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) > 2 {
+		t.Errorf("job list holds %d entries, retention cap is 2", len(list.Jobs))
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	ts := httptest.NewServer(NewServer(1).Handler())
+	defer ts.Close()
+	if _, code := getJob(t, ts, "job-999999"); code != http.StatusNotFound {
+		t.Errorf("unknown job returned %d, want 404", code)
+	}
+}
+
+func TestPresetsEndpoint(t *testing.T) {
+	ts := httptest.NewServer(NewServer(1).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/scenarios/presets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("presets status %d", resp.StatusCode)
+	}
+	var b scenario.Batch
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Scenarios) < 8 {
+		t.Errorf("served presets cover %d scenarios, want ≥ 8", len(b.Scenarios))
+	}
+	// The served suite must itself be a valid submission.
+	if err := b.Validate(); err != nil {
+		t.Errorf("served presets invalid: %v", err)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := httptest.NewServer(NewServer(1).Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health status %q", h.Status)
+	}
+}

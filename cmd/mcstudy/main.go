@@ -127,7 +127,7 @@ func run() error {
 	}
 
 	t0 := time.Now()
-	factory := study.FactoryFor(base, *rho)
+	factory := study.ParamFactory(base, study.Params{Mu: cfg.UQ.MeanDelta, Sigma: cfg.UQ.StdDelta, Rho: *rho})
 	ens, err := uq.RunEnsemble(factory, dists, sampler,
 		uq.EnsembleOptions{Samples: cfg.UQ.Samples, Workers: cfg.UQ.Workers})
 	if err != nil {

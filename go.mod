@@ -1,0 +1,3 @@
+module etherm
+
+go 1.24

@@ -102,28 +102,8 @@ func (c Run) Validate() error {
 	default:
 		return fmt.Errorf("unknown wire material %q", c.Chip.WireMaterial)
 	}
-	if c.Sim.EndTimeS <= 0 || c.Sim.NumSteps <= 0 {
-		return fmt.Errorf("end_time_s and num_steps must be positive")
-	}
-	switch c.Sim.Coupling {
-	case "", "strong", "weak":
-	default:
-		return fmt.Errorf("unknown coupling %q", c.Sim.Coupling)
-	}
-	switch c.Sim.Nonlinear {
-	case "", "picard", "newton":
-	default:
-		return fmt.Errorf("unknown nonlinear mode %q", c.Sim.Nonlinear)
-	}
-	switch c.Sim.Integrator {
-	case "", "implicit-euler", "trapezoidal", "bdf2":
-	default:
-		return fmt.Errorf("unknown integrator %q", c.Sim.Integrator)
-	}
-	switch c.Sim.Joule {
-	case "", "edge-split", "cell-average":
-	default:
-		return fmt.Errorf("unknown joule scheme %q", c.Sim.Joule)
+	if err := c.Sim.Validate(); err != nil {
+		return err
 	}
 	switch c.UQ.Method {
 	case "", "monte-carlo", "lhs", "halton", "sobol", "smolyak":
@@ -132,6 +112,36 @@ func (c Run) Validate() error {
 	}
 	if c.UQ.Samples <= 0 {
 		return fmt.Errorf("uq.samples must be positive")
+	}
+	return nil
+}
+
+// Validate checks the transient-solve section in isolation, so other
+// front-ends (e.g. the batch scenario engine) can embed SimConfig without a
+// full Run.
+func (s SimConfig) Validate() error {
+	if s.EndTimeS <= 0 || s.NumSteps <= 0 {
+		return fmt.Errorf("end_time_s and num_steps must be positive")
+	}
+	switch s.Coupling {
+	case "", "strong", "weak":
+	default:
+		return fmt.Errorf("unknown coupling %q", s.Coupling)
+	}
+	switch s.Nonlinear {
+	case "", "picard", "newton":
+	default:
+		return fmt.Errorf("unknown nonlinear mode %q", s.Nonlinear)
+	}
+	switch s.Integrator {
+	case "", "implicit-euler", "trapezoidal", "bdf2":
+	default:
+		return fmt.Errorf("unknown integrator %q", s.Integrator)
+	}
+	switch s.Joule {
+	case "", "edge-split", "cell-average":
+	default:
+		return fmt.Errorf("unknown joule scheme %q", s.Joule)
 	}
 	return nil
 }
@@ -165,25 +175,32 @@ func (c Run) Spec() (chipmodel.Spec, error) {
 // Options materializes the solver options. Ensemble studies default to the
 // fast weak-coupling settings; single runs use the strict defaults.
 func (c Run) Options(forEnsemble bool) core.Options {
+	return c.Sim.CoreOptions(forEnsemble)
+}
+
+// CoreOptions materializes core.Options from the transient-solve section.
+// With forEnsemble the unset fields start from core.FastOptions (weak
+// staggered coupling, linearized radiation) instead of the strict defaults.
+func (s SimConfig) CoreOptions(forEnsemble bool) core.Options {
 	var o core.Options
 	if forEnsemble {
 		o = core.FastOptions()
 	}
-	o.EndTime = c.Sim.EndTimeS
-	o.NumSteps = c.Sim.NumSteps
-	switch c.Sim.Coupling {
+	o.EndTime = s.EndTimeS
+	o.NumSteps = s.NumSteps
+	switch s.Coupling {
 	case "strong":
 		o.Coupling = core.StrongCoupling
 	case "weak":
 		o.Coupling = core.WeakCoupling
 	}
-	switch c.Sim.Nonlinear {
+	switch s.Nonlinear {
 	case "picard":
 		o.Nonlinear = core.Picard
 	case "newton":
 		o.Nonlinear = core.NewtonLinearized
 	}
-	switch c.Sim.Integrator {
+	switch s.Integrator {
 	case "trapezoidal":
 		o.TimeIntegrator = core.Trapezoidal
 	case "bdf2":
@@ -191,14 +208,14 @@ func (c Run) Options(forEnsemble bool) core.Options {
 	case "implicit-euler":
 		o.TimeIntegrator = core.ImplicitEuler
 	}
-	switch c.Sim.Joule {
+	switch s.Joule {
 	case "cell-average":
 		o.Joule = core.CellAverage
 	case "edge-split":
 		o.Joule = core.EdgeSplit
 	}
-	if c.Sim.LinTol > 0 {
-		o.LinTol = c.Sim.LinTol
+	if s.LinTol > 0 {
+		o.LinTol = s.LinTol
 	}
 	return o
 }

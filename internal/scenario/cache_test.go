@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"etherm/internal/chipmodel"
+)
+
+// testHMax keeps cache/engine tests fast; matches the bundled demo mesh.
+const testHMax = 0.8e-3
+
+func coarseSpec() chipmodel.Spec {
+	s := chipmodel.DATE16Calibrated()
+	s.HMax = testHMax
+	return s
+}
+
+func TestGeometryKeyInvariance(t *testing.T) {
+	base := coarseSpec()
+	key := GeometryKey(base)
+
+	// Non-geometry knobs must not change the key.
+	s := base
+	s.DriveV *= 3
+	s.WireDiameter *= 2
+	s.WireSegments = 5
+	s.MeanElong = 0.4
+	s.HTC = 5
+	s.TAmbient = 400
+	if GeometryKey(s) != key {
+		t.Error("non-geometry fields changed the cache key")
+	}
+
+	// Geometry knobs must change it.
+	s = base
+	s.HMax = 0.5e-3
+	if GeometryKey(s) == key {
+		t.Error("mesh resolution did not change the cache key")
+	}
+	s = base
+	s.ChipOffsetY = 0
+	if GeometryKey(s) == key {
+		t.Error("chip placement did not change the cache key")
+	}
+}
+
+func TestCacheHitMissAndSharing(t *testing.T) {
+	c := NewCache()
+	a, err := c.Instantiate(coarseSpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit {
+		t.Error("first instantiation reported a hit")
+	}
+
+	spec2 := coarseSpec()
+	spec2.DriveV *= 0.5
+	spec2.WireMat = nil
+	b, err := c.Instantiate(spec2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.CacheHit {
+		t.Error("same-geometry instantiation missed the cache")
+	}
+	if a.Assembler != b.Assembler {
+		t.Error("cache handed out distinct assemblies for one geometry")
+	}
+	if a.Problem.Grid != b.Problem.Grid {
+		t.Error("cache handed out distinct grids for one geometry")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 || c.Len() != 1 {
+		t.Errorf("counts: hits=%d misses=%d len=%d", c.Hits(), c.Misses(), c.Len())
+	}
+
+	fine := coarseSpec()
+	fine.HMax = 0.6e-3
+	d, err := c.Instantiate(fine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CacheHit || c.Misses() != 2 || c.Len() != 2 {
+		t.Error("different geometry did not create a new entry")
+	}
+}
+
+func TestInstantiateScalesContactsAndWires(t *testing.T) {
+	c := NewCache()
+	spec := coarseSpec()
+	spec.WireDiameter = 30e-6
+	spec.MeanElong = 0.25
+	spec.WireSegments = 2
+	inst, err := c.Instantiate(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(inst.Problem.Wires); n != 12 {
+		t.Fatalf("got %d wires, want 12", n)
+	}
+	if len(inst.Problem.ElecDirichlet) != 12 {
+		t.Fatalf("got %d contacts, want 12", len(inst.Problem.ElecDirichlet))
+	}
+	for i, d := range inst.Problem.ElecDirichlet {
+		for _, v := range d.Values {
+			if math.Abs(v) != spec.DriveV {
+				t.Fatalf("contact %d value %g, want ±%g", i, v, spec.DriveV)
+			}
+		}
+	}
+	for i, w := range inst.Problem.Wires {
+		if w.Geom.Diameter != 30e-6 || w.Segments != 2 {
+			t.Fatalf("wire %d geometry overrides not applied: %+v", i, w.Geom)
+		}
+		if got := w.Geom.RelElongation(); math.Abs(got-0.25) > 1e-12 {
+			t.Fatalf("wire %d elongation %g, want 0.25", i, got)
+		}
+	}
+	if inst.Problem.ThermalBC.H != spec.HTC || inst.Problem.ThermalBC.TInf != spec.TAmbient {
+		t.Error("thermal environment not applied")
+	}
+	// A derived problem must pass core validation (exercised via Simulator).
+	if _, err := inst.Simulator(fastTestOptions()); err != nil {
+		t.Fatalf("derived problem rejected: %v", err)
+	}
+}
+
+func TestInstantiateActivePairs(t *testing.T) {
+	c := NewCache()
+	inst, err := c.Instantiate(coarseSpec(), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Problem.Wires) != 2 || len(inst.Problem.ElecDirichlet) != 2 {
+		t.Fatalf("pair restriction kept %d wires, %d contacts; want 2, 2",
+			len(inst.Problem.Wires), len(inst.Problem.ElecDirichlet))
+	}
+	for _, info := range inst.Wires {
+		if info.Pair != 0 {
+			t.Errorf("wire of pair %d leaked through the restriction", info.Pair)
+		}
+	}
+	if _, err := c.Instantiate(coarseSpec(), []int{42}); err == nil {
+		t.Error("impossible active set accepted")
+	}
+}
+
+func TestCacheConcurrentSingleBuild(t *testing.T) {
+	c := NewCache()
+	const n = 8
+	insts := make([]*Instance, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst, err := c.Instantiate(coarseSpec(), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			insts[i] = inst
+		}(i)
+	}
+	wg.Wait()
+	if c.Misses() != 1 {
+		t.Errorf("concurrent instantiations built %d assemblies, want 1", c.Misses())
+	}
+	for i := 1; i < n; i++ {
+		if insts[i] == nil || insts[0] == nil {
+			t.Fatal("missing instance")
+		}
+		if insts[i].Assembler != insts[0].Assembler {
+			t.Error("concurrent instances do not share the assembly")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventPhase labels engine progress events.
+type EventPhase string
+
+// Progress event phases, in scenario lifecycle order.
+const (
+	// PhaseStart fires when a worker picks a scenario up.
+	PhaseStart EventPhase = "start"
+	// PhaseSample fires after each UQ model evaluation of a scenario.
+	PhaseSample EventPhase = "sample"
+	// PhaseDone fires when a scenario finishes successfully.
+	PhaseDone EventPhase = "done"
+	// PhaseFailed fires when a scenario errors; the batch continues.
+	PhaseFailed EventPhase = "failed"
+)
+
+// Event is one progress notification. Done/Total carry sample progress for
+// PhaseSample (Total 0 when unknown) and are zero otherwise.
+type Event struct {
+	Index    int    // scenario position in the batch
+	Scenario string // scenario name
+	Phase    EventPhase
+	Done     int // samples completed (PhaseSample)
+	Total    int // sample budget (PhaseSample)
+	Err      error
+}
+
+// Engine evaluates batches of scenarios over a bounded worker pool with a
+// shared assembly cache. The zero value is not usable; construct with
+// NewEngine. An Engine may be reused across batches — the cache keeps
+// warming up — and is safe for concurrent Run calls.
+type Engine struct {
+	cache *AssemblyCache
+
+	// Workers bounds scenario-level parallelism; 0 picks a split that
+	// leaves headroom for per-scenario ensemble workers.
+	Workers int
+	// SampleWorkers bounds the ensemble parallelism inside each scenario;
+	// 0 divides the remaining CPUs among the scenario workers.
+	SampleWorkers int
+	// OnEvent, when non-nil, receives progress events. It is called from
+	// worker goroutines concurrently and must be safe for parallel use.
+	OnEvent func(Event)
+}
+
+// NewEngine returns an engine with a fresh assembly cache.
+func NewEngine() *Engine {
+	return &Engine{cache: NewCache()}
+}
+
+// NewEngineWithCache returns an engine sharing an existing assembly cache.
+// Services that evaluate many batches (cmd/etserver runs one engine per job
+// for isolated progress reporting) use this so meshes stay warm across
+// jobs. Note that with concurrent engines on one cache the per-batch
+// CacheHits/CacheMisses deltas can interleave; the per-scenario CacheHit
+// flags remain exact.
+func NewEngineWithCache(c *AssemblyCache) *Engine {
+	return &Engine{cache: c}
+}
+
+// Cache exposes the engine's assembly cache (for hit/miss reporting).
+func (e *Engine) Cache() *AssemblyCache { return e.cache }
+
+// split resolves the worker counts for a batch of n scenarios: batch
+// overrides beat engine defaults, and the automatic split gives scenario
+// parallelism priority while granting ensembles the leftover CPUs.
+func (e *Engine) split(b *Batch, n int) (workers, sampleWorkers int) {
+	workers = e.Workers
+	if b.Workers > 0 {
+		workers = b.Workers
+	}
+	cpus := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = min(n, cpus)
+	}
+	workers = min(workers, n)
+	if workers < 1 {
+		workers = 1
+	}
+	sampleWorkers = e.SampleWorkers
+	if b.SampleWorkers > 0 {
+		sampleWorkers = b.SampleWorkers
+	}
+	if sampleWorkers <= 0 {
+		sampleWorkers = max(1, cpus/workers)
+	}
+	return workers, sampleWorkers
+}
+
+// BatchResult is the deterministic aggregation of a batch run: scenario
+// results in input order plus cache and failure accounting. It is the
+// structured manifest cmd/etbatch writes and cmd/etserver returns.
+type BatchResult struct {
+	Name      string            `json:"name,omitempty"`
+	Scenarios []*ScenarioResult `json:"scenarios"`
+
+	// Workers/SampleWorkers record the effective pool split.
+	Workers       int `json:"workers"`
+	SampleWorkers int `json:"sample_workers"`
+
+	// Assembly-cache accounting over this run's engine.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheEntries int     `json:"cache_entries"`
+	FailedCount  int     `json:"failed_count"`
+	ElapsedS     float64 `json:"elapsed_s"`
+}
+
+// Failed returns the results of scenarios that errored.
+func (r *BatchResult) Failed() []*ScenarioResult {
+	var out []*ScenarioResult
+	for _, s := range r.Scenarios {
+		if !s.OK {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run evaluates every scenario of the batch, fanning out over the worker
+// pool. A failing scenario (bad declaration, unbuildable geometry, solver
+// breakdown or panic) is isolated: its result records the error and the
+// remaining scenarios proceed. The returned results are ordered exactly
+// like b.Scenarios and, for a fixed batch, are bit-identical regardless of
+// worker counts; Run errors only on a structurally invalid batch or a
+// canceled context.
+func (e *Engine) Run(ctx context.Context, b *Batch) (*BatchResult, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(b.Scenarios)
+	workers, sampleWorkers := e.split(b, n)
+
+	hits0, misses0 := e.cache.Hits(), e.cache.Misses()
+	start := time.Now()
+	results := make([]*ScenarioResult, n)
+	idx := make(chan int)
+	var canceled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					results[i] = failedResult(i, b.Scenarios[i], ctx.Err())
+					continue
+				}
+				results[i] = e.runScenario(ctx, i, b.Scenarios[i], sampleWorkers)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+
+	res := &BatchResult{
+		Name:          b.Name,
+		Scenarios:     results,
+		Workers:       workers,
+		SampleWorkers: sampleWorkers,
+		CacheHits:     e.cache.Hits() - hits0,
+		CacheMisses:   e.cache.Misses() - misses0,
+		CacheEntries:  e.cache.Len(),
+		ElapsedS:      time.Since(start).Seconds(),
+	}
+	for _, s := range results {
+		if !s.OK {
+			res.FailedCount++
+		}
+	}
+	return res, nil
+}
+
+// emit sends a progress event if a listener is registered.
+func (e *Engine) emit(ev Event) {
+	if e.OnEvent != nil {
+		e.OnEvent(ev)
+	}
+}
+
+// failedResult records a scenario that never ran.
+func failedResult(i int, s Scenario, err error) *ScenarioResult {
+	return &ScenarioResult{
+		Index: i, Name: s.Name, Description: s.Description,
+		Method: s.UQ.EffectiveMethod(), OK: false, Error: err.Error(),
+	}
+}
+
+// runScenario evaluates one scenario, converting panics and errors into a
+// failed result so the batch survives.
+func (e *Engine) runScenario(ctx context.Context, i int, s Scenario, sampleWorkers int) (res *ScenarioResult) {
+	e.emit(Event{Index: i, Scenario: s.Name, Phase: PhaseStart})
+	t0 := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res = failedResult(i, s, fmt.Errorf("panic: %v", r))
+		}
+		res.ElapsedS = time.Since(t0).Seconds()
+		if res.OK {
+			e.emit(Event{Index: i, Scenario: s.Name, Phase: PhaseDone})
+		} else {
+			e.emit(Event{Index: i, Scenario: s.Name, Phase: PhaseFailed, Err: fmt.Errorf("%s", res.Error)})
+		}
+	}()
+	out, err := e.evaluate(ctx, i, s, sampleWorkers)
+	if err != nil {
+		return failedResult(i, s, err)
+	}
+	return out
+}

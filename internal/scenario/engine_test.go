@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"etherm/internal/config"
+	"etherm/internal/core"
+)
+
+func fastTestOptions() core.Options {
+	o := core.FastOptions()
+	o.EndTime = 10
+	o.NumSteps = 4
+	return o
+}
+
+// fastSim is the transient configuration used by engine tests: short horizon,
+// weak coupling.
+var fastSim = config.SimConfig{EndTimeS: 10, NumSteps: 4, Coupling: "weak", Nonlinear: "newton"}
+
+func testBatch() *Batch {
+	return &Batch{
+		Name: "test",
+		Scenarios: []Scenario{
+			{
+				Name: "nominal",
+				Chip: ChipSpec{HMaxM: testHMax},
+				Sim:  fastSim,
+			},
+			{
+				Name: "mc",
+				Chip: ChipSpec{HMaxM: testHMax},
+				Sim:  fastSim,
+				UQ:   UQSpec{Method: MethodMonteCarlo, Samples: 4, Seed: 7},
+			},
+			{
+				Name: "gold-derated",
+				Chip: ChipSpec{HMaxM: testHMax, WireMaterial: "gold", DriveScale: 0.75},
+				Sim:  fastSim,
+			},
+		},
+	}
+}
+
+// summaryJSON renders the scenario results with wall-clock timing zeroed, so
+// two runs can be compared bit-for-bit.
+func summaryJSON(t *testing.T, res *BatchResult) string {
+	t.Helper()
+	for _, s := range res.Scenarios {
+		s.ElapsedS = 0
+	}
+	data, err := json.Marshal(res.Scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field batch is seconds-scale")
+	}
+	run := func(workers, sampleWorkers int) string {
+		e := NewEngine()
+		e.Workers = workers
+		e.SampleWorkers = sampleWorkers
+		res, err := e.Run(context.Background(), testBatch())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FailedCount != 0 {
+			t.Fatalf("batch had failures: %+v", res.Failed())
+		}
+		return summaryJSON(t, res)
+	}
+	serial := run(1, 1)
+	parallel := run(3, 2)
+	if serial != parallel {
+		t.Errorf("results depend on worker split:\nserial:   %s\nparallel: %s", serial, parallel)
+	}
+}
+
+func TestEngineCacheReuseAcrossScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field batch is seconds-scale")
+	}
+	e := NewEngine()
+	res, err := e.Run(context.Background(), testBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 1 {
+		t.Errorf("batch built %d assemblies, want 1 (scenarios share the mesh)", res.CacheMisses)
+	}
+	if res.CacheHits != int64(len(res.Scenarios)-1) {
+		t.Errorf("cache hits %d, want %d", res.CacheHits, len(res.Scenarios)-1)
+	}
+	hitCount := 0
+	for _, s := range res.Scenarios {
+		if s.CacheHit {
+			hitCount++
+		}
+	}
+	if hitCount != len(res.Scenarios)-1 {
+		t.Errorf("%d results flagged as cache hits, want %d", hitCount, len(res.Scenarios)-1)
+	}
+
+	// A second batch on the same engine reuses the warm cache entirely.
+	res2, err := e.Run(context.Background(), testBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheMisses != 0 || res2.CacheHits != int64(len(res2.Scenarios)) {
+		t.Errorf("warm engine: misses=%d hits=%d", res2.CacheMisses, res2.CacheHits)
+	}
+
+	// Physical sanity: gold wires at 75 % drive stay cooler than copper at
+	// full drive.
+	byName := map[string]*ScenarioResult{}
+	for _, s := range res.Scenarios {
+		byName[s.Name] = s
+	}
+	if byName["gold-derated"].TEndMaxK >= byName["nominal"].TEndMaxK {
+		t.Errorf("derated gold (%g K) not cooler than nominal copper (%g K)",
+			byName["gold-derated"].TEndMaxK, byName["nominal"].TEndMaxK)
+	}
+	if byName["nominal"].TEndMaxK < 350 || byName["nominal"].TEndMaxK > 650 {
+		t.Errorf("nominal end temperature %g K implausible", byName["nominal"].TEndMaxK)
+	}
+}
+
+func TestEngineFailureIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field batch is seconds-scale")
+	}
+	b := &Batch{
+		Workers: 2,
+		Scenarios: []Scenario{
+			{Name: "ok-1", Chip: ChipSpec{HMaxM: testHMax}, Sim: fastSim},
+			{Name: "broken", Chip: ChipSpec{Preset: "not-a-chip"}, Sim: fastSim},
+			{Name: "ok-2", Chip: ChipSpec{HMaxM: testHMax, ActivePairs: []int{1}}, Sim: fastSim},
+		},
+	}
+	e := NewEngine()
+	res, err := e.Run(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedCount != 1 {
+		t.Fatalf("failed count %d, want 1", res.FailedCount)
+	}
+	if res.Scenarios[1].OK || res.Scenarios[1].Error == "" {
+		t.Error("broken scenario not recorded as failed")
+	}
+	if !res.Scenarios[0].OK || !res.Scenarios[2].OK {
+		t.Error("healthy scenarios sank with the broken one")
+	}
+	if res.Scenarios[2].NumWires != 2 {
+		t.Errorf("pair-restricted scenario simulated %d wires, want 2", res.Scenarios[2].NumWires)
+	}
+}
+
+func TestEngineEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field batch is seconds-scale")
+	}
+	var mu sync.Mutex
+	counts := map[EventPhase]int{}
+	e := NewEngine()
+	e.Workers = 2
+	e.OnEvent = func(ev Event) {
+		mu.Lock()
+		counts[ev.Phase]++
+		mu.Unlock()
+	}
+	b := testBatch()
+	if _, err := e.Run(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	if counts[PhaseStart] != len(b.Scenarios) || counts[PhaseDone] != len(b.Scenarios) {
+		t.Errorf("start/done events %d/%d, want %d each", counts[PhaseStart], counts[PhaseDone], len(b.Scenarios))
+	}
+	if counts[PhaseSample] != 4 {
+		t.Errorf("sample events %d, want 4 (MC budget)", counts[PhaseSample])
+	}
+	if counts[PhaseFailed] != 0 {
+		t.Errorf("unexpected failure events: %d", counts[PhaseFailed])
+	}
+}
+
+func TestEngineSmolyakScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field collocation is seconds-scale")
+	}
+	one := 1.0
+	b := &Batch{Scenarios: []Scenario{{
+		Name: "colloc",
+		Chip: ChipSpec{HMaxM: testHMax},
+		Sim:  fastSim,
+		UQ:   UQSpec{Method: MethodSmolyak, Level: 1, Rho: &one},
+	}}}
+	e := NewEngine()
+	res, err := e.Run(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Scenarios[0]
+	if !s.OK {
+		t.Fatalf("collocation scenario failed: %s", s.Error)
+	}
+	if s.Evaluations < 2 {
+		t.Errorf("suspicious evaluation count %d", s.Evaluations)
+	}
+	if s.TEndMaxK < 350 || s.TEndMaxK > 650 {
+		t.Errorf("collocation mean end temperature %g K implausible", s.TEndMaxK)
+	}
+	if s.SigmaK <= 0 {
+		t.Errorf("collocation sigma %g, want positive", s.SigmaK)
+	}
+}
+
+func TestEngineContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewEngine().Run(ctx, testBatch()); err == nil {
+		t.Error("canceled context did not abort the batch")
+	}
+}

@@ -1,0 +1,230 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"etherm/internal/core"
+	"etherm/internal/degrade"
+	"etherm/internal/study"
+	"etherm/internal/uq"
+)
+
+// ScenarioResult is the structured outcome of one scenario: identification,
+// cache accounting and a Fig.-7-style summary of the hottest wire against
+// the critical temperature. Timing fields (ElapsedS) are wall-clock and the
+// only nondeterministic part; everything else is bit-identical across
+// repeated runs and worker counts.
+type ScenarioResult struct {
+	Index       int    `json:"index"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	OK          bool   `json:"ok"`
+	Error       string `json:"error,omitempty"`
+
+	// CacheHit reports whether the mesh assembly was served from the cache.
+	CacheHit bool    `json:"cache_hit"`
+	ElapsedS float64 `json:"elapsed_s"`
+
+	GridNodes int    `json:"grid_nodes,omitempty"`
+	NumWires  int    `json:"num_wires,omitempty"`
+	Method    string `json:"method"`
+	// Samples counts successful model evaluations for sampling methods;
+	// Failures the isolated per-sample failures; Evaluations the quadrature
+	// nodes of a collocation run.
+	Samples     int `json:"samples,omitempty"`
+	Failures    int `json:"failures,omitempty"`
+	Evaluations int `json:"evaluations,omitempty"`
+
+	// Hottest-wire summary (expectation for UQ methods, the single
+	// trajectory for deterministic runs).
+	HotWire     int     `json:"hot_wire"`
+	HotWireName string  `json:"hot_wire_name,omitempty"`
+	HotWireSide string  `json:"hot_wire_side,omitempty"`
+	TEndMaxK    float64 `json:"t_end_max_k,omitempty"`
+	SigmaK      float64 `json:"sigma_k,omitempty"`
+	ErrorMCK    float64 `json:"error_mc_k,omitempty"`
+
+	// Failure diagnostics against the critical temperature. Crossing times
+	// are nil when the trajectory never reaches T_crit.
+	TCritK     float64  `json:"t_crit_k,omitempty"`
+	CrossMeanS *float64 `json:"cross_mean_s,omitempty"`
+	Cross6SigS *float64 `json:"cross_6sigma_s,omitempty"`
+	ExceedProb float64  `json:"exceed_prob"`
+	// DamageHot is the Arrhenius mold-epoxy damage integral of the
+	// hottest-wire mean trajectory (failure at ≥ 1).
+	DamageHot float64 `json:"damage_hot,omitempty"`
+	// PTotalEndW is the total dissipated power at the end time
+	// (deterministic runs only).
+	PTotalEndW float64 `json:"p_total_end_w,omitempty"`
+
+	// Hottest-wire series for plotting: mean and standard deviation per
+	// recorded time point.
+	TimesS    []float64 `json:"times_s,omitempty"`
+	HotMeanK  []float64 `json:"hot_mean_k,omitempty"`
+	HotSigmaK []float64 `json:"hot_sigma_k,omitempty"`
+}
+
+// evaluate runs one scenario end to end: instantiate the problem from the
+// assembly cache, run the deterministic or UQ study, and summarize.
+func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers int) (*ScenarioResult, error) {
+	s = s.withSimDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := s.Chip.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	inst, err := e.cache.Instantiate(spec, s.Chip.ActivePairs)
+	if err != nil {
+		return nil, err
+	}
+	method := s.UQ.EffectiveMethod()
+	opt := s.Sim.CoreOptions(method != MethodNone)
+	sim, err := inst.Simulator(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{
+		Index: i, Name: s.Name, Description: s.Description,
+		Method:    method,
+		CacheHit:  inst.CacheHit,
+		GridNodes: inst.Problem.Grid.NumNodes(),
+		NumWires:  len(inst.Problem.Wires),
+	}
+	tCrit := s.UQ.CriticalK
+	if tCrit == 0 {
+		tCrit = degrade.DefaultCriticalTemp
+	}
+
+	eff := sim.Options()
+	nTimes := eff.NumSteps + 1
+	times := make([]float64, nTimes)
+	for t := range times {
+		times[t] = eff.EndTime * float64(t) / float64(eff.NumSteps)
+	}
+	nWires := len(inst.Problem.Wires)
+
+	var f7 *study.Fig7
+	switch method {
+	case MethodNone:
+		r, err := sim.Run()
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Times) != nTimes {
+			return nil, fmt.Errorf("scenario: run recorded %d time points, expected %d", len(r.Times), nTimes)
+		}
+		flat := make([]float64, nTimes*nWires)
+		for t := 0; t < nTimes; t++ {
+			copy(flat[t*nWires:], r.WireTemp[t])
+		}
+		f7, err = study.BuildFig7FromMoments(times, flat, make([]float64, nTimes*nWires), nWires, tCrit, 0)
+		if err != nil {
+			return nil, err
+		}
+		last := nTimes - 1
+		res.PTotalEndW = r.FieldPower[last] + r.WirePowerTotal[last]
+
+	case MethodSmolyak:
+		factory, dists := e.studyInputs(sim, s.UQ)
+		col, err := uq.SmolyakCollocation(factory, dists, s.UQ.Level)
+		if err != nil {
+			return nil, err
+		}
+		stds := make([]float64, len(col.Mean))
+		for j := range stds {
+			stds[j] = col.StdDev(j)
+		}
+		f7, err = study.BuildFig7FromMoments(times, col.Mean, stds, nWires, tCrit, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations = col.Evaluations
+
+	default: // sampling methods
+		factory, dists := e.studyInputs(sim, s.UQ)
+		sampler, err := newSampler(method, len(dists), s.UQ)
+		if err != nil {
+			return nil, err
+		}
+		var done atomic.Int64
+		ens, err := uq.RunEnsemble(factory, dists, sampler, uq.EnsembleOptions{
+			Samples: s.UQ.Samples,
+			Workers: sampleWorkers,
+			OnSample: func(_ int, sampleErr error) {
+				e.emit(Event{
+					Index: i, Scenario: s.Name, Phase: PhaseSample,
+					Done: int(done.Add(1)), Total: s.UQ.Samples, Err: sampleErr,
+				})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		f7, err = study.BuildFig7(times, ens, nWires, tCrit)
+		if err != nil {
+			return nil, err
+		}
+		res.Samples = ens.Succeeded()
+		res.Failures = ens.Failures
+		res.ErrorMCK = f7.ErrorMC
+	}
+
+	res.OK = true
+	res.HotWire = f7.HotWire
+	if f7.HotWire < len(inst.Problem.Wires) {
+		res.HotWireName = inst.Problem.Wires[f7.HotWire].Name
+		res.HotWireSide = inst.Wires[f7.HotWire].Side.String()
+	}
+	last := nTimes - 1
+	res.TEndMaxK = f7.EMax[last]
+	res.SigmaK = f7.SigmaMC
+	res.TCritK = tCrit
+	res.CrossMeanS = finiteOrNil(f7.CrossMean)
+	res.Cross6SigS = finiteOrNil(f7.Cross6Sig)
+	res.ExceedProb = f7.ExceedProb
+	res.TimesS = f7.Times
+	res.HotMeanK = f7.HotSeries()
+	res.HotSigmaK = f7.SigmaHot
+	if d, err := degrade.MoldEpoxy().Damage(res.TimesS, res.HotMeanK); err == nil {
+		res.DamageHot = d
+	}
+	return res, nil
+}
+
+// studyInputs builds the parallel model factory and germ distributions for a
+// UQ study on the instantiated simulator.
+func (e *Engine) studyInputs(sim *core.Simulator, u UQSpec) (uq.ModelFactory, []uq.Dist) {
+	p := study.Params{Mu: u.MeanDelta, Sigma: u.StdDelta, Rho: u.EffectiveRho()}
+	return study.ParamFactory(sim, p), study.GermDists(len(sim.Wires()), p.Rho)
+}
+
+// newSampler maps a method name to the unit-cube sampler of internal/uq.
+func newSampler(method string, dim int, u UQSpec) (uq.Sampler, error) {
+	switch method {
+	case MethodMonteCarlo:
+		return uq.PseudoRandom{D: dim, Seed: u.Seed}, nil
+	case MethodLHS:
+		return uq.NewLatinHypercube(dim, u.Samples, u.Seed)
+	case MethodHalton:
+		return uq.NewHalton(dim, u.Seed)
+	case MethodSobol:
+		return uq.NewSobol(dim)
+	default:
+		return nil, fmt.Errorf("scenario: no sampler for method %q", method)
+	}
+}
+
+// finiteOrNil converts a NaN sentinel ("never crossed") into a nil pointer
+// so the value JSON-encodes as absent instead of an invalid NaN literal.
+func finiteOrNil(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}

@@ -1,0 +1,355 @@
+// Package scenario implements the batch simulation engine: a declarative
+// list of electrothermal scenarios (chip geometry and drive, bonding-wire
+// material and elongation law, ambient conditions, solver settings and UQ
+// method) evaluated concurrently over a bounded worker pool, with the
+// expensive immutable pieces — mesh construction and FIT material assembly —
+// deduplicated through a geometry-keyed cache shared by all scenarios.
+//
+// The engine is the repo's answer to the "many scenarios, one solver" goal:
+// cmd/etbatch drives it from a JSON scenario file, cmd/etserver serves it as
+// an asynchronous HTTP job API, and Presets ships paper-grounded example
+// batches (nominal heating, the 12-wire DATE-2016 Monte Carlo sweep,
+// degradation-to-failure, Au/Al/Cu material comparison, current derating).
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"etherm/internal/chipmodel"
+	"etherm/internal/config"
+	"etherm/internal/material"
+	"etherm/internal/study"
+)
+
+// ChipSpec declares the package model of one scenario as a preset plus
+// overrides. Zero-valued fields keep the preset value.
+type ChipSpec struct {
+	// Preset selects the base geometry: "date16" (faithful V_bw = 40 mV
+	// drive) or "date16-calibrated" (power-matched drive, the default).
+	Preset string `json:"preset,omitempty"`
+
+	// DriveVoltageV overrides the PEC contact drive ±V (a wire pair sees 2V).
+	DriveVoltageV float64 `json:"drive_voltage_v,omitempty"`
+	// DriveScale multiplies the preset (or overridden) drive voltage; it is
+	// the knob behind current-derating scenarios. Zero means 1.
+	DriveScale float64 `json:"drive_scale,omitempty"`
+
+	// HMaxM overrides the maximum mesh spacing (metres). This is the only
+	// override that changes the grid and therefore the assembly-cache key.
+	HMaxM float64 `json:"hmax_m,omitempty"`
+
+	// Wire overrides. These reshape the lumped wires only, so scenarios
+	// differing in them still share one cached mesh assembly.
+	WireSegments   int     `json:"wire_segments,omitempty"`
+	WireDiameterM  float64 `json:"wire_diameter_m,omitempty"`
+	WireMaterial   string  `json:"wire_material,omitempty"`   // copper|gold|aluminum
+	MeanElongation float64 `json:"mean_elongation,omitempty"` // nominal δ; zero keeps the preset 0.17
+
+	// ActivePairs restricts the drive to the listed wire pairs (0..5);
+	// wires of other pairs are removed together with their PEC contacts.
+	// Empty means all six pairs (the paper's full 12-wire package).
+	ActivePairs []int `json:"active_pairs,omitempty"`
+
+	// Ambient overrides (Table II values when unset). HTC and Emissivity
+	// are pointers because zero is physically meaningful there (no
+	// convection / no radiation), unlike an ambient of 0 K.
+	HTC        *float64 `json:"htc_w_m2k,omitempty"`
+	Emissivity *float64 `json:"emissivity,omitempty"`
+	AmbientK   float64  `json:"ambient_k,omitempty"`
+}
+
+// Validate checks the chip declaration.
+func (c ChipSpec) Validate() error {
+	switch c.Preset {
+	case "", "date16", "date16-calibrated":
+	default:
+		return fmt.Errorf("unknown chip preset %q", c.Preset)
+	}
+	switch c.WireMaterial {
+	case "", "copper", "gold", "aluminum":
+	default:
+		return fmt.Errorf("unknown wire material %q", c.WireMaterial)
+	}
+	if c.DriveVoltageV < 0 || c.DriveScale < 0 || c.HMaxM < 0 || c.WireDiameterM < 0 {
+		return fmt.Errorf("chip overrides must be non-negative")
+	}
+	if c.MeanElongation < 0 || c.MeanElongation >= 1 {
+		return fmt.Errorf("mean_elongation %g outside [0, 1)", c.MeanElongation)
+	}
+	for _, p := range c.ActivePairs {
+		if p < 0 || p > 5 {
+			return fmt.Errorf("active pair %d outside 0..5", p)
+		}
+	}
+	if c.HTC != nil && *c.HTC < 0 {
+		return fmt.Errorf("negative heat transfer coefficient %g", *c.HTC)
+	}
+	if c.Emissivity != nil && (*c.Emissivity < 0 || *c.Emissivity > 1) {
+		return fmt.Errorf("emissivity %g outside [0, 1]", *c.Emissivity)
+	}
+	if c.AmbientK < 0 {
+		return fmt.Errorf("negative ambient temperature %g K", c.AmbientK)
+	}
+	return nil
+}
+
+// Materialize resolves the declaration into a concrete chipmodel.Spec.
+func (c ChipSpec) Materialize() (chipmodel.Spec, error) {
+	var spec chipmodel.Spec
+	switch c.Preset {
+	case "", "date16-calibrated":
+		spec = chipmodel.DATE16Calibrated()
+	case "date16":
+		spec = chipmodel.DATE16()
+	default:
+		return spec, fmt.Errorf("unknown chip preset %q", c.Preset)
+	}
+	if c.DriveVoltageV > 0 {
+		spec.DriveV = c.DriveVoltageV
+	}
+	if c.DriveScale > 0 {
+		spec.DriveV *= c.DriveScale
+	}
+	if c.HMaxM > 0 {
+		spec.HMax = c.HMaxM
+	}
+	if c.WireSegments > 0 {
+		spec.WireSegments = c.WireSegments
+	}
+	if c.WireDiameterM > 0 {
+		spec.WireDiameter = c.WireDiameterM
+	}
+	if c.MeanElongation > 0 {
+		spec.MeanElong = c.MeanElongation
+	}
+	switch c.WireMaterial {
+	case "gold":
+		spec.WireMat = material.Gold()
+	case "aluminum":
+		spec.WireMat = material.Aluminum()
+	case "copper":
+		spec.WireMat = material.Copper()
+	}
+	if c.HTC != nil {
+		spec.HTC = *c.HTC
+	}
+	if c.Emissivity != nil {
+		spec.Emissivity = *c.Emissivity
+	}
+	if c.AmbientK > 0 {
+		spec.TAmbient = c.AmbientK
+	}
+	return spec, nil
+}
+
+// UQMethod names the uncertainty treatment of a scenario.
+const (
+	// MethodNone runs one deterministic simulation at the nominal elongation.
+	MethodNone = "none"
+	// MethodMonteCarlo is the paper's pseudo-random sampling.
+	MethodMonteCarlo = "monte-carlo"
+	// MethodLHS is Latin hypercube sampling.
+	MethodLHS = "lhs"
+	// MethodHalton is the shifted Halton QMC sequence.
+	MethodHalton = "halton"
+	// MethodSobol is the Sobol' QMC sequence.
+	MethodSobol = "sobol"
+	// MethodSmolyak is sparse-grid stochastic collocation.
+	MethodSmolyak = "smolyak"
+)
+
+// UQSpec declares the uncertainty study of one scenario.
+type UQSpec struct {
+	// Method is one of the Method… constants; empty means MethodNone.
+	Method string `json:"method,omitempty"`
+	// Samples is the evaluation budget M for sampling methods.
+	Samples int `json:"samples,omitempty"`
+	// Level is the Smolyak sparse-grid level (MethodSmolyak only).
+	Level int `json:"level,omitempty"`
+	// Seed feeds the deterministic per-index sample streams.
+	Seed uint64 `json:"seed,omitempty"`
+	// Rho is the wire-to-wire elongation correlation ρ ∈ [0, 1]; nil means
+	// the calibrated study.DefaultRho. (A pointer because ρ = 0, fully
+	// independent wires, is a meaningful choice distinct from "unset".)
+	Rho *float64 `json:"rho,omitempty"`
+	// MeanDelta and StdDelta override the paper's fitted elongation law
+	// (δ ~ N(0.17, 0.048²)). Zero means "the paper's value", mirroring
+	// config.UQConfig — an exactly-zero law is not expressible; note that
+	// the nominal geometry of deterministic scenarios is set by
+	// ChipSpec.MeanElongation instead.
+	MeanDelta float64 `json:"mean_delta,omitempty"`
+	StdDelta  float64 `json:"std_delta,omitempty"`
+	// CriticalK overrides the failure threshold (default 523 K).
+	CriticalK float64 `json:"critical_k,omitempty"`
+}
+
+// EffectiveRho returns ρ, defaulting to study.DefaultRho when unset.
+func (u UQSpec) EffectiveRho() float64 {
+	if u.Rho == nil {
+		return study.DefaultRho
+	}
+	return *u.Rho
+}
+
+// EffectiveMethod returns the method, defaulting to MethodNone.
+func (u UQSpec) EffectiveMethod() string {
+	if u.Method == "" {
+		return MethodNone
+	}
+	return u.Method
+}
+
+// Validate checks the UQ declaration.
+func (u UQSpec) Validate() error {
+	switch u.EffectiveMethod() {
+	case MethodNone:
+	case MethodMonteCarlo, MethodLHS, MethodHalton, MethodSobol:
+		if u.Samples <= 0 {
+			return fmt.Errorf("method %q needs a positive sample count", u.Method)
+		}
+	case MethodSmolyak:
+		if u.Level < 1 {
+			return fmt.Errorf("method %q needs level ≥ 1 (level %d would be a one-point quadrature)", u.Method, u.Level)
+		}
+		if u.Samples > 0 {
+			return fmt.Errorf("method %q takes its budget from level, not samples", u.Method)
+		}
+	default:
+		return fmt.Errorf("unknown uq method %q", u.Method)
+	}
+	if u.Rho != nil && (*u.Rho < 0 || *u.Rho > 1) {
+		return fmt.Errorf("rho %g outside [0, 1]", *u.Rho)
+	}
+	if u.MeanDelta < 0 || u.MeanDelta >= 1 {
+		return fmt.Errorf("mean_delta %g outside [0, 1)", u.MeanDelta)
+	}
+	if u.StdDelta < 0 || u.CriticalK < 0 {
+		return fmt.Errorf("std_delta and critical_k must be non-negative")
+	}
+	return nil
+}
+
+// Scenario is one declarative entry of a batch: a chip configuration, a
+// transient-solve configuration and an uncertainty treatment.
+type Scenario struct {
+	// Name identifies the scenario in results; unique within a batch.
+	Name string `json:"name"`
+	// Description is free text carried into the results manifest.
+	Description string `json:"description,omitempty"`
+	// Chip declares geometry, drive, wires and ambient.
+	Chip ChipSpec `json:"chip,omitempty"`
+	// Sim declares the transient solve; zero end time / steps take the
+	// paper's 50 s / 50 steps.
+	Sim config.SimConfig `json:"sim,omitempty"`
+	// UQ declares the uncertainty study; the zero value is deterministic.
+	UQ UQSpec `json:"uq,omitempty"`
+}
+
+// withSimDefaults returns the scenario with the paper's transient horizon
+// filled into unset Sim fields.
+func (s Scenario) withSimDefaults() Scenario {
+	if s.Sim.EndTimeS <= 0 {
+		s.Sim.EndTimeS = 50
+	}
+	if s.Sim.NumSteps <= 0 {
+		s.Sim.NumSteps = 50
+	}
+	return s
+}
+
+// Validate checks one scenario.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario needs a name")
+	}
+	if err := s.Chip.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: chip: %w", s.Name, err)
+	}
+	if err := s.withSimDefaults().Sim.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: sim: %w", s.Name, err)
+	}
+	if err := s.UQ.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: uq: %w", s.Name, err)
+	}
+	return nil
+}
+
+// Batch is a named list of scenarios evaluated through one shared assembly
+// cache.
+type Batch struct {
+	// Name labels the batch in manifests and job listings.
+	Name string `json:"name,omitempty"`
+	// Workers bounds scenario-level parallelism (0 = automatic).
+	Workers int `json:"workers,omitempty"`
+	// SampleWorkers bounds the per-scenario ensemble parallelism
+	// (0 = automatic).
+	SampleWorkers int `json:"sample_workers,omitempty"`
+	// Scenarios is evaluated in order; results keep this order regardless
+	// of scheduling.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Validate checks the batch structurally and every scenario individually.
+// Per-scenario physics errors (e.g. an unbuildable geometry) are NOT caught
+// here — they surface as that scenario's failure at run time, isolated from
+// the rest of the batch.
+func (b *Batch) Validate() error {
+	if len(b.Scenarios) == 0 {
+		return fmt.Errorf("scenario: batch has no scenarios")
+	}
+	if b.Workers < 0 || b.SampleWorkers < 0 {
+		return fmt.Errorf("scenario: negative worker counts")
+	}
+	seen := make(map[string]bool, len(b.Scenarios))
+	for i, s := range b.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("scenario: entry %d has no name", i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("scenario: duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// ParseBatch decodes a batch from JSON, rejecting unknown fields so typos in
+// scenario files fail loudly.
+func ParseBatch(data []byte) (*Batch, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b Batch
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// LoadBatch reads and decodes a batch file.
+func LoadBatch(path string) (*Batch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := ParseBatch(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// MarshalIndent renders the batch as formatted JSON (the on-disk scenario
+// file format).
+func (b *Batch) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -63,17 +63,33 @@ func NewWireTempModel(sim *core.Simulator) *WireTempModel {
 	}
 }
 
-// Dim implements uq.Model.
-func (m *WireTempModel) Dim() int {
+// GermDim returns the number of standard-normal germs driving nWires
+// equicorrelated elongations at correlation rho: one shared draw at ρ = 1,
+// one per wire at ρ = 0, and a common component plus per-wire scatter in
+// between.
+func GermDim(nWires int, rho float64) int {
 	switch {
-	case m.Rho >= 1:
+	case rho >= 1:
 		return 1
-	case m.Rho <= 0:
-		return m.nWires
+	case rho <= 0:
+		return nWires
 	default:
-		return m.nWires + 1
+		return nWires + 1
 	}
 }
+
+// GermDists returns the standard-normal distributions of the germ vector —
+// the sampler inputs for any study over the equicorrelated elongation law.
+func GermDists(nWires int, rho float64) []uq.Dist {
+	out := make([]uq.Dist, GermDim(nWires, rho))
+	for i := range out {
+		out[i] = uq.Normal{Mu: 0, Sigma: 1}
+	}
+	return out
+}
+
+// Dim implements uq.Model.
+func (m *WireTempModel) Dim() int { return GermDim(m.nWires, m.Rho) }
 
 // Deltas maps the standard-normal germ vector to the wire elongations.
 func (m *WireTempModel) Deltas(z []float64) []float64 {
@@ -102,11 +118,7 @@ func (m *WireTempModel) Deltas(z []float64) []float64 {
 
 // InputDists returns the standard-normal germ distributions for this model.
 func (m *WireTempModel) InputDists() []uq.Dist {
-	out := make([]uq.Dist, m.Dim())
-	for i := range out {
-		out[i] = uq.Normal{Mu: 0, Sigma: 1}
-	}
-	return out
+	return GermDists(m.nWires, m.Rho)
 }
 
 // NumOutputs implements uq.Model.
@@ -144,6 +156,29 @@ func (m *WireTempModel) Eval(params, out []float64) error {
 	return nil
 }
 
+// Params bundles the elongation-law parameters applied to every model a
+// factory hands out: the mean and standard deviation of the relative
+// elongation δ and the wire-to-wire process correlation ρ. Zero-valued Mu
+// and Sigma select the paper's fitted 0.17 and 0.048 (an exactly-zero law
+// is not expressible, by the same zero-means-default convention as
+// config.UQConfig); ρ = 0 is meaningful and kept as given.
+type Params struct {
+	Mu    float64 // elongation mean; zero means the paper's 0.17
+	Sigma float64 // elongation std; zero means the paper's 0.048
+	Rho   float64 // wire-to-wire correlation in [0, 1]
+}
+
+// withDefaults fills zero fields with the paper's fitted values.
+func (p Params) withDefaults() Params {
+	if p.Mu == 0 {
+		p.Mu = 0.17
+	}
+	if p.Sigma == 0 {
+		p.Sigma = 0.048
+	}
+	return p
+}
+
 // Factory returns a uq.ModelFactory producing independent clones of the
 // base simulator for parallel workers (sharing the immutable mesh assembly),
 // with the default process correlation.
@@ -153,6 +188,15 @@ func Factory(base *core.Simulator) uq.ModelFactory {
 
 // FactoryFor is Factory with an explicit wire-to-wire elongation correlation.
 func FactoryFor(base *core.Simulator, rho float64) uq.ModelFactory {
+	return ParamFactory(base, Params{Rho: rho})
+}
+
+// ParamFactory is Factory with the full elongation law spelled out. The first
+// model handed out wraps base itself; later calls wrap clones sharing the
+// immutable mesh assembly, so every worker model carries identical Mu, Sigma
+// and Rho.
+func ParamFactory(base *core.Simulator, p Params) uq.ModelFactory {
+	p = p.withDefaults()
 	var mu sync.Mutex
 	first := true
 	return func() (uq.Model, error) {
@@ -169,7 +213,9 @@ func FactoryFor(base *core.Simulator, rho float64) uq.ModelFactory {
 			sim = clone
 		}
 		m := NewWireTempModel(sim)
-		m.Rho = rho
+		m.Mu = p.Mu
+		m.Sigma = p.Sigma
+		m.Rho = p.Rho
 		return m, nil
 	}
 }
@@ -197,12 +243,23 @@ type Fig7 struct {
 // BuildFig7 aggregates an ensemble (outputs laid out by WireTempModel) into
 // the Fig. 7 statistics.
 func BuildFig7(times []float64, ens *uq.Ensemble, nWires int, tCrit float64) (*Fig7, error) {
-	nTimes := len(times)
-	if ens.NumOutputs != nTimes*nWires {
-		return nil, fmt.Errorf("study: ensemble has %d outputs, expected %d×%d", ens.NumOutputs, nTimes, nWires)
+	if ens.NumOutputs != len(times)*nWires {
+		return nil, fmt.Errorf("study: ensemble has %d outputs, expected %d×%d", ens.NumOutputs, len(times), nWires)
 	}
-	means := ens.MeanAll()
-	stds := ens.StdAll()
+	return BuildFig7FromMoments(times, ens.MeanAll(), ens.StdAll(), nWires, tCrit, ens.Succeeded())
+}
+
+// BuildFig7FromMoments aggregates per-output means and standard deviations
+// (laid out time-major like WireTempModel outputs) into the Fig. 7
+// statistics. This is the moment-based core shared by the Monte Carlo path
+// (BuildFig7) and collocation/PCE studies, whose results arrive as moments
+// rather than sample sets. samples is only used for the eq. (6) error
+// estimate and may be zero for deterministic quadratures.
+func BuildFig7FromMoments(times, means, stds []float64, nWires int, tCrit float64, samples int) (*Fig7, error) {
+	nTimes := len(times)
+	if len(means) != nTimes*nWires || len(stds) != nTimes*nWires {
+		return nil, fmt.Errorf("study: got %d means and %d stds, expected %d×%d", len(means), len(stds), nTimes, nWires)
+	}
 
 	f := &Fig7{
 		Times:     append([]float64(nil), times...),
@@ -210,7 +267,7 @@ func BuildFig7(times []float64, ens *uq.Ensemble, nWires int, tCrit float64) (*F
 		SWire:     make([][]float64, nTimes),
 		EMax:      make([]float64, nTimes),
 		TCritical: tCrit,
-		Samples:   ens.Succeeded(),
+		Samples:   samples,
 	}
 	for t := 0; t < nTimes; t++ {
 		f.EWire[t] = means[t*nWires : (t+1)*nWires]
@@ -236,7 +293,10 @@ func BuildFig7(times []float64, ens *uq.Ensemble, nWires int, tCrit float64) (*F
 		f.SigmaHot[t] = f.SWire[t][f.HotWire]
 	}
 	f.SigmaMC = f.SigmaHot[last]
-	f.ErrorMC = stats.MCError(f.SigmaMC, f.Samples)
+	f.ErrorMC = 0 // eq. (6) applies to sampling studies only
+	if f.Samples > 0 {
+		f.ErrorMC = stats.MCError(f.SigmaMC, f.Samples)
+	}
 
 	// Crossing diagnostics against T_crit.
 	upper := make([]float64, nTimes)

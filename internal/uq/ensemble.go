@@ -36,6 +36,12 @@ func SingleFactory(m Model) ModelFactory {
 type EnsembleOptions struct {
 	Samples int // number of model evaluations M
 	Workers int // parallel workers; 0 = GOMAXPROCS (serial evaluation order is deterministic anyway)
+
+	// OnSample, when non-nil, is invoked after every model evaluation with
+	// the sample index and its error (nil on success). It is called from
+	// worker goroutines concurrently and must be safe for parallel use; it
+	// exists for progress reporting and must not block for long.
+	OnSample func(i int, err error)
 }
 
 // Ensemble holds the results of a sampling study. All sample outputs are
@@ -85,9 +91,21 @@ func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOpti
 		Outputs:     make([][]float64, opt.Samples),
 	}
 
+	// Worker models are created serially up front: factories typically clone
+	// a shared base simulator, and a lazy in-goroutine clone would race with
+	// worker 0 already mutating that base through its first evaluation.
+	models := make([]Model, workers)
+	models[0] = probe
+	for w := 1; w < workers; w++ {
+		m, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("uq: worker setup: %w", err)
+		}
+		models[w] = m
+	}
+
 	type job struct{ i int }
 	jobs := make(chan job)
-	errs := make([]error, workers)
 	var failures sync.Map
 	var wg sync.WaitGroup
 
@@ -95,16 +113,7 @@ func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOpti
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var m Model
-			if w == 0 {
-				m = probe
-			} else {
-				var err error
-				if m, err = factory(); err != nil {
-					errs[w] = err
-					return
-				}
-			}
+			m := models[w]
 			u := make([]float64, s.Dim())
 			for jb := range jobs {
 				i := jb.i
@@ -112,7 +121,11 @@ func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOpti
 				out := make([]float64, nOut)
 				s.Sample(i, u)
 				TransformPoint(dists, u, params)
-				if err := m.Eval(params, out); err != nil {
+				err := m.Eval(params, out)
+				if opt.OnSample != nil {
+					opt.OnSample(i, err)
+				}
+				if err != nil {
 					failures.Store(i, err)
 					continue
 				}
@@ -126,11 +139,6 @@ func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOpti
 	}
 	close(jobs)
 	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("uq: worker setup: %w", e)
-		}
-	}
 	failures.Range(func(_, _ any) bool { ens.Failures++; return true })
 	if ens.Failures == opt.Samples {
 		var first error
