@@ -1,6 +1,18 @@
 GO ?= go
 
-.PHONY: all build verify test vet fmt-check bench demo clean
+# bench-json/bench-smoke pipe `go test` into benchjson; pipefail makes a
+# failing benchmark fail the pipeline instead of hiding behind the parser's
+# exit status.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# Benchmarks tracked by bench-json; BENCH_OUT is the trajectory file each PR
+# appends its machine-local baseline to (PR 2 recorded BENCH_PR2.json).
+BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_TIME ?= 3x
+
+.PHONY: all build verify test vet fmt-check bench bench-json bench-smoke demo clean
 
 all: build
 
@@ -23,6 +35,21 @@ test:
 # bench regenerates the paper's tables and figures (expensive).
 bench:
 	$(GO) test -bench . -benchtime 1x -timeout 60m
+
+# bench-json runs the tracked tier-1-adjacent benchmarks and writes a JSON
+# trajectory file (ns/op, allocs/op, headline metrics) for regression
+# tracking across PRs.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
+		-benchtime $(BENCH_TIME) -timeout 60m \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
+
+# bench-smoke is the CI variant: single iteration, output to stdout, no
+# baseline file — it proves the benchmarks and the JSON pipeline stay alive.
+bench-smoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
+		-benchtime 1x -timeout 30m \
+		| $(GO) run ./cmd/benchjson
 
 # demo runs the bundled batch scenario suite.
 demo:

@@ -44,6 +44,18 @@ type SimConfig struct {
 	Integrator string  `json:"integrator,omitempty"` // implicit-euler|trapezoidal|bdf2
 	Joule      string  `json:"joule,omitempty"`      // edge-split|cell-average
 	LinTol     float64 `json:"lin_tol,omitempty"`
+
+	// Performance knobs (see core.Options for the full semantics).
+	// Precond selects the CG preconditioner: ic0 (default) | jacobi | none.
+	Precond string `json:"precond,omitempty"`
+	// PrecondOmega is the modified-IC relaxation in [0, 1]; 0 keeps the
+	// default (1, full compensation), negative selects plain IC(0).
+	PrecondOmega float64 `json:"precond_omega,omitempty"`
+	// PrecondRefresh is the preconditioner lag ratio (default 1.5).
+	PrecondRefresh float64 `json:"precond_refresh,omitempty"`
+	// SolverWorkers enables the bit-identical parallel matvec/assembly path
+	// inside each transient solve; 0 or 1 keeps the serial default.
+	SolverWorkers int `json:"solver_workers,omitempty"`
 }
 
 // UQConfig controls the sampling study.
@@ -143,6 +155,20 @@ func (s SimConfig) Validate() error {
 	default:
 		return fmt.Errorf("unknown joule scheme %q", s.Joule)
 	}
+	switch s.Precond {
+	case "", "ic0", "jacobi", "none":
+	default:
+		return fmt.Errorf("unknown preconditioner %q", s.Precond)
+	}
+	if s.PrecondOmega > 1 {
+		return fmt.Errorf("precond_omega %g above 1", s.PrecondOmega)
+	}
+	if s.PrecondRefresh < 0 {
+		return fmt.Errorf("negative precond_refresh %g", s.PrecondRefresh)
+	}
+	if s.SolverWorkers < 0 {
+		return fmt.Errorf("negative solver_workers %d", s.SolverWorkers)
+	}
 	return nil
 }
 
@@ -216,6 +242,23 @@ func (s SimConfig) CoreOptions(forEnsemble bool) core.Options {
 	}
 	if s.LinTol > 0 {
 		o.LinTol = s.LinTol
+	}
+	switch s.Precond {
+	case "ic0":
+		o.Precond = core.PrecondIC0
+	case "jacobi":
+		o.Precond = core.PrecondJacobi
+	case "none":
+		o.Precond = core.PrecondNone
+	}
+	if s.PrecondOmega != 0 {
+		o.PrecondOmega = s.PrecondOmega
+	}
+	if s.PrecondRefresh > 0 {
+		o.PrecondRefreshRatio = s.PrecondRefresh
+	}
+	if s.SolverWorkers > 0 {
+		o.Workers = s.SolverWorkers
 	}
 	return o
 }

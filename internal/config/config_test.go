@@ -92,3 +92,41 @@ func TestSpecAndOptionsMaterialization(t *testing.T) {
 		t.Error("ensemble options should start from FastOptions")
 	}
 }
+
+func TestSolverKnobsMaterialization(t *testing.T) {
+	s := SimConfig{
+		EndTimeS: 10, NumSteps: 5,
+		Precond: "jacobi", PrecondOmega: -1, PrecondRefresh: 2.5, SolverWorkers: 4,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := s.CoreOptions(false)
+	if o.Precond != core.PrecondJacobi {
+		t.Error("precond selection lost")
+	}
+	if o.PrecondOmega != -1 {
+		t.Error("precond omega override lost")
+	}
+	if o.PrecondRefreshRatio != 2.5 {
+		t.Error("precond refresh ratio lost")
+	}
+	if o.Workers != 4 {
+		t.Error("solver workers lost")
+	}
+	// Unset knobs keep the core defaults.
+	d := SimConfig{EndTimeS: 10, NumSteps: 5}.CoreOptions(false)
+	if d.Precond != core.PrecondIC0 || d.Workers != 0 || d.PrecondOmega != 0 {
+		t.Errorf("zero-value knobs should defer to core defaults: %+v", d)
+	}
+	for _, bad := range []SimConfig{
+		{EndTimeS: 1, NumSteps: 1, Precond: "ilu"},
+		{EndTimeS: 1, NumSteps: 1, PrecondOmega: 1.5},
+		{EndTimeS: 1, NumSteps: 1, PrecondRefresh: -1},
+		{EndTimeS: 1, NumSteps: 1, SolverWorkers: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("expected validation error for %+v", bad)
+		}
+	}
+}

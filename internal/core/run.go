@@ -22,6 +22,17 @@ type RunStats struct {
 	FinalElecPower        float64
 	FinalBoundaryLoss     float64
 	FinalHottestWireIndex int
+
+	// Preconditioner lifecycle: IC0 factorizations built from scratch
+	// (normally one per operator), in-place numeric refreshes triggered by
+	// the lag policy, downgrades from modified to plain IC(0), and
+	// permanent falls back to Jacobi. The reason records the most recent
+	// downgrade or fallback (normally none happen and it stays empty).
+	PrecondBuilds         int
+	PrecondRefreshes      int
+	PrecondDowngrades     int
+	PrecondFallbacks      int
+	PrecondFallbackReason string `json:",omitempty"`
 }
 
 // Result holds the transient solution history. Index 0 of every time series
@@ -42,6 +53,10 @@ type Result struct {
 	Snapshots  map[int][]float64 // step index → grid temperature copy
 
 	Stats RunStats
+
+	// wireBack is the single backing array behind the WireTemp, WireMaxTemp
+	// and WirePower rows, allocated once per run.
+	wireBack []float64
 }
 
 // NumWires returns the number of wires in the result.
@@ -102,7 +117,13 @@ func (s *Simulator) Run() (*Result, error) {
 		BoundaryLoss:    make([]float64, 0, nSteps+1),
 		EnergyImbalance: make([]float64, 0, nSteps+1),
 		Snapshots:       make(map[int][]float64),
+
+		// One backing array per wire series instead of three slices per
+		// recorded step; record slices rows out of these.
+		wireBack: make([]float64, 3*(nSteps+1)*nw),
 	}
+	s.runStats = &res.Stats
+	defer func() { s.runStats = nil }()
 
 	// Initial state: record wire temperatures and the instantaneous electric
 	// power at the initial temperature.
@@ -119,7 +140,10 @@ func (s *Simulator) Run() (*Result, error) {
 	pOut0 := fit.RobinLoss(s.T[:s.nGrid], s.bndAreas[:s.nGrid], s.prob.ThermalBC, s.scratch)
 	s.record(res, 0, 0, fieldP, wireP, pOut0, nw)
 
-	prev2 := make([]float64, s.nDOF) // T_{n-1} for BDF2
+	prev2 := s.prev2 // T_{n-1} for BDF2
+	for i := range prev2 {
+		prev2[i] = 0
+	}
 	havePrev2 := false
 
 	// Explicit part for the trapezoidal rule: K(T_n)T_n + q_bnd(T_n) − Q_n.
@@ -215,9 +239,10 @@ func (s *Simulator) Run() (*Result, error) {
 
 func (s *Simulator) record(res *Result, t, imb, fieldP, wireP, pOut float64, nw int) {
 	res.Times = append(res.Times, t)
-	wt := make([]float64, nw)
-	wmax := make([]float64, nw)
-	wp := make([]float64, nw)
+	base := 3 * nw * (len(res.Times) - 1)
+	wt := res.wireBack[base : base+nw : base+nw]
+	wmax := res.wireBack[base+nw : base+2*nw : base+2*nw]
+	wp := res.wireBack[base+2*nw : base+3*nw : base+3*nw]
 	for j := 0; j < nw; j++ {
 		wt[j] = s.coup.WireTemperature(j, s.T)
 		wmax[j] = s.coup.WireMaxTemperature(j, s.T)
@@ -266,7 +291,7 @@ func (s *Simulator) thermalStep(integ Integrator, dt float64, prev2 []float64, r
 	}
 
 	newton := opt.Nonlinear == NewtonLinearized
-	tNext := make([]float64, s.nDOF)
+	tNext := s.tNext
 	copy(tNext, s.tIter)
 
 	for k := 0; k < opt.MaxNonlinIter; k++ {
@@ -290,11 +315,10 @@ func (s *Simulator) thermalStep(integ Integrator, dt float64, prev2 []float64, r
 				s.rhs[i] += thetaW * s.bndRh[i]
 			}
 		}
-		if err := fit.ApplyDirichlet(a, s.rhs, s.prob.ThermDirichlet...); err != nil {
-			return err
-		}
-		st, err := solver.CG(a, s.rhs, tNext, s.preconditioner(a),
-			solver.Options{Tol: opt.LinTol, MaxIter: opt.LinMaxIter})
+		s.dirT.Apply(a, s.rhs)
+		st, err := solver.CGWith(s.wsT, a, s.rhs, tNext, s.preconditioner(&s.precT, a),
+			solver.Options{Tol: opt.LinTol, MaxIter: opt.LinMaxIter, Workers: opt.Workers})
+		s.precT.noteIters(st.Iterations, opt.PrecondRefreshRatio)
 		res.Stats.ThermSolves++
 		res.Stats.ThermCGIters += st.Iterations
 		res.Stats.NonlinIters++

@@ -34,8 +34,57 @@ type Simulator struct {
 	q, rhs         []float64
 	bndDiag, bndRh []float64 // grid-length boundary linearization
 	tPrev, tIter   []float64
+	tNext, prev2   []float64 // step-loop iterates, hoisted out of the loop
 	explicit       []float64 // explicit part for θ/BDF2 schemes
 	scratch        []float64
+
+	// Allocation-free solver state, one per operator: CG workspace, the
+	// precomputed Dirichlet elimination, and the cached preconditioner with
+	// its lag-policy bookkeeping.
+	wsE, wsT     *solver.Workspace
+	dirE, dirT   *fit.DirichletApplier
+	precE, precT precState
+
+	// runStats points at the RunStats of the transient in flight so the
+	// preconditioner lifecycle can be audited; nil outside Run.
+	runStats *RunStats
+}
+
+// precState caches the preconditioner of one operator across solves. The
+// (modified) IC0 factorization is built once per operator matrix,
+// numerically refreshed in place only when the lag policy triggers, and
+// degraded — modified IC0 → plain IC0 → Jacobi — at most once per level per
+// operator, with the reason recorded.
+type precState struct {
+	mat      *sparse.CSR // operator matrix this state is bound to
+	ic0      *solver.IC0Prec
+	jac      *solver.JacobiPrec
+	omega    float64 // current modified-IC relaxation (downgraded on failure)
+	useJac   bool    // permanent fallback for this operator
+	reason   string  // why IC0 was abandoned or downgraded
+	refIters int     // CG iterations right after the last (re)factorization
+	fresh    bool    // factorization was rebuilt for the upcoming solve
+	pending  bool    // lag policy requested a refresh before the next solve
+}
+
+// precondIterSlack is the additive headroom of the lag policy: refresh only
+// when a solve exceeds ratio·refIters + slack iterations, so near-zero
+// iteration counts (warm-started solves) don't trigger refresh storms.
+const precondIterSlack = 4
+
+// noteIters feeds a solve's iteration count into the lag policy.
+func (ps *precState) noteIters(iters int, ratio float64) {
+	if ps.fresh {
+		ps.fresh = false
+		ps.refIters = iters
+		return
+	}
+	if ps.ic0 == nil || ps.useJac {
+		return
+	}
+	if float64(iters) > ratio*float64(ps.refIters)+precondIterSlack {
+		ps.pending = true
+	}
 }
 
 // NewSimulator validates the problem and prepares operators and buffers.
@@ -112,8 +161,19 @@ func newWithAssembler(p *Problem, opt Options, asm *fit.Assembler) (*Simulator, 
 	s.bndRh = make([]float64, s.nDOF)
 	s.tPrev = make([]float64, s.nDOF)
 	s.tIter = make([]float64, s.nDOF)
+	s.tNext = make([]float64, s.nDOF)
+	s.prev2 = make([]float64, s.nDOF)
 	s.explicit = make([]float64, s.nDOF)
 	s.scratch = make([]float64, s.nDOF)
+
+	s.wsE = solver.NewWorkspace(s.nDOF)
+	s.wsT = solver.NewWorkspace(s.nDOF)
+	if s.dirE, err = fit.NewDirichletApplier(s.opE.Matrix(), p.ElecDirichlet...); err != nil {
+		return nil, err
+	}
+	if s.dirT, err = fit.NewDirichletApplier(s.opT.Matrix(), p.ThermDirichlet...); err != nil {
+		return nil, err
+	}
 
 	s.ResetState()
 	return s, nil
@@ -173,7 +233,12 @@ func (s *Simulator) SetWireElongation(i int, delta float64) error {
 }
 
 // ResetState restores the initial condition (uniform initial temperature,
-// zero potentials) so the simulator can run another sample.
+// zero potentials) and discards the cached preconditioner state, so the
+// simulator can run another sample. The preconditioner reset matters for
+// determinism: ensemble workers run different sample subsequences on the
+// same cloned simulator, and a factorization (or lag-policy history) leaking
+// from one sample into the next would make results depend on the worker
+// split. With the reset, every Run starts from the identical solver state.
 func (s *Simulator) ResetState() {
 	t0 := s.prob.InitTemperature()
 	for i := range s.T {
@@ -182,6 +247,8 @@ func (s *Simulator) ResetState() {
 	for i := range s.phi {
 		s.phi[i] = 0
 	}
+	s.precE = precState{}
+	s.precT = precState{}
 }
 
 // Temperatures returns the current DOF temperature vector (live; copy before
@@ -191,36 +258,109 @@ func (s *Simulator) Temperatures() []float64 { return s.T }
 // Potentials returns the current DOF potential vector (live).
 func (s *Simulator) Potentials() []float64 { return s.phi }
 
-func (s *Simulator) preconditioner(a *sparse.CSR) solver.Preconditioner {
+// preconditioner returns the cached preconditioner of the operator behind
+// ps, building it on first use, refreshing the IC0 factorization in place
+// when the lag policy has flagged drift, and falling back to Jacobi at most
+// once per operator (the reason lands in RunStats).
+func (s *Simulator) preconditioner(ps *precState, a *sparse.CSR) solver.Preconditioner {
 	switch s.opt.Precond {
 	case PrecondNone:
 		return solver.IdentityPrec{}
 	case PrecondJacobi:
-		return solver.NewJacobi(a)
-	default:
-		if p, err := solver.NewIC0(a); err == nil {
-			return p
+		if ps.mat != a || ps.jac == nil {
+			*ps = precState{mat: a, jac: solver.NewJacobi(a)}
+		} else {
+			ps.jac.Refresh(a)
 		}
-		return solver.NewJacobi(a)
+		return ps.jac
+	default: // (modified) IC0 with lagged in-place refresh
+		if ps.mat != a {
+			*ps = precState{mat: a, omega: s.opt.PrecondOmega}
+		}
+		if ps.useJac {
+			ps.jac.Refresh(a)
+			return ps.jac
+		}
+		if ps.ic0 == nil {
+			return s.buildIC0(ps, a)
+		}
+		if ps.pending {
+			if err := ps.ic0.Refresh(a); err != nil {
+				// The refreshed values broke this relaxation level; rebuild
+				// down the degradation chain.
+				ps.ic0 = nil
+				ps.reason = err.Error()
+				return s.buildIC0(ps, a)
+			}
+			ps.pending = false
+			ps.fresh = true
+			if s.runStats != nil {
+				s.runStats.PrecondRefreshes++
+			}
+		}
+		return ps.ic0
 	}
+}
+
+// buildIC0 factorizes the operator at the state's current relaxation level,
+// downgrading modified IC0 → plain IC0 → Jacobi on failure.
+func (s *Simulator) buildIC0(ps *precState, a *sparse.CSR) solver.Preconditioner {
+	ic, err := solver.NewMIC0(a, ps.omega)
+	if err != nil && ps.omega != 0 {
+		ps.omega = 0
+		ps.reason = err.Error()
+		if s.runStats != nil {
+			s.runStats.PrecondDowngrades++
+			s.runStats.PrecondFallbackReason = ps.reason
+		}
+		ic, err = solver.NewIC0(a)
+	}
+	if err != nil {
+		return s.fallbackJacobi(ps, a, err)
+	}
+	ps.ic0 = ic
+	ps.pending = false
+	ps.fresh = true
+	if s.runStats != nil {
+		s.runStats.PrecondBuilds++
+	}
+	return ic
+}
+
+// fallbackJacobi permanently switches one operator's preconditioning to
+// Jacobi after a failed IC0 factorization, recording why.
+func (s *Simulator) fallbackJacobi(ps *precState, a *sparse.CSR, err error) solver.Preconditioner {
+	ps.ic0 = nil
+	ps.useJac = true
+	ps.fresh = true
+	ps.reason = err.Error()
+	if ps.jac == nil {
+		ps.jac = solver.NewJacobi(a)
+	} else {
+		ps.jac.Refresh(a)
+	}
+	if s.runStats != nil {
+		s.runStats.PrecondFallbacks++
+		s.runStats.PrecondFallbackReason = ps.reason
+	}
+	return ps.jac
 }
 
 // SolveElectric assembles and solves the stationary current problem at the
 // DOF temperatures T, leaving the potentials in s.phi (warm-started). The
 // per-branch electric conductances remain in s.condE for Joule evaluation.
 func (s *Simulator) SolveElectric(T []float64) (solver.Stats, error) {
-	s.asm.EdgeConductances(fit.Electric, T[:s.nGrid], s.condE[:s.nEdges])
+	s.asm.EdgeConductancesWorkers(fit.Electric, T[:s.nGrid], s.condE[:s.nEdges], s.opt.Workers)
 	s.coup.SegmentConductances(fit.Electric, T, s.condE[s.nEdges:])
 	s.opE.SetValues(s.condE)
 	a := s.opE.Matrix()
 	for i := range s.rhs {
 		s.rhs[i] = 0
 	}
-	if err := fit.ApplyDirichlet(a, s.rhs, s.prob.ElecDirichlet...); err != nil {
-		return solver.Stats{}, err
-	}
-	stats, err := solver.CG(a, s.rhs, s.phi, s.preconditioner(a),
-		solver.Options{Tol: s.opt.LinTol, MaxIter: s.opt.LinMaxIter})
+	s.dirE.Apply(a, s.rhs)
+	stats, err := solver.CGWith(s.wsE, a, s.rhs, s.phi, s.preconditioner(&s.precE, a),
+		solver.Options{Tol: s.opt.LinTol, MaxIter: s.opt.LinMaxIter, Workers: s.opt.Workers})
+	s.precE.noteIters(stats.Iterations, s.opt.PrecondRefreshRatio)
 	if err != nil {
 		return stats, fmt.Errorf("core: electric solve: %w", err)
 	}
@@ -250,7 +390,7 @@ func (s *Simulator) jouleInto(T, dst []float64) (fieldP, wireP float64) {
 // assembleThermal evaluates the thermal conductances at Tk and stamps the
 // Laplacian into s.opT.
 func (s *Simulator) assembleThermal(Tk []float64) {
-	s.asm.EdgeConductances(fit.Thermal, Tk[:s.nGrid], s.condT[:s.nEdges])
+	s.asm.EdgeConductancesWorkers(fit.Thermal, Tk[:s.nGrid], s.condT[:s.nEdges], s.opt.Workers)
 	s.coup.SegmentConductances(fit.Thermal, Tk, s.condT[s.nEdges:])
 	s.opT.SetValues(s.condT)
 }
@@ -259,7 +399,7 @@ func (s *Simulator) assembleThermal(Tk []float64) {
 // K(Tk)·Tk + boundary loss − Q into dst. Used for the explicit part of the
 // θ-scheme and for energy audits.
 func (s *Simulator) thermalResidualParts(Tk, q, dst []float64) {
-	s.asm.EdgeConductances(fit.Thermal, Tk[:s.nGrid], s.condT[:s.nEdges])
+	s.asm.EdgeConductancesWorkers(fit.Thermal, Tk[:s.nGrid], s.condT[:s.nEdges], s.opt.Workers)
 	s.coup.SegmentConductances(fit.Thermal, Tk, s.condT[s.nEdges:])
 	fit.ApplyLaplacian(s.branches, s.condT, Tk, dst)
 	fit.RobinLoss(Tk[:s.nGrid], s.bndAreas[:s.nGrid], s.prob.ThermalBC, dst)

@@ -182,3 +182,32 @@ func TestSimDefaults(t *testing.T) {
 		t.Error("explicit sim config overwritten")
 	}
 }
+
+// TestScenarioSolverKnobs checks the solver performance knobs parse inside a
+// batch file and materialize into core options per scenario.
+func TestScenarioSolverKnobs(t *testing.T) {
+	batch, err := ParseBatch([]byte(`{
+		"scenarios": [{
+			"name": "tuned",
+			"sim": {
+				"end_time_s": 10, "num_steps": 5,
+				"precond": "ic0", "precond_omega": 0.95,
+				"precond_refresh": 2, "solver_workers": 4
+			}
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := batch.Scenarios[0].Sim.CoreOptions(false)
+	if opt.PrecondOmega != 0.95 || opt.PrecondRefreshRatio != 2 || opt.Workers != 4 {
+		t.Errorf("solver knobs lost in materialization: %+v", opt)
+	}
+	bad := Scenario{
+		Name: "bad",
+		Sim:  config.SimConfig{EndTimeS: 1, NumSteps: 1, Precond: "ilu"},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid preconditioner should fail scenario validation")
+	}
+}

@@ -1,0 +1,265 @@
+package solver
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"etherm/internal/sparse"
+)
+
+// poisson2D builds the 2D five-point Poisson matrix with a diagonal shift.
+func poisson2D(nx int, shift float64) *sparse.CSR {
+	n := nx * nx
+	b := sparse.NewBuilder(n, n)
+	id := func(i, j int) int { return i + nx*j }
+	for j := 0; j < nx; j++ {
+		for i := 0; i < nx; i++ {
+			if i+1 < nx {
+				b.AddSym(id(i, j), id(i+1, j), 1)
+			}
+			if j+1 < nx {
+				b.AddSym(id(i, j), id(i, j+1), 1)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, shift)
+	}
+	return b.ToCSR()
+}
+
+// TestIC0RefreshMatchesFromScratch perturbs the values of a matrix (pattern
+// unchanged) and checks that the in-place refresh reproduces the factor a
+// from-scratch factorization computes, for plain and modified IC0.
+func TestIC0RefreshMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for _, omega := range []float64{0, 0.95, 1} {
+		a := randomSPD(rng, 60)
+		p, err := NewMIC0(a, omega)
+		if err != nil {
+			t.Fatalf("omega=%g: %v", omega, err)
+		}
+		// Perturb the values on the same pattern, keeping SPD via diagonal
+		// dominance: scale off-diagonals down, diagonal up.
+		for i := 0; i < a.Rows; i++ {
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				if a.ColIdx[k] == i {
+					a.Val[k] *= 1.3
+				} else {
+					a.Val[k] *= 0.8
+				}
+			}
+		}
+		if err := p.Refresh(a); err != nil {
+			t.Fatalf("omega=%g: refresh: %v", omega, err)
+		}
+		q, err := NewMIC0(a, omega)
+		if err != nil {
+			t.Fatalf("omega=%g: fresh factorization: %v", omega, err)
+		}
+		for k := range p.val {
+			if p.val[k] != q.val[k] {
+				t.Fatalf("omega=%g: refreshed val[%d] = %g, from-scratch %g", omega, k, p.val[k], q.val[k])
+			}
+		}
+		for i := range p.diag {
+			if p.diag[i] != q.diag[i] {
+				t.Fatalf("omega=%g: refreshed diag[%d] = %g, from-scratch %g", omega, i, p.diag[i], q.diag[i])
+			}
+		}
+		for k := range p.upVal {
+			if p.upVal[k] != q.upVal[k] {
+				t.Fatalf("omega=%g: refreshed upVal[%d] = %g, from-scratch %g", omega, k, p.upVal[k], q.upVal[k])
+			}
+		}
+	}
+}
+
+// TestIC0RefreshRejectsPatternChange ensures Refresh refuses a matrix with a
+// different pattern instead of silently mixing index maps.
+func TestIC0RefreshRejectsPatternChange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 24))
+	a := randomSPD(rng, 30)
+	p, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := sparse.Identity(30)
+	if err := p.Refresh(other); err == nil {
+		t.Error("expected pattern-mismatch error")
+	}
+}
+
+// TestMIC0RowSums checks Gustafsson's defining property at omega = 1: L Lᵀ
+// has the same row sums as A, i.e. the preconditioner is exact on the
+// constant vector.
+func TestMIC0RowSums(t *testing.T) {
+	a := poisson2D(16, 1e-3)
+	p, err := NewMIC0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := a.Rows
+	ones := make([]float64, n)
+	aOnes := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	a.MulVec(aOnes, ones)
+	// Solve L Lᵀ x = A·1; row-sum preservation means x = 1.
+	x := make([]float64, n)
+	p.Apply(x, aOnes)
+	for i := range x {
+		if math.Abs(x[i]-1) > 1e-8 {
+			t.Fatalf("MIC0 not exact on constants: x[%d] = %g", i, x[i])
+		}
+	}
+}
+
+// TestMIC0ReducesIterations verifies the modified factorization beats plain
+// IC(0) on the Poisson model problem.
+func TestMIC0ReducesIterations(t *testing.T) {
+	a := poisson2D(24, 1e-3)
+	rng := rand.New(rand.NewPCG(25, 26))
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	solve := func(m Preconditioner) int {
+		x := make([]float64, a.Rows)
+		st, err := CG(a, rhs, x, m, Options{Tol: 1e-10, MaxIter: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Iterations
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mic, err := NewMIC0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, modified := solve(ic), solve(mic)
+	if modified >= plain {
+		t.Errorf("MIC0 (%d iters) should beat IC0 (%d iters)", modified, plain)
+	}
+}
+
+// TestMIC0SolvesAccurately checks the modified preconditioner does not
+// change what CG converges to.
+func TestMIC0SolvesAccurately(t *testing.T) {
+	rng := rand.New(rand.NewPCG(27, 28))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.IntN(50)
+		a := randomSPD(rng, n)
+		mic, err := NewMIC0(a, 1)
+		if err != nil {
+			// Compensation can break on random matrices; that is what the
+			// simulator's degradation chain is for.
+			continue
+		}
+		solveAndCheck(t, "mic0", a, mic)
+	}
+}
+
+// TestCGWithZeroAllocs is the allocation-regression gate for the solver hot
+// path: steady-state CG solves on a reused workspace must not touch the
+// heap.
+func TestCGWithZeroAllocs(t *testing.T) {
+	a := poisson2D(20, 0.5)
+	n := a.Rows
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = float64(i%5) - 2
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(n)
+	x := make([]float64, n)
+	opt := Options{Tol: 1e-10, MaxIter: 10000}
+	// Warm up once (first call may size internals), then measure.
+	if _, err := CGWith(ws, a, rhs, x, ic, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := CGWith(ws, a, rhs, x, ic, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state CGWith performed %v allocations per solve, want 0", allocs)
+	}
+	// The refresh path must also be allocation-free.
+	allocs = testing.AllocsPerRun(10, func() {
+		if err := ic.Refresh(a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("IC0 refresh performed %v allocations, want 0", allocs)
+	}
+}
+
+// TestCGWorkersBitIdentical runs the same solves serially and with the
+// parallel matvec enabled and requires bit-identical solutions and
+// trajectories for 1, 2 and 8 workers.
+func TestCGWorkersBitIdentical(t *testing.T) {
+	// Large enough to clear sparse.ParallelMinNNZ so the blocked path
+	// actually engages.
+	a := poisson2D(80, 1e-2)
+	if a.NNZ() < sparse.ParallelMinNNZ {
+		t.Fatalf("test matrix too small (%d nnz) to exercise the parallel path", a.NNZ())
+	}
+	rng := rand.New(rand.NewPCG(29, 30))
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	ic, err := NewMIC0(a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, a.Rows)
+	refStats, err := CG(a, rhs, ref, ic, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		x := make([]float64, a.Rows)
+		st, err := CG(a, rhs, x, ic, Options{Tol: 1e-11, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Iterations != refStats.Iterations || st.Residual != refStats.Residual {
+			t.Errorf("workers=%d: trajectory diverged: %+v vs %+v", workers, st, refStats)
+		}
+		for i := range x {
+			if x[i] != ref[i] {
+				t.Fatalf("workers=%d: x[%d] = %g differs from serial %g", workers, i, x[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestJacobiRefresh checks the in-place Jacobi refresh tracks new values.
+func TestJacobiRefresh(t *testing.T) {
+	a := sparse.DiagCSR([]float64{2, 4, 8})
+	p := NewJacobi(a)
+	a.Val[0] = 10
+	p.Refresh(a)
+	dst := make([]float64, 3)
+	p.Apply(dst, []float64{10, 4, 8})
+	for i, want := range []float64{1, 1, 1} {
+		if math.Abs(dst[i]-want) > 1e-15 {
+			t.Fatalf("dst[%d] = %g, want %g", i, dst[i], want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package solver
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"etherm/internal/sparse"
 )
@@ -43,16 +44,22 @@ type JacobiPrec struct {
 // diagonal entries are treated as one, which keeps the preconditioner usable
 // on rows eliminated by Dirichlet conditions.
 func NewJacobi(a *sparse.CSR) *JacobiPrec {
-	d := a.Diag()
-	inv := make([]float64, len(d))
-	for i, v := range d {
+	p := &JacobiPrec{invDiag: make([]float64, min(a.Rows, a.Cols))}
+	p.Refresh(a)
+	return p
+}
+
+// Refresh re-reads the diagonal of a into the existing buffer, allocating
+// nothing. a must have the dimensions the preconditioner was built for.
+func (p *JacobiPrec) Refresh(a *sparse.CSR) {
+	a.DiagInto(p.invDiag)
+	for i, v := range p.invDiag {
 		if v != 0 {
-			inv[i] = 1 / v
+			p.invDiag[i] = 1 / v
 		} else {
-			inv[i] = 1
+			p.invDiag[i] = 1
 		}
 	}
-	return &JacobiPrec{invDiag: inv}
 }
 
 // Apply computes dst = D⁻¹ r.
@@ -66,6 +73,12 @@ func (p *JacobiPrec) Apply(dst, r []float64) {
 type Options struct {
 	Tol     float64 // relative residual target; default 1e-10
 	MaxIter int     // default 10·n
+	// Workers enables the row-blocked parallel matvec inside the Krylov loop
+	// when > 1 (clamped to GOMAXPROCS, serial below sparse.ParallelMinNNZ).
+	// The parallel matvec is bit-identical to the serial one, so the solve
+	// trajectory — iterates, iteration count, residuals — does not depend on
+	// the worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -81,10 +94,51 @@ func (o Options) withDefaults(n int) Options {
 	return o
 }
 
+// Workspace owns the scratch vectors of an iterative solve so the Krylov
+// loop runs without heap allocations. One workspace serves one solve at a
+// time; the simulator keeps one per operator and reuses it across the
+// Newton × coupling × time-step × sample loops.
+type Workspace struct {
+	r, z, p, ap []float64
+}
+
+// NewWorkspace returns a workspace for systems of n unknowns.
+func NewWorkspace(n int) *Workspace {
+	return &Workspace{
+		r:  make([]float64, n),
+		z:  make([]float64, n),
+		p:  make([]float64, n),
+		ap: make([]float64, n),
+	}
+}
+
+// ensure grows the workspace to n unknowns if needed.
+func (w *Workspace) ensure(n int) {
+	if len(w.r) < n {
+		w.r = make([]float64, n)
+		w.z = make([]float64, n)
+		w.p = make([]float64, n)
+		w.ap = make([]float64, n)
+	}
+}
+
 // CG solves the symmetric positive definite system A x = b with the
 // preconditioned conjugate gradient method. x is used as the starting guess
 // and is updated in place. A nil preconditioner defaults to identity.
+//
+// CG allocates fresh work vectors per call; hot loops should hold a
+// Workspace and call CGWith instead.
 func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, error) {
+	return CGWith(NewWorkspace(a.Rows), a, b, x, m, opt)
+}
+
+// CGWith is CG running on caller-owned scratch vectors: in steady state
+// (workspace already sized, preconditioner prebuilt) the solve performs zero
+// heap allocations. The inner loop fuses the matvec with the pᵀAp reduction
+// and the x/r updates with the residual-norm reduction; every fused
+// reduction accumulates in the same left-to-right order as the standalone
+// sparse.Dot/Norm2, so results are bit-identical to the textbook loop.
+func CGWith(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n || len(x) != n {
 		return Stats{}, fmt.Errorf("solver: CG dimension mismatch (A %d×%d, b %d, x %d)", a.Rows, a.Cols, len(b), len(x))
@@ -93,13 +147,11 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, er
 	if m == nil {
 		m = IdentityPrec{}
 	}
+	ws.ensure(n)
+	r, z, p, ap := ws.r[:n], ws.z[:n], ws.p[:n], ws.ap[:n]
+	parallel := opt.Workers > 1 && a.NNZ() >= sparse.ParallelMinNNZ
 
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
-
-	a.MulVec(r, x)
+	a.MulVecWorkers(r, x, opt.Workers)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
@@ -119,17 +171,28 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, er
 	rz := sparse.Dot(r, z)
 
 	for it := 1; it <= opt.MaxIter; it++ {
-		a.MulVec(ap, p)
-		pap := sparse.Dot(p, ap)
+		var pap float64
+		if parallel {
+			a.MulVecWorkers(ap, p, opt.Workers)
+			pap = sparse.Dot(p, ap)
+		} else {
+			pap = mulVecDot(a, ap, p)
+		}
 		if pap <= 0 {
 			return Stats{Iterations: it, Residual: sparse.Norm2(r) / normB},
 				fmt.Errorf("solver: CG detected non-positive curvature (pᵀAp=%g); matrix not SPD", pap)
 		}
 		alpha := rz / pap
-		sparse.Axpy(alpha, p, x)
-		sparse.Axpy(-alpha, ap, r)
 
-		res := sparse.Norm2(r) / normB
+		// x += α p; r −= α ap; rr = ‖r‖² — one fused pass, canonical order.
+		rr := 0.0
+		for i := range x {
+			x[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rr += ri * ri
+		}
+		res := math.Sqrt(rr) / normB
 		if res <= opt.Tol {
 			return Stats{Iterations: it, Residual: res, Converged: true}, nil
 		}
@@ -142,6 +205,22 @@ func CG(a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, er
 		}
 	}
 	return Stats{Iterations: opt.MaxIter, Residual: sparse.Norm2(r) / normB}, ErrMaxIterations
+}
+
+// mulVecDot computes dst = A x and returns xᵀ dst in one pass over the
+// matrix, accumulating the dot product in the same row order as computing
+// the matvec and sparse.Dot separately.
+func mulVecDot(a *sparse.CSR, dst, x []float64) float64 {
+	dot := 0.0
+	for i := 0; i < a.Rows; i++ {
+		s := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.ColIdx[k]]
+		}
+		dst[i] = s
+		dot += x[i] * s
+	}
+	return dot
 }
 
 // BiCGSTAB solves the (possibly nonsymmetric) system A x = b. x is the

@@ -1,0 +1,181 @@
+package sparse
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// randomCOO fills a builder with random (possibly duplicate) entries and
+// returns a dense reference accumulated independently.
+func randomCOO(rng *rand.Rand, rows, cols, nnz int) (*Builder, [][]float64) {
+	b := NewBuilder(rows, cols)
+	ref := make([][]float64, rows)
+	for i := range ref {
+		ref[i] = make([]float64, cols)
+	}
+	for k := 0; k < nnz; k++ {
+		i, j := rng.IntN(rows), rng.IntN(cols)
+		v := rng.NormFloat64()
+		b.Add(i, j, v)
+		ref[i][j] += v
+	}
+	return b, ref
+}
+
+// TestToCSRCountingSort validates the two-pass counting-sort conversion:
+// sorted strictly-increasing columns per row, duplicates summed, and values
+// matching an independently accumulated dense reference.
+func TestToCSRCountingSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.IntN(40), 1+rng.IntN(40)
+		nnz := rng.IntN(4 * rows * cols / 2)
+		b, ref := randomCOO(rng, rows, cols, nnz)
+		a := b.ToCSR()
+		if a.Rows != rows || a.Cols != cols {
+			t.Fatalf("dimensions %d×%d, want %d×%d", a.Rows, a.Cols, rows, cols)
+		}
+		seen := 0
+		for i := 0; i < rows; i++ {
+			last := -1
+			for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+				j := a.ColIdx[k]
+				if j <= last {
+					t.Fatalf("row %d: columns not strictly increasing (%d after %d)", i, j, last)
+				}
+				last = j
+				if got, want := a.Val[k], ref[i][j]; got != want {
+					t.Fatalf("entry (%d,%d) = %g, want %g", i, j, got, want)
+				}
+				seen++
+			}
+		}
+		if seen != a.NNZ() {
+			t.Fatalf("row pointers cover %d entries, NNZ says %d", seen, a.NNZ())
+		}
+		// Every nonzero of the reference must be stored.
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if ref[i][j] != 0 && a.At(i, j) != ref[i][j] {
+					t.Fatalf("missing entry (%d,%d) = %g", i, j, ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestToCSREmpty covers degenerate shapes.
+func TestToCSREmpty(t *testing.T) {
+	a := NewBuilder(0, 0).ToCSR()
+	if a.NNZ() != 0 || a.Rows != 0 {
+		t.Fatalf("empty builder produced %d×%d with %d entries", a.Rows, a.Cols, a.NNZ())
+	}
+	b := NewBuilder(3, 5).ToCSR()
+	if b.NNZ() != 0 || len(b.RowPtr) != 4 {
+		t.Fatalf("entry-less builder produced %+v", b)
+	}
+}
+
+// TestDiagInto checks the linear-scan diagonal extraction, including absent
+// diagonal entries and rectangular shapes.
+func TestDiagInto(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 0, 2)
+	b.Add(1, 0, 5) // row 1 has no diagonal entry
+	b.Add(2, 2, -4)
+	b.Add(2, 0, 1)
+	a := b.ToCSR()
+	d := a.Diag()
+	want := []float64{2, 0, -4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("diag[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+	rect := NewBuilder(2, 4)
+	rect.Add(1, 1, 7)
+	dr := rect.ToCSR().Diag()
+	if len(dr) != 2 || dr[0] != 0 || dr[1] != 7 {
+		t.Fatalf("rectangular diag = %v", dr)
+	}
+}
+
+// TestAddToDiagLinearScan checks the rewritten AddToDiag, including the
+// panic on a missing diagonal entry.
+func TestAddToDiagLinearScan(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 2)
+	b.Add(1, 0, 3)
+	a := b.ToCSR()
+	a.AddToDiag([]float64{10, 20})
+	if a.At(0, 0) != 11 || a.At(1, 1) != 22 {
+		t.Fatalf("AddToDiag result %g, %g", a.At(0, 0), a.At(1, 1))
+	}
+
+	c := NewBuilder(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 0, 1) // no (1,1) entry
+	m := c.ToCSR()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for missing diagonal entry")
+		}
+	}()
+	m.AddToDiag([]float64{0, 5})
+}
+
+// TestMulVecWorkersBitIdentical requires the row-blocked parallel matvec to
+// reproduce the serial result bit for bit across worker counts, above and
+// below the size gate. The large case is a banded matrix whose entry count
+// provably clears ParallelMinNNZ, so the goroutine path really runs.
+func TestMulVecWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 34))
+	build := func(n, band int) *CSR {
+		b := NewBuilder(n, n)
+		for i := 0; i < n; i++ {
+			for j := i - band; j <= i+band; j++ {
+				if j >= 0 && j < n {
+					b.Add(i, j, rng.NormFloat64())
+				}
+			}
+		}
+		return b.ToCSR()
+	}
+	small := build(50, 2)
+	large := build(3000, 3) // ~7 entries/row → ~21k nnz
+	if large.NNZ() < ParallelMinNNZ {
+		t.Fatalf("large test matrix has %d entries, below the %d parallel gate", large.NNZ(), ParallelMinNNZ)
+	}
+	for _, a := range []*CSR{small, large} {
+		n := a.Rows
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ref := make([]float64, n)
+		a.MulVec(ref, x)
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			dst := make([]float64, n)
+			a.MulVecWorkers(dst, x, workers)
+			for i := range dst {
+				if dst[i] != ref[i] {
+					t.Fatalf("n=%d workers=%d: dst[%d] = %g, serial %g", n, workers, i, dst[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+func TestClampWorkers(t *testing.T) {
+	if got := ClampWorkers(0, 100); got != 1 {
+		t.Errorf("ClampWorkers(0) = %d", got)
+	}
+	if got := ClampWorkers(8, 3); got > 3 {
+		t.Errorf("ClampWorkers(8, 3) = %d, want <= 3", got)
+	}
+	if got := ClampWorkers(1<<20, 1<<20); got > 1<<10 {
+		// clamped by GOMAXPROCS on any sane machine
+		t.Errorf("ClampWorkers did not clamp to GOMAXPROCS: %d", got)
+	}
+}
