@@ -8,7 +8,9 @@ SHELL := /bin/bash
 
 # Benchmarks tracked by bench-json; BENCH_OUT is the trajectory file each PR
 # appends its machine-local baseline to (PR 2 recorded BENCH_PR2.json).
-BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse
+# BenchmarkCampaignStreaming carries the retained-heap metric of the
+# streaming campaign path (the hard memory gate lives in internal/uq tests).
+BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming
 BENCH_OUT ?= BENCH_PR2.json
 BENCH_TIME ?= 3x
 
@@ -44,12 +46,15 @@ bench-json:
 		-benchtime $(BENCH_TIME) -timeout 60m \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
-# bench-smoke is the CI variant: single iteration, output to stdout, no
-# baseline file — it proves the benchmarks and the JSON pipeline stay alive.
+# bench-smoke is the CI variant: single iteration, JSON written to
+# BENCH_SMOKE_OUT (uploaded as a CI artifact) — it proves the benchmarks and
+# the JSON pipeline stay alive and preserves the per-commit trajectory.
+BENCH_SMOKE_OUT ?= out/bench_smoke.json
 bench-smoke:
+	@mkdir -p $(dir $(BENCH_SMOKE_OUT))
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
 		-benchtime 1x -timeout 30m \
-		| $(GO) run ./cmd/benchjson
+		| $(GO) run ./cmd/benchjson -out $(BENCH_SMOKE_OUT)
 
 # demo runs the bundled batch scenario suite.
 demo:

@@ -10,6 +10,7 @@ package etherm_test
 import (
 	"math"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"etherm/internal/analytic"
@@ -111,6 +112,41 @@ func BenchmarkFig7MonteCarlo(b *testing.B) {
 	}
 	b.ReportMetric(f7.EMax[len(f7.EMax)-1], "E_max_K")
 	b.ReportMetric(f7.SigmaMC, "sigma_MC_K")
+}
+
+// BenchmarkCampaignStreaming runs the same reduced Monte Carlo study
+// through the streaming campaign path (constant-memory accumulators, no
+// per-sample storage) and reports the retained-heap delta alongside the
+// Fig. 7 statistics — the memory trajectory the campaign-memory gate in
+// internal/uq enforces at scale.
+func BenchmarkCampaignStreaming(b *testing.B) {
+	spec := coarseSpec()
+	opt := core.FastOptions()
+	opt.EndTime = 50
+	opt.NumSteps = 25
+	heap := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	before := heap()
+	var f7 *study.Fig7
+	var camp *uq.CampaignResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		f7, camp, _, err = study.RunStreamingStudy(spec, opt, uint64(2016+i), study.DefaultRho,
+			study.StreamOptions{Samples: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(int64(heap())-int64(before)), "retained_B")
+	b.ReportMetric(f7.EMax[len(f7.EMax)-1], "E_max_K")
+	b.ReportMetric(f7.SigmaMC, "sigma_MC_K")
+	b.ReportMetric(camp.Stats.FailProb(), "P_fail_emp")
 }
 
 // BenchmarkFig8FieldSolution solves the nominal transient and exports the

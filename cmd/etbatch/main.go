@@ -47,6 +47,7 @@ func run() (int, error) {
 		sampleWorkers = flag.Int("sample-workers", 0, "per-scenario ensemble parallelism (0 = automatic)")
 		outPath       = flag.String("out", "out/etbatch_manifest.json", "results manifest path (empty = no manifest)")
 		verbose       = flag.Bool("v", false, "log per-scenario progress events")
+		stream        = flag.Bool("stream", false, "force the constant-memory streaming campaign for every sampling scenario")
 	)
 	flag.Parse()
 
@@ -82,6 +83,15 @@ func run() (int, error) {
 	}
 	if *sampleWorkers > 0 {
 		batch.SampleWorkers = *sampleWorkers
+	}
+	if *stream {
+		for i := range batch.Scenarios {
+			switch batch.Scenarios[i].UQ.EffectiveMethod() {
+			case scenario.MethodNone, scenario.MethodSmolyak:
+			default:
+				batch.Scenarios[i].UQ.Stream = true
+			}
+		}
 	}
 
 	eng := scenario.NewEngine()
@@ -131,8 +141,8 @@ func logEvent(ev scenario.Event) {
 // printSummary renders the per-scenario table and the cache accounting the
 // acceptance criteria ask for.
 func printSummary(res *scenario.BatchResult) {
-	fmt.Printf("\n%-24s %-12s %8s %9s %8s %10s %6s %8s\n",
-		"scenario", "method", "T_end[K]", "sigma[K]", "cross[s]", "P(exceed)", "cache", "time[s]")
+	fmt.Printf("\n%-24s %-12s %8s %9s %8s %10s %-12s %6s %8s\n",
+		"scenario", "method", "T_end[K]", "sigma[K]", "cross[s]", "P(exceed)", "stop", "cache", "time[s]")
 	for _, s := range res.Scenarios {
 		if !s.OK {
 			fmt.Printf("%-24s %-12s FAILED: %s\n", s.Name, s.Method, s.Error)
@@ -146,8 +156,12 @@ func printSummary(res *scenario.BatchResult) {
 		if s.CacheHit {
 			cache = "hit"
 		}
-		fmt.Printf("%-24s %-12s %8.2f %9.3f %8s %10.2e %6s %8.2f\n",
-			s.Name, s.Method, s.TEndMaxK, s.SigmaK, cross, s.ExceedProb, cache, s.ElapsedS)
+		stop := "-"
+		if s.Streamed {
+			stop = fmt.Sprintf("%s@%d", s.StopReason, s.Samples+s.Failures)
+		}
+		fmt.Printf("%-24s %-12s %8.2f %9.3f %8s %10.2e %-12s %6s %8.2f\n",
+			s.Name, s.Method, s.TEndMaxK, s.SigmaK, cross, s.ExceedProb, stop, cache, s.ElapsedS)
 	}
 	fmt.Printf("\nassembly cache: %d hit(s), %d miss(es) across %d scenario(s) — %d distinct mesh(es) built\n",
 		res.CacheHits, res.CacheMisses, len(res.Scenarios), res.CacheEntries)

@@ -6,11 +6,12 @@
 //
 // API:
 //
-//	POST /v1/jobs                 submit a scenario.Batch (JSON) → 202 + job
-//	GET  /v1/jobs                 list jobs (without result payloads)
-//	GET  /v1/jobs/{id}            job status, progress and, when done, results
-//	GET  /v1/scenarios/presets    the bundled paper-grounded scenario suite
-//	GET  /healthz                 liveness + assembly-cache statistics
+//	POST   /v1/jobs               submit a scenario.Batch (JSON) → 202 + job
+//	GET    /v1/jobs               list jobs (without result payloads)
+//	GET    /v1/jobs/{id}          job status, progress and, when done, results
+//	DELETE /v1/jobs/{id}          cancel a queued or running job → "canceled"
+//	GET    /v1/scenarios/presets  the bundled paper-grounded scenario suite
+//	GET    /healthz               liveness + assembly-cache statistics
 //
 // Usage:
 //
@@ -21,6 +22,7 @@
 //	curl -s localhost:8080/v1/scenarios/presets > batch.json
 //	curl -s -X POST --data-binary @batch.json localhost:8080/v1/jobs
 //	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001   # cancel mid-run
 package main
 
 import (

@@ -26,7 +26,15 @@ const (
 	JobDone JobStatus = "done"
 	// JobFailed means the batch as a whole errored before producing results.
 	JobFailed JobStatus = "failed"
+	// JobCanceled means the client aborted the job via DELETE before it
+	// finished; streaming scenarios stop mid-ensemble.
+	JobCanceled JobStatus = "canceled"
 )
+
+// finished reports whether a status is terminal.
+func finished(s JobStatus) bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // JobProgress counts finished scenarios while a job runs.
 type JobProgress struct {
@@ -52,19 +60,22 @@ type Job struct {
 
 // Server is the HTTP job service: an in-memory job store, a bounded number
 // of concurrent batch runners, and one shared assembly cache that stays
-// warm across jobs. Finished jobs beyond the retention cap are evicted
-// oldest-first (queued and running jobs are never evicted), so a
-// long-running server does not accumulate result payloads without bound.
+// warm across jobs. Every job runs under its own cancellable context so
+// clients can abort queued or running work with DELETE /v1/jobs/{id}.
+// Finished jobs beyond the retention cap are evicted oldest-first (queued
+// and running jobs are never evicted), so a long-running server does not
+// accumulate result payloads without bound.
 type Server struct {
 	cache      *scenario.AssemblyCache
 	sem        chan struct{}
 	maxBody    int64
 	maxHistory int
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	order []string // job IDs in submission order
-	seq   int
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	cancels map[string]context.CancelFunc // pending/running jobs only
+	order   []string                      // job IDs in submission order
+	seq     int
 
 	mux *http.ServeMux
 }
@@ -93,11 +104,13 @@ func NewServerWithHistory(maxConcurrent, maxHistory int) *Server {
 		maxBody:    4 << 20,
 		maxHistory: maxHistory,
 		jobs:       make(map[string]*Job),
+		cancels:    make(map[string]context.CancelFunc),
 		mux:        http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/scenarios/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -147,21 +160,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		SubmittedAt: time.Now().UTC(),
 		Progress:    JobProgress{ScenariosTotal: len(batch.Scenarios)},
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.jobs[job.ID] = job
+	s.cancels[job.ID] = cancel
 	s.order = append(s.order, job.ID)
 	s.evictLocked()
 	s.mu.Unlock()
 
-	go s.runJob(job.ID, batch)
+	go s.runJob(ctx, job.ID, batch)
 
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, s.snapshot(job.ID))
 }
 
 // runJob executes one batch under the runner-slot semaphore, streaming
-// scenario completions into the job's progress counters.
-func (s *Server) runJob(id string, batch *scenario.Batch) {
-	s.sem <- struct{}{}
+// scenario completions into the job's progress counters. The job's context
+// cancels the whole pipeline: a queued job is abandoned before acquiring a
+// runner slot, a running one aborts mid-batch (streaming scenarios stop
+// mid-ensemble).
+func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
+	defer s.release(id)
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.finish(id, func(j *Job) {
+			j.Status = JobCanceled
+			j.Error = "canceled before start"
+		})
+		return
+	}
 	defer func() { <-s.sem }()
 
 	now := time.Now().UTC()
@@ -182,18 +210,67 @@ func (s *Server) runJob(id string, batch *scenario.Batch) {
 			})
 		}
 	}
-	res, err := eng.Run(context.Background(), batch)
+	res, err := eng.Run(ctx, batch)
+	s.finish(id, func(j *Job) {
+		switch {
+		case ctx.Err() != nil:
+			j.Status = JobCanceled
+			j.Error = "canceled by client"
+			j.Result = res // partial results when the final scenario absorbed the cancel
+		case err != nil:
+			j.Status = JobFailed
+			j.Error = err.Error()
+		default:
+			j.Status = JobDone
+			j.Result = res
+		}
+	})
+}
+
+// finish stamps the completion time and applies the terminal transition.
+func (s *Server) finish(id string, f func(*Job)) {
 	done := time.Now().UTC()
 	s.update(id, func(j *Job) {
 		j.FinishedAt = &done
-		if err != nil {
-			j.Status = JobFailed
-			j.Error = err.Error()
-			return
-		}
-		j.Status = JobDone
-		j.Result = res
+		f(j)
 	})
+}
+
+// release drops the job's cancel handle once the runner goroutine exits.
+func (s *Server) release(id string) {
+	s.mu.Lock()
+	cancel := s.cancels[id]
+	delete(s.cancels, id)
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// handleCancel aborts a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var cancel context.CancelFunc
+	var done bool
+	if ok {
+		done = finished(j.Status)
+		cancel = s.cancels[id]
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	if done {
+		writeJSON(w, http.StatusConflict, apiError{"job already finished"})
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusAccepted, s.snapshot(id))
 }
 
 // evictLocked drops the oldest finished jobs until at most maxHistory
@@ -207,7 +284,7 @@ func (s *Server) evictLocked() {
 	excess := len(s.order) - s.maxHistory
 	for _, id := range s.order {
 		j := s.jobs[id]
-		if excess > 0 && (j.Status == JobDone || j.Status == JobFailed) {
+		if excess > 0 && finished(j.Status) {
 			delete(s.jobs, id)
 			excess--
 			continue

@@ -8,9 +8,16 @@
 //
 //	mcstudy [-config run.json] [-samples 1000] [-method monte-carlo]
 //	        [-seed 2016] [-workers N] [-out out/fig7_series.csv] [-preset date16-calibrated]
+//
+// Streaming campaigns (constant-memory, adaptive, resumable):
+//
+//	mcstudy -stream -samples 100000 -target-se 0.05        # stop at σ_MC/√M ≤ 0.05 K
+//	mcstudy -stream -samples 100000 -checkpoint mc.ckpt    # checkpoint periodically
+//	mcstudy -stream -samples 100000 -checkpoint mc.ckpt -resume   # continue a run
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -47,6 +54,14 @@ func run() error {
 		rho     = flag.Float64("rho", study.DefaultRho, "wire-to-wire elongation correlation in [0,1]")
 		outPath = flag.String("out", "out/fig7_series.csv", "CSV output path")
 		plot    = flag.Bool("plot", true, "print an ASCII Fig. 7")
+
+		stream     = flag.Bool("stream", false, "streaming campaign: O(outputs) memory instead of O(M·outputs)")
+		maxSamples = flag.Int("max-samples", 0, "streaming sample budget (0 = -samples)")
+		targetSE   = flag.Float64("target-se", 0, "stop when every output's MC standard error ≤ this (K)")
+		targetCI   = flag.Float64("target-ci", 0, "stop when the 95% failure-probability half-width ≤ this")
+		checkpoint = flag.String("checkpoint", "", "periodically persist resumable campaign state to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "samples between checkpoints (0 = default)")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
 	)
 	flag.Parse()
 
@@ -56,6 +71,24 @@ func run() error {
 	}
 	if *samples > 0 {
 		cfg.UQ.Samples = *samples
+	}
+	if *stream {
+		cfg.UQ.Stream = true
+	}
+	if *maxSamples > 0 {
+		cfg.UQ.MaxSamples = *maxSamples
+	}
+	if *targetSE > 0 {
+		cfg.UQ.TargetSE = *targetSE
+	}
+	if *targetCI > 0 {
+		cfg.UQ.TargetCI = *targetCI
+	}
+	if *checkpoint != "" {
+		cfg.UQ.Checkpoint = *checkpoint
+	}
+	if *ckptEvery > 0 {
+		cfg.UQ.CheckpointEvery = *ckptEvery
 	}
 	if *method != "" {
 		cfg.UQ.Method = *method
@@ -105,7 +138,7 @@ func run() error {
 	case "", "monte-carlo":
 		sampler = uq.PseudoRandom{D: dim, Seed: cfg.UQ.Seed}
 	case "lhs":
-		lhs, err := uq.NewLatinHypercube(dim, cfg.UQ.Samples, cfg.UQ.Seed)
+		lhs, err := uq.NewLatinHypercube(dim, cfg.UQ.Budget(), cfg.UQ.Seed)
 		if err != nil {
 			return err
 		}
@@ -126,37 +159,67 @@ func run() error {
 		return fmt.Errorf("method %q not supported by mcstudy (use the collocation example for smolyak)", cfg.UQ.Method)
 	}
 
-	t0 := time.Now()
-	factory := study.ParamFactory(base, study.Params{Mu: cfg.UQ.MeanDelta, Sigma: cfg.UQ.StdDelta, Rho: *rho})
-	ens, err := uq.RunEnsemble(factory, dists, sampler,
-		uq.EnsembleOptions{Samples: cfg.UQ.Samples, Workers: cfg.UQ.Workers})
-	if err != nil {
-		return err
-	}
-	elapsed := time.Since(t0)
-
-	eff := base.Options()
-	times := make([]float64, eff.NumSteps+1)
-	for i := range times {
-		times[i] = eff.EndTime * float64(i) / float64(eff.NumSteps)
-	}
 	tCrit := cfg.UQ.CriticalK
 	if tCrit == 0 {
 		tCrit = degrade.DefaultCriticalTemp
 	}
-	fig7, err := study.BuildFig7(times, ens, model.NumWires(), tCrit)
-	if err != nil {
-		return err
+	p := study.Params{Mu: cfg.UQ.MeanDelta, Sigma: cfg.UQ.StdDelta, Rho: *rho}
+
+	t0 := time.Now()
+	var fig7 *study.Fig7
+	var succeeded, failed int
+	if cfg.UQ.Streaming() {
+		f7, camp, err := study.RunStreamingStudyWith(context.Background(), base, p, sampler, study.StreamOptions{
+			Samples:         cfg.UQ.Budget(),
+			Workers:         cfg.UQ.Workers,
+			TargetSE:        cfg.UQ.TargetSE,
+			TargetCI:        cfg.UQ.TargetCI,
+			Checkpoint:      cfg.UQ.Checkpoint,
+			CheckpointEvery: cfg.UQ.CheckpointEvery,
+			Resume:          *resume,
+			Tag: fmt.Sprintf("mcstudy:%s|%s|seed=%d|rho=%g|mu=%g|sigma=%g|drive=%g|tcrit=%g",
+				cfg.Chip.Preset, cfg.UQ.Method, cfg.UQ.Seed, *rho, p.Mu, p.Sigma, cfg.Chip.DriveVoltageV, tCrit),
+			TCrit: tCrit,
+		})
+		if err != nil {
+			return err
+		}
+		fig7 = f7
+		succeeded, failed = camp.Succeeded(), camp.Failures
+		fmt.Printf("streaming campaign: %d/%d samples, stop=%s, P_fail(any wire ≥ T_crit) = %.2e, T_obs,max = %.2f K\n",
+			camp.Evaluated, camp.Requested, camp.StopReason, camp.Stats.FailProb(), camp.Stats.Ext.GlobalMax())
+		if cfg.UQ.Checkpoint != "" {
+			fmt.Printf("checkpoint: %s (resume with -resume)\n", cfg.UQ.Checkpoint)
+		}
+	} else {
+		factory := study.ParamFactory(base, p)
+		ens, err := uq.RunEnsemble(factory, dists, sampler,
+			uq.EnsembleOptions{Samples: cfg.UQ.Samples, Workers: cfg.UQ.Workers})
+		if err != nil {
+			return err
+		}
+		eff := base.Options()
+		times := make([]float64, eff.NumSteps+1)
+		for i := range times {
+			times[i] = eff.EndTime * float64(i) / float64(eff.NumSteps)
+		}
+		fig7, err = study.BuildFig7(times, ens, model.NumWires(), tCrit)
+		if err != nil {
+			return err
+		}
+		succeeded, failed = ens.Succeeded(), ens.Failures
 	}
+	elapsed := time.Since(t0)
 
 	if err := writeCSV(*outPath, fig7); err != nil {
 		return err
 	}
 
 	fmt.Printf("samples ok=%d failed=%d in %v (%.2f s/sample/worker-adjusted)\n",
-		ens.Succeeded(), ens.Failures, elapsed.Round(time.Second),
-		elapsed.Seconds()/float64(ens.Succeeded()))
+		succeeded, failed, elapsed.Round(time.Second),
+		elapsed.Seconds()/float64(succeeded))
 	fmt.Printf("hottest wire: %d (%s side)\n", fig7.HotWire, lay.Wires[fig7.HotWire].Side)
+	times := fig7.Times
 	last := len(times) - 1
 	fmt.Printf("E_max(%.0f s) = %.2f K   sigma_MC = %.3f K   error_MC = %.3f K (eq. 6)\n",
 		times[last], fig7.EMax[last], fig7.SigmaMC, fig7.ErrorMC)
@@ -171,7 +234,7 @@ func run() error {
 			errs[i] = 6 * fig7.SigmaHot[i]
 		}
 		p := asciiplot.LinePlot{
-			Title:  fmt.Sprintf("Fig. 7: expected hottest-wire temperature ±6 sigma (M=%d, %s)", ens.Succeeded(), ens.SamplerName),
+			Title:  fmt.Sprintf("Fig. 7: expected hottest-wire temperature ±6 sigma (M=%d, %s)", succeeded, sampler.Name()),
 			XLabel: "time (s)", YLabel: "temperature (K)",
 			Series: []asciiplot.Series{{Name: "E[T_hot](t) ±6 sigma", X: times, Y: hot, Err: errs, Marker: '*'}},
 			HLines: map[string]float64{"T_critical": tCrit},

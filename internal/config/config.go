@@ -67,6 +67,36 @@ type UQConfig struct {
 	MeanDelta float64 `json:"mean_delta,omitempty"` // default 0.17
 	StdDelta  float64 `json:"std_delta,omitempty"`  // default 0.048
 	CriticalK float64 `json:"critical_k,omitempty"` // default 523
+
+	// Streaming-campaign knobs. Stream selects the constant-memory
+	// streaming path (O(NumOutputs) accumulators instead of O(M·NumOutputs)
+	// sample storage); it is implied by any of the other knobs.
+	Stream bool `json:"stream,omitempty"`
+	// MaxSamples is the streaming sample budget; 0 falls back to Samples.
+	MaxSamples int `json:"max_samples,omitempty"`
+	// TargetSE stops the campaign early once every output's Monte Carlo
+	// standard error (eq. 6) reaches it; TargetCI once the 95% Wilson
+	// half-width of the failure probability does. Zero disables a rule.
+	TargetSE float64 `json:"target_se,omitempty"`
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// Checkpoint periodically persists resumable campaign state to this
+	// path (every CheckpointEvery folded samples; 0 = default period).
+	Checkpoint      string `json:"checkpoint,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+}
+
+// Streaming reports whether the configuration selects the streaming
+// campaign path, explicitly or through one of its knobs.
+func (u UQConfig) Streaming() bool {
+	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != ""
+}
+
+// Budget returns the effective sample budget of a streaming campaign.
+func (u UQConfig) Budget() int {
+	if u.MaxSamples > 0 {
+		return u.MaxSamples
+	}
+	return u.Samples
 }
 
 // Default returns the configuration of the paper's study (Table II).
@@ -122,8 +152,14 @@ func (c Run) Validate() error {
 	default:
 		return fmt.Errorf("unknown UQ method %q", c.UQ.Method)
 	}
-	if c.UQ.Samples <= 0 {
+	if c.UQ.Samples <= 0 && c.UQ.Budget() <= 0 {
 		return fmt.Errorf("uq.samples must be positive")
+	}
+	if c.UQ.MaxSamples < 0 || c.UQ.TargetSE < 0 || c.UQ.TargetCI < 0 || c.UQ.CheckpointEvery < 0 {
+		return fmt.Errorf("uq streaming knobs must be non-negative")
+	}
+	if c.UQ.Method == "smolyak" && c.UQ.Streaming() {
+		return fmt.Errorf("streaming campaigns apply to sampling methods, not smolyak collocation")
 	}
 	return nil
 }

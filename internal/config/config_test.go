@@ -64,6 +64,43 @@ func TestValidationErrors(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("zero samples accepted")
 	}
+	bad = Default()
+	bad.UQ.TargetSE = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative target_se accepted")
+	}
+	bad = Default()
+	bad.UQ.Method = "smolyak"
+	bad.UQ.Stream = true
+	if err := bad.Validate(); err == nil {
+		t.Error("streaming smolyak accepted")
+	}
+}
+
+func TestStreamingKnobs(t *testing.T) {
+	u := UQConfig{Samples: 100}
+	if u.Streaming() {
+		t.Error("plain config reported streaming")
+	}
+	if u.Budget() != 100 {
+		t.Errorf("budget %d", u.Budget())
+	}
+	u.MaxSamples = 5000
+	if !u.Streaming() || u.Budget() != 5000 {
+		t.Errorf("max_samples did not switch to streaming budget: %v %d", u.Streaming(), u.Budget())
+	}
+	for _, v := range []UQConfig{{Stream: true}, {TargetSE: 0.1}, {TargetCI: 0.01}, {Checkpoint: "x.ckpt"}} {
+		if !v.Streaming() {
+			t.Errorf("%+v not recognized as streaming", v)
+		}
+	}
+	// Streaming budget satisfies validation even with samples unset.
+	cfg := Default()
+	cfg.UQ.Samples = 0
+	cfg.UQ.MaxSamples = 1000
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("streaming budget rejected: %v", err)
+	}
 }
 
 func TestSpecAndOptionsMaterialization(t *testing.T) {

@@ -2,10 +2,13 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync/atomic"
 
+	"etherm/internal/config"
 	"etherm/internal/core"
 	"etherm/internal/degrade"
 	"etherm/internal/study"
@@ -38,6 +41,14 @@ type ScenarioResult struct {
 	Failures    int `json:"failures,omitempty"`
 	Evaluations int `json:"evaluations,omitempty"`
 
+	// Streaming-campaign accounting. Streamed marks the constant-memory
+	// path; StopReason records why the campaign ended ("budget",
+	// "target-se", "target-ci"); RequestedSamples is the budget the
+	// adaptive rules stopped within.
+	Streamed         bool   `json:"streamed,omitempty"`
+	StopReason       string `json:"stop_reason,omitempty"`
+	RequestedSamples int    `json:"requested_samples,omitempty"`
+
 	// Hottest-wire summary (expectation for UQ methods, the single
 	// trajectory for deterministic runs).
 	HotWire     int     `json:"hot_wire"`
@@ -53,6 +64,13 @@ type ScenarioResult struct {
 	CrossMeanS *float64 `json:"cross_mean_s,omitempty"`
 	Cross6SigS *float64 `json:"cross_6sigma_s,omitempty"`
 	ExceedProb float64  `json:"exceed_prob"`
+	// FailProbEmp is the empirical failure probability P(any wire ≥ T_crit
+	// at any time) from streaming campaigns (absent on the stored path,
+	// whose post-processing is moment-based).
+	FailProbEmp *float64 `json:"fail_prob_emp,omitempty"`
+	// TObsMaxK is the hottest single observation across all samples, wires
+	// and times (streaming campaigns only).
+	TObsMaxK float64 `json:"t_obs_max_k,omitempty"`
 	// DamageHot is the Arrhenius mold-epoxy damage integral of the
 	// hottest-wire mean trajectory (failure at ≥ 1).
 	DamageHot float64 `json:"damage_hot,omitempty"`
@@ -152,26 +170,59 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		if err != nil {
 			return nil, err
 		}
+		budget := s.UQ.Budget()
 		var done atomic.Int64
-		ens, err := uq.RunEnsemble(factory, dists, sampler, uq.EnsembleOptions{
-			Samples: s.UQ.Samples,
-			Workers: sampleWorkers,
-			OnSample: func(_ int, sampleErr error) {
-				e.emit(Event{
-					Index: i, Scenario: s.Name, Phase: PhaseSample,
-					Done: int(done.Add(1)), Total: s.UQ.Samples, Err: sampleErr,
-				})
-			},
-		})
+		onSample := func(_ int, sampleErr error) {
+			e.emit(Event{
+				Index: i, Scenario: s.Name, Phase: PhaseSample,
+				Done: int(done.Add(1)), Total: budget, Err: sampleErr,
+			})
+		}
+		copt := uq.CampaignOptions{
+			MaxSamples: budget,
+			Workers:    sampleWorkers,
+			OnSample:   onSample,
+		}
+		if s.UQ.Streaming() {
+			copt.TargetSE = s.UQ.TargetSE
+			copt.TargetCI = s.UQ.TargetCI
+			copt.Threshold = tCrit
+			copt.CheckpointPath = s.UQ.Checkpoint
+			copt.CheckpointEvery = s.UQ.CheckpointEvery
+			copt.Tag = s.campaignTag()
+			if s.UQ.Checkpoint != "" {
+				cp, err := uq.LoadCheckpointIfExists(s.UQ.Checkpoint)
+				if err != nil {
+					return nil, err
+				}
+				copt.Resume = cp
+			}
+		} else {
+			copt.StoreSamples = true
+		}
+		camp, err := uq.RunCampaign(ctx, factory, dists, sampler, copt)
 		if err != nil {
 			return nil, err
 		}
-		f7, err = study.BuildFig7(times, ens, nWires, tCrit)
-		if err != nil {
-			return nil, err
+		if s.UQ.Streaming() {
+			f7, err = study.BuildFig7FromCampaign(times, camp, nWires, tCrit)
+			if err != nil {
+				return nil, err
+			}
+			res.Streamed = true
+			res.StopReason = camp.StopReason
+			res.RequestedSamples = camp.Requested
+			fp := camp.Stats.FailProb()
+			res.FailProbEmp = &fp
+			res.TObsMaxK = camp.Stats.Ext.GlobalMax()
+		} else {
+			f7, err = study.BuildFig7(times, camp.Ensemble, nWires, tCrit)
+			if err != nil {
+				return nil, err
+			}
 		}
-		res.Samples = ens.Succeeded()
-		res.Failures = ens.Failures
+		res.Samples = camp.Succeeded()
+		res.Failures = camp.Failures
 		res.ErrorMCK = f7.ErrorMC
 	}
 
@@ -197,6 +248,41 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 	return res, nil
 }
 
+// campaignTag fingerprints the physical model and study law behind a
+// scenario's samples — everything that changes what an evaluation means,
+// excluding the campaign-control knobs (budget, targets, checkpointing)
+// that may legitimately differ between a run and its resumption. A stale
+// checkpoint from a different configuration is rejected instead of
+// silently absorbing mixed-model samples.
+func (s Scenario) campaignTag() string {
+	id := struct {
+		Chip      ChipSpec
+		Sim       config.SimConfig
+		Method    string
+		Seed      uint64
+		Rho       float64
+		MeanDelta float64
+		StdDelta  float64
+		CriticalK float64
+	}{
+		Chip:      s.Chip,
+		Sim:       s.Sim,
+		Method:    s.UQ.EffectiveMethod(),
+		Seed:      s.UQ.Seed,
+		Rho:       s.UQ.EffectiveRho(),
+		MeanDelta: s.UQ.MeanDelta,
+		StdDelta:  s.UQ.StdDelta,
+		CriticalK: s.UQ.CriticalK,
+	}
+	data, err := json.Marshal(id)
+	if err != nil {
+		return "scenario:" + s.Name // cannot happen for plain data; keep a stable fallback
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("scenario:%016x", h.Sum64())
+}
+
 // studyInputs builds the parallel model factory and germ distributions for a
 // UQ study on the instantiated simulator.
 func (e *Engine) studyInputs(sim *core.Simulator, u UQSpec) (uq.ModelFactory, []uq.Dist) {
@@ -210,7 +296,7 @@ func newSampler(method string, dim int, u UQSpec) (uq.Sampler, error) {
 	case MethodMonteCarlo:
 		return uq.PseudoRandom{D: dim, Seed: u.Seed}, nil
 	case MethodLHS:
-		return uq.NewLatinHypercube(dim, u.Samples, u.Seed)
+		return uq.NewLatinHypercube(dim, u.Budget(), u.Seed)
 	case MethodHalton:
 		return uq.NewHalton(dim, u.Seed)
 	case MethodSobol:

@@ -184,6 +184,39 @@ type UQSpec struct {
 	StdDelta  float64 `json:"std_delta,omitempty"`
 	// CriticalK overrides the failure threshold (default 523 K).
 	CriticalK float64 `json:"critical_k,omitempty"`
+
+	// Stream selects the constant-memory streaming campaign for sampling
+	// methods: outputs fold into O(NumOutputs) accumulators as samples
+	// complete instead of being stored per sample. It is implied by any of
+	// the knobs below. Results are bit-identical to the stored path.
+	Stream bool `json:"stream,omitempty"`
+	// MaxSamples is the streaming sample budget (0 = Samples). Adaptive
+	// rules may stop before it; it never runs past it.
+	MaxSamples int `json:"max_samples,omitempty"`
+	// TargetSE stops the campaign once every output's Monte Carlo standard
+	// error (eq. 6) is at or below it (kelvin); TargetCI once the 95%
+	// failure-probability confidence half-width is. Zero disables a rule.
+	TargetSE float64 `json:"target_se,omitempty"`
+	TargetCI float64 `json:"target_ci,omitempty"`
+	// Checkpoint persists resumable campaign state to this path every
+	// CheckpointEvery folded samples (0 = default period); when the file
+	// already exists the campaign resumes from it.
+	Checkpoint      string `json:"checkpoint,omitempty"`
+	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+}
+
+// Streaming reports whether the declaration selects the streaming campaign
+// path, explicitly or through one of its knobs.
+func (u UQSpec) Streaming() bool {
+	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != ""
+}
+
+// Budget returns the effective sample budget of a streaming campaign.
+func (u UQSpec) Budget() int {
+	if u.MaxSamples > 0 {
+		return u.MaxSamples
+	}
+	return u.Samples
 }
 
 // EffectiveRho returns ρ, defaulting to study.DefaultRho when unset.
@@ -206,8 +239,11 @@ func (u UQSpec) EffectiveMethod() string {
 func (u UQSpec) Validate() error {
 	switch u.EffectiveMethod() {
 	case MethodNone:
+		if u.Streaming() {
+			return fmt.Errorf("streaming knobs need a sampling method")
+		}
 	case MethodMonteCarlo, MethodLHS, MethodHalton, MethodSobol:
-		if u.Samples <= 0 {
+		if u.Budget() <= 0 {
 			return fmt.Errorf("method %q needs a positive sample count", u.Method)
 		}
 	case MethodSmolyak:
@@ -217,8 +253,14 @@ func (u UQSpec) Validate() error {
 		if u.Samples > 0 {
 			return fmt.Errorf("method %q takes its budget from level, not samples", u.Method)
 		}
+		if u.Streaming() {
+			return fmt.Errorf("streaming campaigns apply to sampling methods, not smolyak collocation")
+		}
 	default:
 		return fmt.Errorf("unknown uq method %q", u.Method)
+	}
+	if u.MaxSamples < 0 || u.TargetSE < 0 || u.TargetCI < 0 || u.CheckpointEvery < 0 {
+		return fmt.Errorf("streaming knobs must be non-negative")
 	}
 	if u.Rho != nil && (*u.Rho < 0 || *u.Rho > 1) {
 		return fmt.Errorf("rho %g outside [0, 1]", *u.Rho)

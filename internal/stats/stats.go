@@ -81,16 +81,7 @@ func Quantile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
-	if len(s) == 1 {
-		return s[0]
-	}
-	h := p * float64(len(s)-1)
-	lo := int(math.Floor(h))
-	hi := lo + 1
-	if hi >= len(s) {
-		return s[len(s)-1]
-	}
-	return s[lo] + (h-float64(lo))*(s[hi]-s[lo])
+	return QuantileSorted(s, p)
 }
 
 // Welford is a streaming mean/variance accumulator that is numerically

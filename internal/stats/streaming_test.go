@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestVectorMomentsMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, d = 500, 3
+	series := make([][]float64, d)
+	for j := range series {
+		series[j] = make([]float64, n)
+	}
+	vm := NewVectorMoments(d)
+	x := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range x {
+			x[j] = rng.NormFloat64()*float64(j+1) + float64(j)
+			series[j][i] = x[j]
+		}
+		vm.Add(x)
+	}
+	for j := 0; j < d; j++ {
+		if m := Mean(series[j]); math.Abs(vm.Mean[j]-m) > 1e-12*(1+math.Abs(m)) {
+			t.Errorf("output %d: streaming mean %g, direct %g", j, vm.Mean[j], m)
+		}
+		if v := Variance(series[j]); math.Abs(vm.Variance(j)-v) > 1e-10*(1+v) {
+			t.Errorf("output %d: streaming var %g, direct %g", j, vm.Variance(j), v)
+		}
+	}
+}
+
+func TestVectorMomentsMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	whole := NewVectorMoments(2)
+	a, b := NewVectorMoments(2), NewVectorMoments(2)
+	x := make([]float64, 2)
+	for i := 0; i < 400; i++ {
+		x[0], x[1] = rng.Float64(), rng.ExpFloat64()
+		whole.Add(x)
+		if i < 150 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != whole.N {
+		t.Fatalf("merged count %d, want %d", a.N, whole.N)
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(a.Mean[j]-whole.Mean[j]) > 1e-12 {
+			t.Errorf("merged mean %g vs %g", a.Mean[j], whole.Mean[j])
+		}
+		if math.Abs(a.Variance(j)-whole.Variance(j)) > 1e-11 {
+			t.Errorf("merged var %g vs %g", a.Variance(j), whole.Variance(j))
+		}
+	}
+	// Dimension mismatch refused.
+	if err := a.Merge(NewVectorMoments(3)); err == nil {
+		t.Error("mismatched merge accepted")
+	}
+}
+
+func TestExtremaAndMerge(t *testing.T) {
+	a, b := NewExtrema(2), NewExtrema(2)
+	a.Add([]float64{1, -5})
+	a.Add([]float64{3, 0})
+	b.Add([]float64{-2, 7})
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 3 || a.Min[0] != -2 || a.Max[0] != 3 || a.Min[1] != -5 || a.Max[1] != 7 {
+		t.Errorf("merged extrema wrong: %+v", a)
+	}
+	if a.GlobalMax() != 7 {
+		t.Errorf("global max %g", a.GlobalMax())
+	}
+	if !math.IsNaN(NewExtrema(1).GlobalMax()) {
+		t.Error("empty extrema should be NaN")
+	}
+}
+
+func TestExceedCounterWilson(t *testing.T) {
+	var c ExceedCounter
+	for i := 0; i < 1000; i++ {
+		c.Observe(i < 50) // p = 0.05
+	}
+	if math.Abs(c.Prob()-0.05) > 1e-12 {
+		t.Errorf("prob %g", c.Prob())
+	}
+	lo, hi := c.Wilson(1.96)
+	if !(lo < 0.05 && 0.05 < hi) {
+		t.Errorf("Wilson interval [%g, %g] excludes the point estimate", lo, hi)
+	}
+	if hw := c.HalfWidth(1.96); hw < 0.005 || hw > 0.03 {
+		t.Errorf("half-width %g implausible for p=0.05, n=1000", hw)
+	}
+	// Zero-count intervals stay proper (the small-failure-probability case).
+	var z ExceedCounter
+	for i := 0; i < 100; i++ {
+		z.Observe(false)
+	}
+	lo, hi = z.Wilson(1.96)
+	if lo > 1e-12 || hi <= 0 || hi > 0.1 {
+		t.Errorf("zero-count Wilson [%g, %g]", lo, hi)
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		sketch, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			sketch.Add(xs[i])
+		}
+		exact := Quantile(xs, p)
+		if math.Abs(sketch.Value()-exact) > 0.05 {
+			t.Errorf("p=%g: sketch %g, exact %g", p, sketch.Value(), exact)
+		}
+	}
+	if _, err := NewP2Quantile(0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestP2QuantileSmallSampleExact(t *testing.T) {
+	s, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(s.Value()) {
+		t.Error("empty sketch should be NaN")
+	}
+	for _, x := range []float64{5, 1, 3} {
+		s.Add(x)
+	}
+	if s.Value() != 3 {
+		t.Errorf("median of {1,3,5} = %g", s.Value())
+	}
+}
+
+func TestP2QuantileJSONRoundTripContinues(t *testing.T) {
+	// A sketch serialized mid-stream and restored must continue exactly like
+	// the uninterrupted one — the checkpoint/resume property.
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	whole, _ := NewP2Quantile(0.9)
+	half, _ := NewP2Quantile(0.9)
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 1000 {
+			half.Add(x)
+		}
+	}
+	data, err := json.Marshal(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored P2Quantile
+	if err := json.Unmarshal(data, &restored); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[1000:] {
+		restored.Add(x)
+	}
+	if restored.Value() != whole.Value() {
+		t.Errorf("resumed sketch %g, uninterrupted %g", restored.Value(), whole.Value())
+	}
+}
+
+func TestStreamStatsExceedanceAndQuantiles(t *testing.T) {
+	st, err := NewStreamStats(2, 10.0, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		out := []float64{float64(i % 20), 5}
+		st.Add(out)
+	}
+	// Output 0 cycles 0..19: half the samples reach 10 on output 0, none on 1.
+	if st.ExceedOut[0] != 50 || st.ExceedOut[1] != 0 {
+		t.Errorf("per-output exceed counts %v", st.ExceedOut)
+	}
+	if p := st.FailProb(); p != 0.5 {
+		t.Errorf("any-output failure probability %g", p)
+	}
+	if v, ok := st.Quantile(0.5, 1); !ok || v != 5 {
+		t.Errorf("sketched median %g ok=%v", v, ok)
+	}
+	if _, ok := st.Quantile(0.25, 0); ok {
+		t.Error("untracked quantile reported ok")
+	}
+	// Sketching stats refuse to merge.
+	other, _ := NewStreamStats(2, 10.0, []float64{0.5})
+	if err := st.Merge(other); err == nil {
+		t.Error("sketching merge accepted")
+	}
+}
+
+func TestStreamStatsMerge(t *testing.T) {
+	whole, _ := NewStreamStats(1, 2.0, nil)
+	a, _ := NewStreamStats(1, 2.0, nil)
+	b, _ := NewStreamStats(1, 2.0, nil)
+	for i := 0; i < 60; i++ {
+		out := []float64{float64(i % 4)}
+		whole.Add(out)
+		if i%2 == 0 {
+			a.Add(out)
+		} else {
+			b.Add(out)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Moments.N != whole.Moments.N || a.ExceedOut[0] != whole.ExceedOut[0] ||
+		a.ExceedAny.Count != whole.ExceedAny.Count || a.Ext.Max[0] != whole.Ext.Max[0] {
+		t.Errorf("merged state %+v differs from whole %+v", a, whole)
+	}
+	mismatched, _ := NewStreamStats(1, 3.0, nil)
+	if err := a.Merge(mismatched); err == nil {
+		t.Error("threshold-mismatched merge accepted")
+	}
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 4, 4, 7, 2}
+	sorted := []float64{1, 2, 4, 4, 7, 9}
+	for _, p := range []float64{0, 0.1, 0.5, 0.77, 1} {
+		if a, b := Quantile(xs, p), QuantileSorted(sorted, p); a != b {
+			t.Errorf("p=%g: Quantile %g, QuantileSorted %g", p, a, b)
+		}
+	}
+	if !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Error("empty input should be NaN")
+	}
+}

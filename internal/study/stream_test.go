@@ -1,0 +1,127 @@
+package study
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"etherm/internal/core"
+	"etherm/internal/degrade"
+	"etherm/internal/uq"
+)
+
+// TestStreamingMatchesStoredOnChipModel is the acceptance gate for the
+// streaming campaign: on the paper's chip model, the streaming path's mean
+// and σ for the hottest wire match the stored-ensemble path within 1e-9 at
+// every worker count (they are in fact bit-identical, since both fold the
+// same Welford recurrence in sample order).
+func TestStreamingMatchesStoredOnChipModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field ensemble is seconds-scale")
+	}
+	const m, seed = 4, 11
+	f7Stored, _, ens, err := RunStudy(coarse(), fastOpt(), m, seed, 2, DefaultRho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Succeeded() != m {
+		t.Fatalf("stored path: %d samples succeeded", ens.Succeeded())
+	}
+	last := len(f7Stored.Times) - 1
+	for _, workers := range []int{1, 2, 8} {
+		f7, camp, _, err := RunStreamingStudy(coarse(), fastOpt(), seed, DefaultRho,
+			StreamOptions{Samples: m, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if camp.Ensemble != nil {
+			t.Fatal("streaming study retained sample storage")
+		}
+		if camp.StopReason != uq.StopBudget || camp.Succeeded() != m {
+			t.Fatalf("workers=%d: campaign accounting %+v", workers, camp)
+		}
+		if f7.HotWire != f7Stored.HotWire {
+			t.Fatalf("workers=%d: hottest wire %d vs stored %d", workers, f7.HotWire, f7Stored.HotWire)
+		}
+		hotS, hot := f7Stored.HotSeries(), f7.HotSeries()
+		for ti := range hot {
+			if math.Abs(hot[ti]-hotS[ti]) > 1e-9 {
+				t.Errorf("workers=%d t=%d: streaming mean %g vs stored %g", workers, ti, hot[ti], hotS[ti])
+			}
+			if math.Abs(f7.SigmaHot[ti]-f7Stored.SigmaHot[ti]) > 1e-9 {
+				t.Errorf("workers=%d t=%d: streaming σ %g vs stored %g", workers, ti, f7.SigmaHot[ti], f7Stored.SigmaHot[ti])
+			}
+		}
+		if f7.EMax[last] != f7Stored.EMax[last] {
+			t.Errorf("workers=%d: E_max %g vs stored %g", workers, f7.EMax[last], f7Stored.EMax[last])
+		}
+		// The streaming path adds the empirical failure probability; at the
+		// calibrated operating point no wire reaches T_crit.
+		if math.IsNaN(f7.FailProbEmp) {
+			t.Error("streaming study did not track the empirical failure probability")
+		}
+		if math.IsNaN(f7Stored.FailProbEmp) == false {
+			t.Error("stored study unexpectedly reports an empirical failure probability")
+		}
+	}
+}
+
+// TestStreamingStudyCheckpointResume interrupts a chip-model campaign at a
+// checkpoint and verifies the resumed run reproduces the uninterrupted one
+// bit-for-bit.
+func TestStreamingStudyCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coupled-field ensemble is seconds-scale")
+	}
+	lay, err := coarse().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSim := func() *core.Simulator {
+		sim, err := core.NewSimulator(lay.Problem, fastOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	const m, seed = 4, 5
+	sampler := func() uq.Sampler {
+		return uq.PseudoRandom{D: GermDim(12, DefaultRho), Seed: seed}
+	}
+	whole, _, err := RunStreamingStudyWith(context.Background(), newSim(), Params{Rho: DefaultRho}, sampler(),
+		StreamOptions{Samples: m, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "study.ckpt")
+	// Phase 1: half the budget, checkpointing every sample.
+	if _, _, err := RunStreamingStudyWith(context.Background(), newSim(), Params{Rho: DefaultRho}, sampler(),
+		StreamOptions{Samples: m / 2, Workers: 2, Checkpoint: path, CheckpointEvery: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: resume to the full budget.
+	resumed, camp, err := RunStreamingStudyWith(context.Background(), newSim(), Params{Rho: DefaultRho}, sampler(),
+		StreamOptions{Samples: m, Workers: 2, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Evaluated != m {
+		t.Fatalf("resumed campaign evaluated %d, want %d", camp.Evaluated, m)
+	}
+	hotW, hotR := whole.HotSeries(), resumed.HotSeries()
+	for ti := range hotW {
+		if hotR[ti] != hotW[ti] || resumed.SigmaHot[ti] != whole.SigmaHot[ti] {
+			t.Fatalf("t=%d: resumed run differs from uninterrupted (mean %g vs %g, σ %g vs %g)",
+				ti, hotR[ti], hotW[ti], resumed.SigmaHot[ti], whole.SigmaHot[ti])
+		}
+	}
+}
+
+func TestBuildFig7FromCampaignValidation(t *testing.T) {
+	c := &uq.CampaignResult{NumOutputs: 5}
+	if _, err := BuildFig7FromCampaign([]float64{0, 1}, c, 12, degrade.DefaultCriticalTemp); err == nil {
+		t.Error("mismatched campaign accepted")
+	}
+}

@@ -6,6 +6,7 @@
 package study
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -237,7 +238,11 @@ type Fig7 struct {
 	Cross6Sig  float64 // first time E_max + 6σ ≥ T_crit (NaN if never)
 	CrossMean  float64 // first time E_max ≥ T_crit (NaN if never)
 	ExceedProb float64 // P(T_hot(end) ≥ T_crit), normal approximation
-	Samples    int
+	// FailProbEmp is the empirical failure probability P(any wire reaches
+	// T_crit at any time), available only from streaming campaigns that
+	// track exceedance (NaN otherwise).
+	FailProbEmp float64
+	Samples     int
 }
 
 // BuildFig7 aggregates an ensemble (outputs laid out by WireTempModel) into
@@ -262,12 +267,13 @@ func BuildFig7FromMoments(times, means, stds []float64, nWires int, tCrit float6
 	}
 
 	f := &Fig7{
-		Times:     append([]float64(nil), times...),
-		EWire:     make([][]float64, nTimes),
-		SWire:     make([][]float64, nTimes),
-		EMax:      make([]float64, nTimes),
-		TCritical: tCrit,
-		Samples:   samples,
+		Times:       append([]float64(nil), times...),
+		EWire:       make([][]float64, nTimes),
+		SWire:       make([][]float64, nTimes),
+		EMax:        make([]float64, nTimes),
+		TCritical:   tCrit,
+		FailProbEmp: math.NaN(),
+		Samples:     samples,
 	}
 	for t := 0; t < nTimes; t++ {
 		f.EWire[t] = means[t*nWires : (t+1)*nWires]
@@ -335,6 +341,129 @@ func (f *Fig7) Stationary(tol float64) bool {
 		return false
 	}
 	return math.Abs(s[n-1]-s[n-1-n/10]) < tol
+}
+
+// BuildFig7FromCampaign aggregates a streaming campaign (outputs laid out
+// by WireTempModel) into the Fig. 7 statistics, attaching the empirical
+// any-wire/any-time failure probability when the campaign tracked
+// exceedance at T_crit.
+func BuildFig7FromCampaign(times []float64, c *uq.CampaignResult, nWires int, tCrit float64) (*Fig7, error) {
+	if c.NumOutputs != len(times)*nWires {
+		return nil, fmt.Errorf("study: campaign has %d outputs, expected %d×%d", c.NumOutputs, len(times), nWires)
+	}
+	f, err := BuildFig7FromMoments(times, c.MeanAll(), c.StdAll(), nWires, tCrit, c.Succeeded())
+	if err != nil {
+		return nil, err
+	}
+	if c.Stats != nil && c.Stats.Threshold == tCrit {
+		f.FailProbEmp = c.Stats.FailProb()
+	}
+	return f, nil
+}
+
+// StreamOptions controls a streaming (constant-memory) Monte Carlo study:
+// the campaign budget, worker pool, adaptive stopping targets and
+// checkpointing. The zero value of TCrit selects the default critical
+// temperature.
+type StreamOptions struct {
+	Samples int // sample budget M
+	Workers int // parallel workers; 0 = GOMAXPROCS
+
+	// TargetSE stops once every output's MC standard error (eq. 6) is at or
+	// below it; TargetCI stops once the 95% failure-probability confidence
+	// half-width is. Zero disables a rule.
+	TargetSE float64
+	TargetCI float64
+
+	// Checkpoint, when set, periodically persists resumable campaign state
+	// to this path; with Resume an existing checkpoint file is loaded and
+	// the campaign continues from it bit-for-bit.
+	Checkpoint      string
+	CheckpointEvery int
+	Resume          bool
+	// Tag is an opaque model/configuration identity recorded in
+	// checkpoints and required to match on resume (see uq.CampaignOptions).
+	Tag string
+
+	// TCrit is the failure threshold driving exceedance tracking and the
+	// Fig. 7 crossing diagnostics (0 = degrade.DefaultCriticalTemp).
+	TCrit float64
+
+	// OnSample forwards per-evaluation progress (concurrent, like
+	// uq.EnsembleOptions.OnSample).
+	OnSample func(i int, err error)
+}
+
+// RunStreamingStudyWith runs the streaming Monte Carlo study on an existing
+// base simulator with an explicit elongation law and sampler: the campaign
+// folds wire-temperature outputs into O(NumOutputs) accumulators as samples
+// complete, so the sample budget no longer bounds memory. Results are
+// bit-identical to the stored-ensemble path for any worker count. On
+// cancellation the partial campaign is returned together with the context
+// error (a checkpoint, when configured, has been written).
+func RunStreamingStudyWith(ctx context.Context, base *core.Simulator, p Params, sampler uq.Sampler, o StreamOptions) (*Fig7, *uq.CampaignResult, error) {
+	tCrit := o.TCrit
+	if tCrit == 0 {
+		tCrit = degrade.DefaultCriticalTemp
+	}
+	copt := uq.CampaignOptions{
+		MaxSamples:      o.Samples,
+		Workers:         o.Workers,
+		TargetSE:        o.TargetSE,
+		TargetCI:        o.TargetCI,
+		Threshold:       tCrit,
+		CheckpointPath:  o.Checkpoint,
+		CheckpointEvery: o.CheckpointEvery,
+		Tag:             o.Tag,
+		OnSample:        o.OnSample,
+	}
+	if o.Resume && o.Checkpoint != "" {
+		cp, err := uq.LoadCheckpointIfExists(o.Checkpoint)
+		if err != nil {
+			return nil, nil, err
+		}
+		copt.Resume = cp
+	}
+	model := NewWireTempModel(base)
+	pd := p.withDefaults()
+	model.Mu, model.Sigma, model.Rho = pd.Mu, pd.Sigma, pd.Rho
+	camp, err := uq.RunCampaign(ctx, ParamFactory(base, p), model.InputDists(), sampler, copt)
+	if err != nil {
+		return nil, camp, err
+	}
+	eff := base.Options()
+	times := make([]float64, eff.NumSteps+1)
+	dt := eff.EndTime / float64(eff.NumSteps)
+	for i := range times {
+		times[i] = float64(i) * dt
+	}
+	f7, err := BuildFig7FromCampaign(times, camp, model.NumWires(), tCrit)
+	if err != nil {
+		return nil, camp, err
+	}
+	return f7, camp, nil
+}
+
+// RunStreamingStudy is the one-call streaming counterpart of RunStudy:
+// build the layout, run the campaign under the fitted elongation law with
+// pseudo-random sampling, and aggregate Fig. 7.
+func RunStreamingStudy(spec chipmodel.Spec, opt core.Options, seed uint64, rho float64, o StreamOptions) (*Fig7, *uq.CampaignResult, *chipmodel.Layout, error) {
+	lay, err := spec.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base, err := core.NewSimulator(lay.Problem, opt)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	model := NewWireTempModel(base)
+	model.Rho = rho
+	sampler := uq.PseudoRandom{D: model.Dim(), Seed: seed}
+	f7, camp, err := RunStreamingStudyWith(context.Background(), base, Params{Rho: rho}, sampler, o)
+	if err != nil {
+		return nil, camp, lay, err
+	}
+	return f7, camp, lay, nil
 }
 
 // RunPaperStudy is the one-call reproduction of the paper's Monte Carlo

@@ -1,0 +1,540 @@
+package uq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"etherm/internal/stats"
+)
+
+// Accumulator consumes sample results in strict sample-index order. The
+// campaign driver guarantees Accumulate is called from a single goroutine
+// with strictly increasing indices (failed samples are skipped), so
+// implementations need no locking and fold-order accumulators (quantile
+// sketches) stay deterministic for any worker count.
+type Accumulator interface {
+	// Accumulate folds one successful sample: its index, transformed input
+	// parameters and output vector. The slices are only valid during the
+	// call; implementations must copy what they keep.
+	Accumulate(i int, params, out []float64)
+}
+
+// Campaign stop reasons.
+const (
+	// StopBudget means the sample budget MaxSamples was exhausted.
+	StopBudget = "budget"
+	// StopTargetSE means the Monte Carlo standard error target was reached.
+	StopTargetSE = "target-se"
+	// StopTargetCI means the failure-probability confidence target was
+	// reached.
+	StopTargetCI = "target-ci"
+	// StopCanceled means the context was canceled mid-campaign.
+	StopCanceled = "canceled"
+)
+
+// DefaultBatchSize is the adaptive-stopping check granularity: rules are
+// evaluated whenever the folded sample count crosses a multiple of the
+// batch size, keeping the stop decision deterministic for any worker count.
+const DefaultBatchSize = 64
+
+// DefaultCheckpointEvery is the default folded-sample period between
+// checkpoint writes when a checkpoint path is set.
+const DefaultCheckpointEvery = 4096
+
+// CampaignOptions controls a streaming sampling campaign.
+type CampaignOptions struct {
+	// MaxSamples is the sample budget M (the campaign never evaluates past
+	// it; adaptive rules may stop earlier).
+	MaxSamples int
+	// Workers bounds parallel model evaluations; 0 = GOMAXPROCS. Results
+	// are bit-identical for any worker count.
+	Workers int
+
+	// BatchSize is the adaptive-stopping granularity (default
+	// DefaultBatchSize). Stop rules are checked when the folded count
+	// reaches a multiple of it, so the stopped sample count is a
+	// deterministic function of the sample stream alone.
+	BatchSize int
+	// TargetSE, when positive, stops the campaign once the largest
+	// output-wise Monte Carlo standard error σ_j/√N (eq. 6) drops to it.
+	TargetSE float64
+	// TargetCI, when positive (with Threshold set), stops once the 95%
+	// Wilson half-width of the any-output exceedance probability drops to it.
+	TargetCI float64
+
+	// Threshold enables exceedance/failure-probability tracking (T_crit).
+	Threshold float64
+	// Quantiles lists P² quantile levels sketched per output.
+	Quantiles []float64
+
+	// StoreSamples retains every sample's params and outputs in an
+	// Ensemble (exact quantiles, PCE fitting) at O(M·NumOutputs) memory.
+	// The default streaming path retains O(NumOutputs) accumulator state
+	// only. Checkpoint/resume requires the streaming path.
+	StoreSamples bool
+
+	// CheckpointPath, when set, periodically persists a JSON Checkpoint
+	// (atomic rename) every CheckpointEvery folded samples and at the end
+	// of the run, so an interrupted campaign can resume bit-for-bit.
+	CheckpointPath  string
+	CheckpointEvery int
+	// Tag is an opaque caller identity (e.g. a hash of the model
+	// configuration that produces the samples). It is recorded in
+	// checkpoints and must match on resume, so accumulator state from one
+	// model cannot silently absorb samples from another.
+	Tag string
+	// Resume continues a previous campaign from its checkpoint state: the
+	// sampler stream picks up at Checkpoint.Next and the accumulators are
+	// preloaded, reproducing the uninterrupted run exactly.
+	Resume *Checkpoint
+
+	// OnSample, when non-nil, is invoked after every model evaluation with
+	// the sample index and its error (nil on success). Called concurrently
+	// from worker goroutines; must be safe for parallel use and fast.
+	OnSample func(i int, err error)
+}
+
+// CampaignResult is the outcome of a streaming campaign: cumulative
+// accumulator state plus accounting. With StoreSamples it also carries the
+// stored Ensemble.
+type CampaignResult struct {
+	SamplerName string
+	SamplerFP   uint64 // fingerprint of the sample stream (see Checkpoint)
+	Tag         string // caller identity echoed from CampaignOptions.Tag
+	NumOutputs  int
+	Requested   int // sample budget MaxSamples
+	Evaluated   int // samples consumed from the stream (cumulative over resumes, incl. failures)
+	Failures    int // failed evaluations (cumulative)
+	StopReason  string
+	Stats       *stats.StreamStats
+	Ensemble    *Ensemble // non-nil only with StoreSamples
+}
+
+// Succeeded returns the number of successful evaluations folded so far.
+func (c *CampaignResult) Succeeded() int { return c.Evaluated - c.Failures }
+
+// MeanAll returns the running means of all outputs.
+func (c *CampaignResult) MeanAll() []float64 { return c.Stats.Moments.MeanAll() }
+
+// StdAll returns the running standard deviations of all outputs.
+func (c *CampaignResult) StdAll() []float64 { return c.Stats.Moments.StdAll() }
+
+// Checkpoint captures the campaign state for resumption.
+func (c *CampaignResult) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		Version:    1,
+		Sampler:    c.SamplerName,
+		SamplerFP:  c.SamplerFP,
+		Tag:        c.Tag,
+		NumOutputs: c.NumOutputs,
+		Next:       c.Evaluated,
+		Failures:   c.Failures,
+		Stats:      c.Stats,
+	}
+}
+
+// Checkpoint is the JSON-serialized resumable state of a streaming
+// campaign: the next sample index plus the full accumulator state. Size is
+// O(NumOutputs), independent of the samples already folded.
+type Checkpoint struct {
+	Version    int    `json:"version"`
+	Sampler    string `json:"sampler"`
+	Dim        int    `json:"dim"`
+	NumOutputs int    `json:"num_outputs"`
+	// SamplerFP fingerprints the sampler's actual point stream (a hash of
+	// point 0), catching identity changes a name cannot — a different
+	// Monte Carlo seed, QMC shift or LHS design size.
+	SamplerFP uint64 `json:"sampler_fp,omitempty"`
+	// Tag echoes CampaignOptions.Tag.
+	Tag      string             `json:"tag,omitempty"`
+	Next     int                `json:"next"`
+	Failures int                `json:"failures"`
+	Stats    *stats.StreamStats `json:"stats"`
+}
+
+// samplerFingerprint hashes sampler point 0 (FNV-1a over the raw float64
+// bits). Index-addressable samplers are pure, so the fingerprint is stable
+// across runs yet distinguishes seeds, shifts and stratified design sizes.
+func samplerFingerprint(s Sampler) uint64 {
+	u := make([]float64, s.Dim())
+	s.Sample(0, u)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range u {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			h ^= (b >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	if h == 0 {
+		h = 1 // keep 0 free as "not fingerprinted" (legacy checkpoints)
+	}
+	return h
+}
+
+// Save writes the checkpoint atomically (temp file + rename).
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("uq: checkpoint %s: %w", path, err)
+	}
+	if c.Version != 1 || c.Stats == nil || c.Stats.Moments == nil {
+		return nil, fmt.Errorf("uq: checkpoint %s: unsupported or corrupt state", path)
+	}
+	return &c, nil
+}
+
+// LoadCheckpointIfExists loads a checkpoint when the file exists and
+// returns (nil, nil) when it does not — the resume-if-present pattern of
+// the scenario engine and study front-ends. Errors other than absence
+// (unreadable file, corrupt state) are reported, not swallowed.
+func LoadCheckpointIfExists(path string) (*Checkpoint, error) {
+	c, err := LoadCheckpoint(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	return c, err
+}
+
+// sampleMsg carries one evaluated sample from a worker to the fold loop.
+type sampleMsg struct {
+	i           int
+	params, out []float64
+	err         error
+}
+
+// RunCampaign evaluates up to opt.MaxSamples sampler points through models
+// from the factory, folding each sample's outputs into streaming
+// accumulators the moment it completes. Sample i is deterministic (sampler
+// point i through dists) and results are folded in strict index order, so
+// every statistic — including the adaptive stop decision — is bit-identical
+// for any worker count. Memory on the streaming path is O(NumOutputs).
+//
+// On context cancellation the partial result is returned together with the
+// context error; a checkpoint (when configured) has been written so the
+// campaign can resume. A campaign where every evaluation failed returns an
+// error, like RunEnsemble.
+func RunCampaign(ctx context.Context, factory ModelFactory, dists []Dist, s Sampler, opt CampaignOptions) (*CampaignResult, error) {
+	if opt.MaxSamples <= 0 {
+		return nil, fmt.Errorf("uq: campaign needs a positive sample budget")
+	}
+	if s.Dim() != len(dists) {
+		return nil, fmt.Errorf("uq: sampler dimension %d does not match %d distributions", s.Dim(), len(dists))
+	}
+	probe, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("uq: model factory: %w", err)
+	}
+	if probe.Dim() != len(dists) {
+		return nil, fmt.Errorf("uq: model dimension %d does not match %d distributions", probe.Dim(), len(dists))
+	}
+	nOut := probe.NumOutputs()
+
+	// Resume or fresh accumulator state.
+	start, failures := 0, 0
+	var st *stats.StreamStats
+	fp := samplerFingerprint(s)
+	if opt.Resume != nil {
+		cp := opt.Resume
+		if opt.StoreSamples {
+			return nil, fmt.Errorf("uq: checkpoint resume requires the streaming path (StoreSamples off)")
+		}
+		if cp.Sampler != s.Name() || (cp.Dim != 0 && cp.Dim != s.Dim()) || cp.NumOutputs != nOut {
+			return nil, fmt.Errorf("uq: checkpoint (sampler %s, dim %d, %d outputs) does not match campaign (sampler %s, dim %d, %d outputs)",
+				cp.Sampler, cp.Dim, cp.NumOutputs, s.Name(), s.Dim(), nOut)
+		}
+		if cp.SamplerFP != 0 && cp.SamplerFP != fp {
+			return nil, fmt.Errorf("uq: checkpoint was written by a different %s sample stream (changed seed, shift or design size)", cp.Sampler)
+		}
+		if cp.Tag != opt.Tag {
+			return nil, fmt.Errorf("uq: checkpoint tag %q does not match campaign tag %q (model or configuration changed)", cp.Tag, opt.Tag)
+		}
+		if opt.Threshold > 0 && cp.Stats.Threshold != opt.Threshold {
+			return nil, fmt.Errorf("uq: checkpoint threshold %g does not match campaign threshold %g", cp.Stats.Threshold, opt.Threshold)
+		}
+		if len(opt.Quantiles) > 0 && len(opt.Quantiles) != len(cp.Stats.Probs) {
+			return nil, fmt.Errorf("uq: checkpoint sketches %d quantiles, campaign wants %d", len(cp.Stats.Probs), len(opt.Quantiles))
+		}
+		st = cp.Stats
+		start, failures = cp.Next, cp.Failures
+	} else {
+		st, err = stats.NewStreamStats(nOut, opt.Threshold, opt.Quantiles)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &CampaignResult{
+		SamplerName: s.Name(),
+		SamplerFP:   fp,
+		Tag:         opt.Tag,
+		NumOutputs:  nOut,
+		Requested:   opt.MaxSamples,
+		Evaluated:   start,
+		Failures:    failures,
+		Stats:       st,
+	}
+	if start >= opt.MaxSamples {
+		res.StopReason = StopBudget
+		return res, nil
+	}
+
+	batch := opt.BatchSize
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	// Resuming at a batch boundary re-evaluates the stop rules before any
+	// work: a campaign that already stopped adaptively (always at a
+	// boundary) becomes a no-op on resubmission instead of burning another
+	// batch. Mid-batch checkpoints (cancellation) skip this so the resumed
+	// run keeps making exactly the boundary decisions of an uninterrupted
+	// one.
+	if start > 0 && start%batch == 0 {
+		if r := stopReason(st, opt); r != "" {
+			res.StopReason = r
+			return res, nil
+		}
+	}
+	cpEvery := opt.CheckpointEvery
+	if cpEvery <= 0 {
+		cpEvery = DefaultCheckpointEvery
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if remaining := opt.MaxSamples - start; workers > remaining {
+		workers = remaining
+	}
+
+	var ens *Ensemble
+	if opt.StoreSamples {
+		ens = &Ensemble{
+			SamplerName: s.Name(),
+			M:           opt.MaxSamples,
+			NumOutputs:  nOut,
+			Params:      make([][]float64, opt.MaxSamples),
+			Outputs:     make([][]float64, opt.MaxSamples),
+		}
+	}
+
+	// Worker models are created serially up front: factories typically clone
+	// a shared base simulator, and a lazy in-goroutine clone would race with
+	// worker 0 already mutating that base through its first evaluation.
+	models := make([]Model, workers)
+	models[0] = probe
+	for w := 1; w < workers; w++ {
+		m, err := factory()
+		if err != nil {
+			return nil, fmt.Errorf("uq: worker setup: %w", err)
+		}
+		models[w] = m
+	}
+
+	// Buffer pools keep the streaming path allocation-bounded: slices cycle
+	// worker → fold → pool. The stored path hands buffers to the Ensemble
+	// instead.
+	var paramPool, outPool *sync.Pool
+	if !opt.StoreSamples {
+		dim := s.Dim()
+		paramPool = &sync.Pool{New: func() any { return make([]float64, dim) }}
+		outPool = &sync.Pool{New: func() any { return make([]float64, nOut) }}
+	}
+	recycle := func(m sampleMsg) {
+		if paramPool != nil {
+			paramPool.Put(m.params)
+			outPool.Put(m.out)
+		}
+	}
+
+	jobs := make(chan int)
+	results := make(chan sampleMsg, workers)
+	stop := make(chan struct{})
+
+	go func() {
+		defer close(jobs)
+		for i := start; i < opt.MaxSamples; i++ {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := models[w]
+			u := make([]float64, s.Dim())
+			for i := range jobs {
+				var params, out []float64
+				if paramPool != nil {
+					params = paramPool.Get().([]float64)
+					out = outPool.Get().([]float64)
+				} else {
+					params = make([]float64, s.Dim())
+					out = make([]float64, nOut)
+				}
+				s.Sample(i, u)
+				TransformPoint(dists, u, params)
+				err := m.Eval(params, out)
+				if opt.OnSample != nil {
+					opt.OnSample(i, err)
+				}
+				results <- sampleMsg{i: i, params: params, out: out, err: err}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Ordered fold: samples are folded in strict index order through a
+	// small reorder buffer (bounded by the in-flight worker count), so the
+	// accumulators see exactly the sequence sample 0, 1, 2, … regardless of
+	// completion order.
+	next := start
+	stopAt := opt.MaxSamples
+	stopped := false
+	var firstErr error
+	pending := make(map[int]sampleMsg, workers)
+	var cpErr error
+	writeCheckpoint := func() {
+		if opt.CheckpointPath == "" || cpErr != nil {
+			return
+		}
+		cp := &Checkpoint{
+			Version: 1, Sampler: s.Name(), Dim: s.Dim(), NumOutputs: nOut,
+			SamplerFP: fp, Tag: opt.Tag,
+			Next: next, Failures: res.Failures, Stats: st,
+		}
+		cpErr = cp.Save(opt.CheckpointPath)
+	}
+
+	for msg := range results {
+		if msg.i >= stopAt {
+			recycle(msg)
+			continue
+		}
+		pending[msg.i] = msg
+		for next < stopAt {
+			m, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if m.err != nil {
+				res.Failures++
+				if firstErr == nil {
+					firstErr = m.err
+				}
+				recycle(m)
+			} else {
+				st.Add(m.out)
+				if ens != nil {
+					ens.Params[next] = m.params
+					ens.Outputs[next] = m.out
+				} else {
+					recycle(m)
+				}
+			}
+			next++
+			res.Evaluated = next
+			if opt.CheckpointPath != "" && next%cpEvery == 0 {
+				writeCheckpoint()
+			}
+			if !stopped && next < stopAt && next%batch == 0 {
+				if r := stopReason(st, opt); r != "" {
+					stopAt = next
+					res.StopReason = r
+					stopped = true
+					close(stop)
+				}
+			}
+		}
+	}
+	for _, m := range pending {
+		recycle(m)
+	}
+
+	if res.StopReason == "" {
+		if ctx.Err() != nil && next < opt.MaxSamples {
+			res.StopReason = StopCanceled
+		} else {
+			res.StopReason = StopBudget
+		}
+	}
+	writeCheckpoint()
+	if cpErr != nil {
+		return res, fmt.Errorf("uq: campaign checkpoint: %w", cpErr)
+	}
+
+	if ens != nil {
+		ens.M = res.Evaluated
+		ens.Params = ens.Params[:res.Evaluated]
+		ens.Outputs = ens.Outputs[:res.Evaluated]
+		ens.Failures = res.Failures
+		res.Ensemble = ens
+	}
+	if res.Failures == res.Evaluated && res.Evaluated > 0 {
+		return nil, fmt.Errorf("uq: every campaign evaluation failed; first error: %w", firstErr)
+	}
+	if res.StopReason == StopCanceled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// stopReason evaluates the adaptive stopping rules on the folded prefix.
+func stopReason(st *stats.StreamStats, opt CampaignOptions) string {
+	if opt.TargetSE > 0 && st.Moments.N >= 2 && st.Moments.MaxSE() <= opt.TargetSE {
+		return StopTargetSE
+	}
+	if opt.TargetCI > 0 && opt.Threshold > 0 && st.ExceedAny.N > 0 &&
+		st.ExceedAny.HalfWidth(1.96) <= opt.TargetCI {
+		return StopTargetCI
+	}
+	return ""
+}

@@ -3,7 +3,10 @@
 // and quasi-Monte Carlo samplers (pseudo-random, Latin hypercube, Halton,
 // Sobol'), Gauss quadrature, tensor/Smolyak stochastic collocation,
 // non-intrusive polynomial chaos and Sobol' sensitivity indices, plus a
-// deterministic parallel ensemble driver.
+// deterministic parallel sampling driver with two modes: the streaming
+// campaign (RunCampaign: constant-memory online accumulators, adaptive
+// stopping, resumable checkpoints) and the stored ensemble (RunEnsemble,
+// a campaign with StoreSamples for exact quantiles and surrogate fitting).
 //
 // The paper quantifies the wire-temperature variability with plain Monte
 // Carlo (section IV-C, M = 1000) and notes that "the application of other

@@ -1,9 +1,9 @@
 package uq
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"runtime"
+	"sort"
 	"sync"
 
 	"etherm/internal/stats"
@@ -46,6 +46,9 @@ type EnsembleOptions struct {
 
 // Ensemble holds the results of a sampling study. All sample outputs are
 // stored so statistics are bit-identical regardless of worker count.
+// Derived statistics (moments, sorted output series for quantiles) are
+// cached lazily on first use; the stored samples are treated as immutable
+// once the run finishes.
 type Ensemble struct {
 	SamplerName string
 	M           int
@@ -53,99 +56,32 @@ type Ensemble struct {
 	Params      [][]float64 // input parameters per sample
 	Outputs     [][]float64 // outputs per sample
 	Failures    int
+
+	mu     sync.Mutex
+	means  []float64
+	stds   []float64
+	sorted map[int][]float64
 }
 
-// RunEnsemble evaluates M sampler points through models from the factory.
-// Sample i is deterministic: sampler point i transformed through dists.
-// Failed evaluations are recorded and excluded from statistics; an error is
-// returned only when every evaluation fails or setup fails.
+// RunEnsemble evaluates M sampler points through models from the factory,
+// storing every sample (the exact-quantile path of the streaming campaign
+// driver). Sample i is deterministic: sampler point i transformed through
+// dists. Failed evaluations are recorded and excluded from statistics; an
+// error is returned only when every evaluation fails or setup fails.
 func RunEnsemble(factory ModelFactory, dists []Dist, s Sampler, opt EnsembleOptions) (*Ensemble, error) {
 	if opt.Samples <= 0 {
 		return nil, fmt.Errorf("uq: ensemble needs a positive sample count")
 	}
-	if s.Dim() != len(dists) {
-		return nil, fmt.Errorf("uq: sampler dimension %d does not match %d distributions", s.Dim(), len(dists))
-	}
-	probe, err := factory()
+	res, err := RunCampaign(context.Background(), factory, dists, s, CampaignOptions{
+		MaxSamples:   opt.Samples,
+		Workers:      opt.Workers,
+		StoreSamples: true,
+		OnSample:     opt.OnSample,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("uq: model factory: %w", err)
+		return nil, err
 	}
-	if probe.Dim() != len(dists) {
-		return nil, fmt.Errorf("uq: model dimension %d does not match %d distributions", probe.Dim(), len(dists))
-	}
-	nOut := probe.NumOutputs()
-
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > opt.Samples {
-		workers = opt.Samples
-	}
-
-	ens := &Ensemble{
-		SamplerName: s.Name(),
-		M:           opt.Samples,
-		NumOutputs:  nOut,
-		Params:      make([][]float64, opt.Samples),
-		Outputs:     make([][]float64, opt.Samples),
-	}
-
-	// Worker models are created serially up front: factories typically clone
-	// a shared base simulator, and a lazy in-goroutine clone would race with
-	// worker 0 already mutating that base through its first evaluation.
-	models := make([]Model, workers)
-	models[0] = probe
-	for w := 1; w < workers; w++ {
-		m, err := factory()
-		if err != nil {
-			return nil, fmt.Errorf("uq: worker setup: %w", err)
-		}
-		models[w] = m
-	}
-
-	type job struct{ i int }
-	jobs := make(chan job)
-	var failures sync.Map
-	var wg sync.WaitGroup
-
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			m := models[w]
-			u := make([]float64, s.Dim())
-			for jb := range jobs {
-				i := jb.i
-				params := make([]float64, s.Dim())
-				out := make([]float64, nOut)
-				s.Sample(i, u)
-				TransformPoint(dists, u, params)
-				err := m.Eval(params, out)
-				if opt.OnSample != nil {
-					opt.OnSample(i, err)
-				}
-				if err != nil {
-					failures.Store(i, err)
-					continue
-				}
-				ens.Params[i] = params
-				ens.Outputs[i] = out
-			}
-		}(w)
-	}
-	for i := 0; i < opt.Samples; i++ {
-		jobs <- job{i}
-	}
-	close(jobs)
-	wg.Wait()
-	failures.Range(func(_, _ any) bool { ens.Failures++; return true })
-	if ens.Failures == opt.Samples {
-		var first error
-		failures.Range(func(_, v any) bool { first = v.(error); return false })
-		return nil, fmt.Errorf("uq: every ensemble evaluation failed; first error: %w", first)
-	}
-	return ens, nil
+	return res.Ensemble, nil
 }
 
 // Succeeded returns the number of successful evaluations.
@@ -162,58 +98,78 @@ func (e *Ensemble) OutputSeries(j int) []float64 {
 	return out
 }
 
+// moments returns the cached per-output means and standard deviations,
+// computing both on first use with the same streaming fold as the
+// campaign's accumulator path.
+func (e *Ensemble) moments() (means, stds []float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.means == nil {
+		vm := stats.NewVectorMoments(e.NumOutputs)
+		for _, o := range e.Outputs {
+			if o != nil {
+				vm.Add(o)
+			}
+		}
+		e.means = vm.Mean
+		e.stds = vm.StdAll()
+	}
+	return e.means, e.stds
+}
+
+// sortedSeries returns the cached ascending output series of output j,
+// sorting it once on first use so repeated Quantile calls are O(1) sorts.
+func (e *Ensemble) sortedSeries(j int) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sorted == nil {
+		e.sorted = make(map[int][]float64)
+	}
+	s, ok := e.sorted[j]
+	if !ok {
+		s = make([]float64, 0, e.Succeeded())
+		for _, o := range e.Outputs {
+			if o != nil {
+				s = append(s, o[j])
+			}
+		}
+		sort.Float64s(s)
+		e.sorted[j] = s
+	}
+	return s
+}
+
 // Mean returns the sample mean of output j.
-func (e *Ensemble) Mean(j int) float64 { return stats.Mean(e.OutputSeries(j)) }
+func (e *Ensemble) Mean(j int) float64 {
+	means, _ := e.moments()
+	return means[j]
+}
 
 // StdDev returns the unbiased sample standard deviation of output j.
-func (e *Ensemble) StdDev(j int) float64 { return stats.StdDev(e.OutputSeries(j)) }
+func (e *Ensemble) StdDev(j int) float64 {
+	_, stds := e.moments()
+	return stds[j]
+}
 
 // MCError returns the paper's eq. (6) estimate σ_MC/√M for output j.
 func (e *Ensemble) MCError(j int) float64 {
 	return stats.MCError(e.StdDev(j), e.Succeeded())
 }
 
-// Quantile returns the p-quantile of output j.
+// Quantile returns the p-quantile of output j from the cached sorted
+// series.
 func (e *Ensemble) Quantile(j int, p float64) float64 {
-	return stats.Quantile(e.OutputSeries(j), p)
+	return stats.QuantileSorted(e.sortedSeries(j), p)
 }
 
 // MeanAll returns the means of all outputs.
 func (e *Ensemble) MeanAll() []float64 {
-	out := make([]float64, e.NumOutputs)
-	acc := make([]stats.Welford, e.NumOutputs)
-	for _, o := range e.Outputs {
-		if o == nil {
-			continue
-		}
-		for j, v := range o {
-			acc[j].Add(v)
-		}
-	}
-	for j := range out {
-		out[j] = acc[j].Mean
-	}
-	return out
+	means, _ := e.moments()
+	return append([]float64(nil), means...)
 }
 
 // StdAll returns the standard deviations of all outputs.
 func (e *Ensemble) StdAll() []float64 {
-	out := make([]float64, e.NumOutputs)
-	acc := make([]stats.Welford, e.NumOutputs)
-	for _, o := range e.Outputs {
-		if o == nil {
-			continue
-		}
-		for j, v := range o {
-			acc[j].Add(v)
-		}
-	}
-	for j := range out {
-		v := acc[j].Variance()
-		if math.IsNaN(v) {
-			v = 0
-		}
-		out[j] = math.Sqrt(v)
-	}
-	return out
+	_, stds := e.moments()
+	return append([]float64(nil), stds...)
 }
