@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
 // benchmark manifest, so benchmark trajectories can be committed and diffed
-// across PRs (see `make bench-json`, which writes BENCH_PR2.json as the
-// baseline recorded by the solver-core PR).
+// across PRs (see `make bench-json`; BENCH_PR4.json is the current
+// baseline), and gates benchmark regressions against such a baseline.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem | go run ./cmd/benchjson -out bench.json
 //
+//	# regression gate: compare a fresh run (stdin or -in manifest) against
+//	# a committed baseline; exits 1 when a gated metric regresses beyond
+//	# the tolerance.
+//	go run ./cmd/benchjson -compare BENCH_PR4.json -in out/bench_smoke.json -tolerance 0.25
+//	go test -run '^$' -bench . -benchmem | go run ./cmd/benchjson -compare BENCH_PR4.json
+//
 // Standard fields (ns/op, B/op, allocs/op) are parsed into dedicated keys;
 // any extra `value unit` metric pairs reported via b.ReportMetric land in
-// the metrics map verbatim.
+// the metrics map verbatim. The compare mode gates ns/op, allocs/op and the
+// retained-heap metric (-gate-metrics) of every benchmark present in the
+// baseline; benchmarks missing from the current run fail the gate.
 package main
 
 import (
@@ -42,29 +50,159 @@ type Manifest struct {
 }
 
 func main() {
-	out := flag.String("out", "", "output file (default stdout)")
+	var (
+		out         = flag.String("out", "", "output file (default stdout; compare mode defaults to no output file)")
+		comparePath = flag.String("compare", "", "baseline manifest to gate the current run against")
+		inPath      = flag.String("in", "", "current-run manifest (JSON); empty parses bench output from stdin")
+		tolerance   = flag.Float64("tolerance", 0.25, "allowed relative regression per gated metric (0.25 = +25%)")
+		timeTol     = flag.Float64("time-tolerance", 0, "separate ns/op tolerance for cross-machine/noisy runs (0 = same as -tolerance)")
+		gateMetrics = flag.String("gate-metrics", "retained_B", "comma-separated b.ReportMetric units gated alongside ns/op and allocs/op")
+	)
 	flag.Parse()
 
-	m, err := parse(bufio.NewScanner(os.Stdin))
+	var m *Manifest
+	var err error
+	if *inPath != "" {
+		m, err = loadManifest(*inPath)
+	} else {
+		m, err = parse(bufio.NewScanner(os.Stdin))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *out != "" || *comparePath == "" {
+		if err := emit(m, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *comparePath != "" {
+		base, err := loadManifest(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		tt := *timeTol
+		if tt <= 0 {
+			tt = *tolerance
+		}
+		regressions := compare(base, m, tolerances{metric: *tolerance, time: tt}, strings.Split(*gateMetrics, ","))
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s:\n", len(regressions), *tolerance*100, *comparePath)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s (%d benchmarks gated)\n",
+			*tolerance*100, *comparePath, len(base.Benchmarks))
+	}
+}
+
+// emit writes the manifest to a file or stdout.
+func emit(m *Manifest, out string) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(data)
-		return
+		return nil
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(m.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(m.Benchmarks), out)
+	return nil
+}
+
+// loadManifest reads a previously emitted manifest.
+func loadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(m.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in manifest", path)
+	}
+	return &m, nil
+}
+
+// tolerances splits the gate: time is the ns/op tolerance (wall time is
+// noisy across machines and single-iteration runs), metric gates
+// allocs/op and the extra metrics (deterministic, so they can be tight).
+type tolerances struct {
+	metric float64
+	time   float64
+}
+
+// compare gates cur against base: for every baseline benchmark, ns/op,
+// allocs/op and the listed extra metrics may not exceed base*(1+tol) at
+// their class's tolerance. A gated metric with a zero baseline tolerates
+// nothing (the zero-alloc benchmarks must stay zero-alloc). Returns
+// human-readable regression descriptions; empty means the gate passes.
+// Improvements never fail.
+func compare(base, cur *Manifest, tol tolerances, extraMetrics []string) []string {
+	byName := make(map[string]*Result, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		byName[cur.Benchmarks[i].Name] = &cur.Benchmarks[i]
+	}
+	gated := make(map[string]bool, len(extraMetrics))
+	for _, m := range extraMetrics {
+		if m = strings.TrimSpace(m); m != "" {
+			gated[m] = true
+		}
+	}
+	var out []string
+	exceedAt := func(t float64, name, metric string, baseV, curV float64) {
+		if curV > baseV*(1+t) {
+			out = append(out, fmt.Sprintf("%s %s: %.4g → %.4g (+%.1f%%, tolerance %.0f%%)",
+				name, metric, baseV, curV, 100*(curV/baseV-1), t*100))
+		}
+	}
+	exceed := func(name, metric string, baseV, curV float64) {
+		exceedAt(tol.metric, name, metric, baseV, curV)
+	}
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline but missing from the current run", b.Name))
+			continue
+		}
+		exceedAt(tol.time, b.Name, "ns/op", b.NsPerOp, c.NsPerOp)
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			if *b.AllocsPerOp == 0 {
+				if *c.AllocsPerOp > 0 {
+					out = append(out, fmt.Sprintf("%s allocs/op: 0 → %g (zero-alloc benchmark regressed)", b.Name, *c.AllocsPerOp))
+				}
+			} else {
+				exceed(b.Name, "allocs/op", *b.AllocsPerOp, *c.AllocsPerOp)
+			}
+		}
+		for unit, v := range b.Metrics {
+			if !gated[unit] {
+				continue
+			}
+			cv, ok := c.Metrics[unit]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s %s: gated metric missing from the current run", b.Name, unit))
+				continue
+			}
+			if v <= 0 {
+				continue // non-positive baselines (e.g. freed memory) are not gateable ratios
+			}
+			exceed(b.Name, unit, v, cv)
+		}
+	}
+	return out
 }
 
 func parse(sc *bufio.Scanner) (*Manifest, error) {

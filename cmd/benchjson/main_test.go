@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: etherm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable2NominalRun-8   	       3	487944669 ns/op	        501.5 T_max_K	19850237 B/op	  211427 allocs/op
+BenchmarkSolverReuse-8        	       3	  6104440 ns/op	         54.00 cg_iters	       0 B/op	       0 allocs/op
+BenchmarkCampaignStreaming    	       1	1000000 ns/op	   123456 retained_B	    2048 B/op	      12 allocs/op
+PASS
+ok  	etherm	12.3s
+`
+
+func parseString(t *testing.T, s string) *Manifest {
+	t.Helper()
+	m, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	m := parseString(t, sampleBench)
+	if m.GoOS != "linux" || m.GoArch != "amd64" || m.Pkg != "etherm" {
+		t.Errorf("header fields lost: %+v", m)
+	}
+	if len(m.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(m.Benchmarks))
+	}
+	r := m.Benchmarks[0]
+	if r.Name != "BenchmarkTable2NominalRun" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", r.Name)
+	}
+	if r.Runs != 3 || r.NsPerOp != 487944669 {
+		t.Errorf("runs/ns lost: %+v", r)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 19850237 || r.AllocsPerOp == nil || *r.AllocsPerOp != 211427 {
+		t.Errorf("memory fields lost: %+v", r)
+	}
+	if r.Metrics["T_max_K"] != 501.5 {
+		t.Errorf("custom metric lost: %v", r.Metrics)
+	}
+	if m.Benchmarks[2].Name != "BenchmarkCampaignStreaming" || m.Benchmarks[2].Metrics["retained_B"] != 123456 {
+		t.Errorf("unsuffixed benchmark mis-parsed: %+v", m.Benchmarks[2])
+	}
+	zero := m.Benchmarks[1]
+	if zero.AllocsPerOp == nil || *zero.AllocsPerOp != 0 {
+		t.Errorf("zero allocs must be recorded, not dropped: %+v", zero)
+	}
+}
+
+func TestParseRejectsFailuresAndGarbage(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("--- FAIL: TestX\nBenchmarkY 1 5 ns/op\n"))); err == nil {
+		t.Error("FAIL output accepted as a baseline")
+	}
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Error("benchless output accepted")
+	}
+	if _, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX abc 5 ns/op\n"))); err == nil {
+		t.Error("malformed run count accepted")
+	}
+}
+
+// gateFixtures returns a baseline and an identical current manifest the
+// compare tests then perturb.
+func gateFixtures(t *testing.T) (*Manifest, *Manifest) {
+	t.Helper()
+	return parseString(t, sampleBench), parseString(t, sampleBench)
+}
+
+func TestCompareGate(t *testing.T) {
+	gates := []string{"retained_B"}
+	t.Run("identical passes", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		if regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates); len(regs) != 0 {
+			t.Errorf("identical manifests flagged: %v", regs)
+		}
+	})
+	t.Run("improvement passes", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[0].NsPerOp /= 3
+		cur.Benchmarks[2].Metrics["retained_B"] = 10
+		if regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates); len(regs) != 0 {
+			t.Errorf("improvement flagged: %v", regs)
+		}
+	})
+	t.Run("ns regression within tolerance passes", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[0].NsPerOp *= 1.2
+		if regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates); len(regs) != 0 {
+			t.Errorf("within-tolerance drift flagged: %v", regs)
+		}
+	})
+	t.Run("ns regression beyond tolerance fails", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[0].NsPerOp *= 1.3
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+			t.Errorf("regression not flagged: %v", regs)
+		}
+	})
+	t.Run("retained_B regression fails", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[2].Metrics["retained_B"] *= 2
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "retained_B") {
+			t.Errorf("retained_B regression not flagged: %v", regs)
+		}
+	})
+	t.Run("physics metrics are not gated", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[0].Metrics["T_max_K"] *= 2 // headline value, guarded by tests not the bench gate
+		if regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates); len(regs) != 0 {
+			t.Errorf("ungated metric flagged: %v", regs)
+		}
+	})
+	t.Run("zero-alloc benchmark must stay zero-alloc", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		one := 1.0
+		cur.Benchmarks[1].AllocsPerOp = &one
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "zero-alloc") {
+			t.Errorf("zero-alloc regression not flagged: %v", regs)
+		}
+	})
+	t.Run("allocs regression beyond tolerance fails", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		bumped := *cur.Benchmarks[0].AllocsPerOp * 2
+		cur.Benchmarks[0].AllocsPerOp = &bumped
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+			t.Errorf("allocs regression not flagged: %v", regs)
+		}
+	})
+	t.Run("missing benchmark fails", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks = cur.Benchmarks[:1]
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 2 {
+			t.Errorf("missing benchmarks not flagged: %v", regs)
+		}
+	})
+	t.Run("missing gated metric fails", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		delete(cur.Benchmarks[2].Metrics, "retained_B")
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+			t.Errorf("missing gated metric not flagged: %v", regs)
+		}
+	})
+	t.Run("looser time tolerance keeps tight metric gates", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks[0].NsPerOp *= 1.8               // noisy wall time: tolerated at time=1.0
+		cur.Benchmarks[2].Metrics["retained_B"] *= 1.5 // deterministic: still gated at 0.25
+		regs := compare(base, cur, tolerances{metric: 0.25, time: 1.0}, gates)
+		if len(regs) != 1 || !strings.Contains(regs[0], "retained_B") {
+			t.Errorf("split tolerances misapplied: %v", regs)
+		}
+	})
+	t.Run("extra current benchmarks are ignored", func(t *testing.T) {
+		base, cur := gateFixtures(t)
+		cur.Benchmarks = append(cur.Benchmarks, Result{Name: "BenchmarkNew", Runs: 1, NsPerOp: 1})
+		if regs := compare(base, cur, tolerances{metric: 0.25, time: 0.25}, gates); len(regs) != 0 {
+			t.Errorf("new benchmark flagged: %v", regs)
+		}
+	})
+}

@@ -10,6 +10,8 @@
 //	etbatch -f scenarios.json            # run a scenario file
 //	etbatch -write-presets presets.json  # export the bundled suite, then edit
 //	etbatch -bundled -out manifest.json -workers 4 -sample-workers 2 -v
+//	etbatch -f scenarios.json -shards 4           # sharded campaigns, locally
+//	etbatch -f scenarios.json -shards 4 -fleet 2  # …across 2 etworker processes
 //
 // The scenario file format is internal/scenario.Batch as JSON; unknown
 // fields are rejected so typos fail loudly. Exit status is 0 when every
@@ -22,11 +24,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"runtime"
 	"time"
 
+	"etherm/internal/fleet"
 	"etherm/internal/scenario"
 )
 
@@ -48,6 +54,9 @@ func run() (int, error) {
 		outPath       = flag.String("out", "out/etbatch_manifest.json", "results manifest path (empty = no manifest)")
 		verbose       = flag.Bool("v", false, "log per-scenario progress events")
 		stream        = flag.Bool("stream", false, "force the constant-memory streaming campaign for every sampling scenario")
+		shards        = flag.Int("shards", 0, "partition every budget-only sampling scenario into K self-contained shards")
+		fleetWorkers  = flag.Int("fleet", 0, "local multi-process mode: run sharded scenarios through N etworker processes against an in-process coordinator")
+		etworkerBin   = flag.String("etworker-bin", "", "etworker binary for -fleet (default: next to etbatch, then $PATH; falls back to in-process workers)")
 	)
 	flag.Parse()
 
@@ -84,19 +93,32 @@ func run() (int, error) {
 	if *sampleWorkers > 0 {
 		batch.SampleWorkers = *sampleWorkers
 	}
-	if *stream {
-		for i := range batch.Scenarios {
-			switch batch.Scenarios[i].UQ.EffectiveMethod() {
-			case scenario.MethodNone, scenario.MethodSmolyak:
-			default:
-				batch.Scenarios[i].UQ.Stream = true
-			}
+	for i := range batch.Scenarios {
+		uqSpec := &batch.Scenarios[i].UQ
+		switch uqSpec.EffectiveMethod() {
+		case scenario.MethodNone, scenario.MethodSmolyak:
+			continue
+		}
+		if *stream {
+			uqSpec.Stream = true
+		}
+		// Sharding is budget-only; scenarios with adaptive targets keep
+		// their single-fold campaign.
+		if *shards >= 1 && uqSpec.TargetSE == 0 && uqSpec.TargetCI == 0 {
+			uqSpec.Shards = *shards
 		}
 	}
 
 	eng := scenario.NewEngine()
 	if *verbose {
 		eng.OnEvent = logEvent
+	}
+	if *fleetWorkers > 0 {
+		stopFleet, err := startLocalFleet(eng, *fleetWorkers, *etworkerBin, *sampleWorkers, *verbose)
+		if err != nil {
+			return 1, err
+		}
+		defer stopFleet()
 	}
 
 	fmt.Printf("etbatch: %s — %d scenarios on %d CPUs\n", batch.Name, len(batch.Scenarios), runtime.NumCPU())
@@ -178,6 +200,88 @@ func manifestJSON(res *scenario.BatchResult) ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// startLocalFleet is etbatch's local multi-process mode: it starts an
+// in-process fleet coordinator on a loopback listener, spawns n etworker
+// processes against it (falling back to in-process worker loops over the
+// same HTTP protocol when no etworker binary is available), and plugs the
+// coordinator into the engine so sharded scenarios run on the fleet. The
+// returned function tears everything down.
+func startLocalFleet(eng *scenario.Engine, n int, bin string, sampleWorkers int, verbose bool) (func(), error) {
+	coord := fleet.NewCoordinator(eng.Cache(), 15*time.Second)
+	mux := http.NewServeMux()
+	coord.Register(mux, "/v1/fleet")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	eng.Sharder = coord
+
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := func() {
+		cancel()
+		_ = srv.Close()
+	}
+
+	if bin == "" {
+		bin = findEtworker()
+	}
+	if bin != "" {
+		fmt.Printf("fleet: %d etworker processes (%s) against %s\n", n, bin, base)
+		for i := 0; i < n; i++ {
+			args := []string{"-server", base, "-id", fmt.Sprintf("local-%d", i)}
+			if sampleWorkers > 0 {
+				args = append(args, "-sample-workers", fmt.Sprint(sampleWorkers))
+			}
+			if !verbose {
+				args = append(args, "-q")
+			}
+			cmd := exec.CommandContext(ctx, bin, args...)
+			if verbose {
+				cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			}
+			if err := cmd.Start(); err != nil {
+				stop()
+				return nil, fmt.Errorf("spawn etworker: %w", err)
+			}
+			go func() { _ = cmd.Wait() }()
+		}
+		return stop, nil
+	}
+
+	fmt.Printf("fleet: etworker binary not found; running %d in-process workers over %s\n", n, base)
+	for i := 0; i < n; i++ {
+		w := &fleet.Worker{
+			BaseURL:       base + "/v1/fleet",
+			ID:            fmt.Sprintf("inproc-%d", i),
+			SampleWorkers: sampleWorkers,
+			Poll:          100 * time.Millisecond,
+		}
+		if verbose {
+			w.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		}
+		go func() { _ = w.Run(ctx) }()
+	}
+	return stop, nil
+}
+
+// findEtworker locates the etworker binary next to the running etbatch
+// executable or on PATH; empty when neither exists.
+func findEtworker() string {
+	if exe, err := os.Executable(); err == nil {
+		sibling := filepath.Join(filepath.Dir(exe), "etworker")
+		if st, err := os.Stat(sibling); err == nil && !st.IsDir() {
+			return sibling
+		}
+	}
+	if p, err := exec.LookPath("etworker"); err == nil {
+		return p
+	}
+	return ""
 }
 
 func writeFile(path string, data []byte) error {

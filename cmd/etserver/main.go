@@ -9,13 +9,24 @@
 //	POST   /v1/jobs               submit a scenario.Batch (JSON) → 202 + job
 //	GET    /v1/jobs               list jobs (without result payloads)
 //	GET    /v1/jobs/{id}          job status, progress and, when done, results
+//	                              (fleet job IDs show per-shard progress)
 //	DELETE /v1/jobs/{id}          cancel a queued or running job → "canceled"
 //	GET    /v1/scenarios/presets  the bundled paper-grounded scenario suite
 //	GET    /healthz               liveness + assembly-cache statistics
 //
+// Fleet coordinator (sharded campaigns served by etworker processes):
+//
+//	POST /v1/fleet/jobs           submit one sharded scenario → 202 + shard plan
+//	GET  /v1/fleet/jobs[/{id}]    fleet jobs with per-shard lease state
+//	POST /v1/fleet/lease          etworker: request a shard assignment
+//	POST /v1/fleet/heartbeat      etworker: keep a lease alive
+//	POST /v1/fleet/result         etworker: post a completed shard
+//	POST /v1/fleet/fail           etworker: report a failed shard attempt
+//
 // Usage:
 //
 //	etserver [-addr :8080] [-max-jobs 2] [-history 128]
+//	         [-lease-ttl 30s] [-fleet-batches]
 //
 // Quickstart against a running server:
 //
@@ -31,17 +42,22 @@ import (
 	"log"
 	"net/http"
 	"time"
+
+	"etherm/internal/fleet"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		maxJobs = flag.Int("max-jobs", 2, "batch jobs evaluated concurrently")
-		history = flag.Int("history", DefaultMaxHistory, "finished jobs retained before oldest-first eviction")
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxJobs      = flag.Int("max-jobs", 2, "batch jobs evaluated concurrently")
+		history      = flag.Int("history", DefaultMaxHistory, "finished jobs retained before oldest-first eviction")
+		leaseTTL     = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "shard lease TTL before a silent etworker is presumed dead")
+		fleetBatches = flag.Bool("fleet-batches", false, "run sharded scenarios of batch jobs on the etworker fleet instead of locally")
 	)
 	flag.Parse()
 
-	srv := NewServerWithHistory(*maxJobs, *history)
+	srv := NewServerWithOptions(*maxJobs, *history, *leaseTTL)
+	srv.FleetBatches = *fleetBatches
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"etherm/internal/fleet"
 	"etherm/internal/scenario"
 )
 
@@ -67,9 +68,15 @@ type Job struct {
 // accumulate result payloads without bound.
 type Server struct {
 	cache      *scenario.AssemblyCache
+	coord      *fleet.Coordinator
 	sem        chan struct{}
 	maxBody    int64
 	maxHistory int
+
+	// FleetBatches, when set before serving, routes the sharded scenarios
+	// of batch jobs through the fleet coordinator instead of running them
+	// locally — the job then progresses only while etworkers are connected.
+	FleetBatches bool
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -92,14 +99,23 @@ func NewServer(maxConcurrent int) *Server {
 // NewServerWithHistory is NewServer with an explicit finished-job retention
 // cap (minimum 1).
 func NewServerWithHistory(maxConcurrent, maxHistory int) *Server {
+	return NewServerWithOptions(maxConcurrent, maxHistory, fleet.DefaultLeaseTTL)
+}
+
+// NewServerWithOptions is the full constructor: concurrency cap, retention
+// cap and the fleet shard-lease TTL (how long an etworker may go silent
+// before its shard is re-leased).
+func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration) *Server {
 	if maxConcurrent < 1 {
 		maxConcurrent = 1
 	}
 	if maxHistory < 1 {
 		maxHistory = 1
 	}
+	cache := scenario.NewCache()
 	s := &Server{
-		cache:      scenario.NewCache(),
+		cache:      cache,
+		coord:      fleet.NewCoordinator(cache, leaseTTL),
 		sem:        make(chan struct{}, maxConcurrent),
 		maxBody:    4 << 20,
 		maxHistory: maxHistory,
@@ -113,8 +129,17 @@ func NewServerWithHistory(maxConcurrent, maxHistory int) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/scenarios/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The fleet coordinator: etworkers lease shards of sharded scenarios
+	// from these endpoints; clients submit sharded campaign jobs to
+	// POST /v1/fleet/jobs and read shard progress from GET /v1/jobs/{id}
+	// (which falls through to fleet jobs) or GET /v1/fleet/jobs/{id}.
+	s.coord.Register(s.mux, "/v1/fleet")
 	return s
 }
+
+// Coordinator exposes the fleet coordinator (batch jobs whose sharded
+// scenarios should run on the fleet plug it into their engine).
+func (s *Server) Coordinator() *fleet.Coordinator { return s.coord }
 
 // Handler returns the HTTP handler (also used by httptest).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -199,6 +224,9 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 	})
 
 	eng := scenario.NewEngineWithCache(s.cache)
+	if s.FleetBatches {
+		eng.Sharder = s.coord
+	}
 	eng.OnEvent = func(ev scenario.Event) {
 		switch ev.Phase {
 		case scenario.PhaseDone, scenario.PhaseFailed:
@@ -247,7 +275,8 @@ func (s *Server) release(id string) {
 	}
 }
 
-// handleCancel aborts a queued or running job.
+// handleCancel aborts a queued or running job. Fleet job IDs fall through
+// to the coordinator, mirroring handleGet.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -260,6 +289,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
+		if _, isFleet := s.coord.Job(id); isFleet {
+			if err := s.coord.Cancel(id); err != nil {
+				writeJSON(w, http.StatusConflict, apiError{err.Error()})
+				return
+			}
+			fv, _ := s.coord.Job(id)
+			writeJSON(w, http.StatusAccepted, fv)
+			return
+		}
 		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
 		return
 	}
@@ -316,10 +354,17 @@ func (s *Server) snapshot(id string) *Job {
 	return &cp
 }
 
-// handleGet returns one job by ID.
+// handleGet returns one job by ID. Fleet job IDs ("fleet-…") fall through
+// to the coordinator, so shard progress of a distributed campaign is
+// readable from the same endpoint as batch jobs.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.snapshot(r.PathValue("id"))
+	id := r.PathValue("id")
+	j := s.snapshot(id)
 	if j == nil {
+		if fv, ok := s.coord.Job(id); ok {
+			writeJSON(w, http.StatusOK, fv)
+			return
+		}
 		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
 		return
 	}
@@ -355,6 +400,7 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 type health struct {
 	Status       string `json:"status"`
 	Jobs         int    `json:"jobs"`
+	FleetJobs    int    `json:"fleet_jobs"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    int64  `json:"cache_hits"`
 	CacheMisses  int64  `json:"cache_misses"`
@@ -367,6 +413,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, health{
 		Status: "ok", Jobs: n,
+		FleetJobs:    len(s.coord.Jobs()),
 		CacheEntries: s.cache.Len(),
 		CacheHits:    s.cache.Hits(),
 		CacheMisses:  s.cache.Misses(),

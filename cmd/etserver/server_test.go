@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"etherm/internal/config"
+	"etherm/internal/fleet"
 	"etherm/internal/scenario"
 )
 
@@ -346,4 +348,98 @@ func TestHealthz(t *testing.T) {
 	if h.Status != "ok" {
 		t.Errorf("health status %q", h.Status)
 	}
+}
+
+// TestFleetJobOverServerAPI drives a sharded campaign end to end through
+// the server: a client submits the scenario to POST /v1/fleet/jobs, an
+// etworker pull loop serves the shards over the same mux, and shard
+// progress plus the final result are readable from GET /v1/jobs/{id} (the
+// unified job endpoint falls through to fleet jobs).
+func TestFleetJobOverServerAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs coupled-field ensembles")
+	}
+	ts := httptest.NewServer(NewServerWithOptions(1, 8, 5*time.Second).Handler())
+	defer ts.Close()
+
+	s := scenario.Scenario{
+		Name: "mc-fleet",
+		Chip: scenario.ChipSpec{HMaxM: 0.8e-3},
+		Sim:  config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
+		UQ: scenario.UQSpec{
+			Method: scenario.MethodMonteCarlo, Samples: 4, Seed: 9,
+			Shards: 2, ShardBlock: 2,
+		},
+	}
+	body, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/fleet/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view fleet.JobView
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fleet submit status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.Status != fleet.JobRunning || len(view.Shards) != 2 {
+		t.Fatalf("unexpected fleet job view: %+v", view)
+	}
+
+	// Shard progress is visible on the unified job endpoint before any
+	// worker joins.
+	progress := getFleetJob(t, ts, view.ID)
+	if progress.ShardsDone != 0 || len(progress.Shards) != 2 {
+		t.Fatalf("initial shard progress: %+v", progress)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &fleet.Worker{BaseURL: ts.URL + "/v1/fleet", ID: "api-test", SampleWorkers: 2, Poll: 20 * time.Millisecond}
+	go func() { _ = w.Run(ctx) }()
+
+	deadline := time.Now().Add(3 * time.Minute)
+	var final fleet.JobView
+	for {
+		final = getFleetJob(t, ts, view.ID)
+		if final.Status != fleet.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet job stuck: %+v", final)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if final.Status != fleet.JobDone || final.Result == nil {
+		t.Fatalf("fleet job finished as %s (%s)", final.Status, final.Error)
+	}
+	if final.ShardsDone != 2 || !final.Result.OK || final.Result.Shards != 2 {
+		t.Errorf("fleet result accounting: done=%d result=%+v", final.ShardsDone, final.Result)
+	}
+	if final.Result.Samples+final.Result.Failures != 4 {
+		t.Errorf("fleet campaign consumed %d samples, want 4", final.Result.Samples+final.Result.Failures)
+	}
+}
+
+// getFleetJob reads a fleet job view from the unified GET /v1/jobs/{id}.
+func getFleetJob(t *testing.T, ts *httptest.Server, id string) fleet.JobView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet job %s: status %d", id, resp.StatusCode)
+	}
+	var v fleet.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
 }

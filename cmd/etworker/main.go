@@ -1,0 +1,93 @@
+// Command etworker is the fleet worker of the sharded campaign layer: it
+// pulls shard assignments from an etserver coordinator over HTTP (lease +
+// heartbeat), runs them through the scenario engine's shard entry point,
+// and posts back the serialized per-block accumulator state. Any number of
+// etworkers may join or die at any time — expired leases are re-leased and
+// stale results rejected, so the merged campaign is bit-identical to a
+// single-process run.
+//
+// Usage:
+//
+//	etworker -server http://etserver:8080            # join the fleet, run forever
+//	etworker -server http://etserver:8080 -once      # drain one shard, then exit
+//	etworker -server ... -sample-workers 4 -id gpu-3 # bound parallelism, name the worker
+//
+// The -server URL is the etserver root; the worker talks to its /v1/fleet
+// API. Checkpoints declared by a scenario land on the WORKER's filesystem
+// (one "<path>.shard-N" file per shard), so a restarted worker resumes its
+// shard instead of recomputing it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"etherm/internal/fleet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "etworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		server        = flag.String("server", "", "etserver base URL (required), e.g. http://host:8080")
+		id            = flag.String("id", "", "worker name in leases (default hostname-pid)")
+		sampleWorkers = flag.Int("sample-workers", 0, "parallel model evaluations per shard (0 = GOMAXPROCS)")
+		poll          = flag.Duration("poll", fleet.DefaultPoll, "idle re-poll interval")
+		once          = flag.Bool("once", false, "lease and run at most one shard, then exit")
+		quiet         = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	if *server == "" {
+		return fmt.Errorf("pass -server <etserver URL>")
+	}
+	name := *id
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "etworker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w := &fleet.Worker{
+		BaseURL:       strings.TrimSuffix(*server, "/") + "/v1/fleet",
+		ID:            name,
+		SampleWorkers: *sampleWorkers,
+		Poll:          *poll,
+	}
+	if !*quiet {
+		w.Logf = func(format string, args ...any) {
+			fmt.Printf("[%s] %s\n", time.Now().UTC().Format(time.TimeOnly), fmt.Sprintf(format, args...))
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		worked, err := w.RunOnce(ctx)
+		if err != nil {
+			return err
+		}
+		if !worked {
+			fmt.Println("no work available")
+		}
+		return nil
+	}
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -62,6 +62,8 @@ func run() error {
 		checkpoint = flag.String("checkpoint", "", "periodically persist resumable campaign state to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "samples between checkpoints (0 = default)")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
+		shards     = flag.Int("shards", 0, "partition the campaign into K self-contained shards (results identical for any K)")
+		shardBlock = flag.Int("shard-block", 0, "shard merge granularity in samples (0 = default)")
 	)
 	flag.Parse()
 
@@ -89,6 +91,12 @@ func run() error {
 	}
 	if *ckptEvery > 0 {
 		cfg.UQ.CheckpointEvery = *ckptEvery
+	}
+	if *shards > 0 {
+		cfg.UQ.Shards = *shards
+	}
+	if *shardBlock > 0 {
+		cfg.UQ.ShardBlock = *shardBlock
 	}
 	if *method != "" {
 		cfg.UQ.Method = *method
@@ -179,7 +187,9 @@ func run() error {
 			Resume:          *resume,
 			Tag: fmt.Sprintf("mcstudy:%s|%s|seed=%d|rho=%g|mu=%g|sigma=%g|drive=%g|tcrit=%g",
 				cfg.Chip.Preset, cfg.UQ.Method, cfg.UQ.Seed, *rho, p.Mu, p.Sigma, cfg.Chip.DriveVoltageV, tCrit),
-			TCrit: tCrit,
+			TCrit:      tCrit,
+			Shards:     cfg.UQ.Shards,
+			ShardBlock: cfg.UQ.ShardBlock,
 		})
 		if err != nil {
 			return err
@@ -188,6 +198,9 @@ func run() error {
 		succeeded, failed = camp.Succeeded(), camp.Failures
 		fmt.Printf("streaming campaign: %d/%d samples, stop=%s, P_fail(any wire ≥ T_crit) = %.2e, T_obs,max = %.2f K\n",
 			camp.Evaluated, camp.Requested, camp.StopReason, camp.Stats.FailProb(), camp.Stats.Ext.GlobalMax())
+		if cfg.UQ.Sharded() {
+			fmt.Printf("sharded: %d shards (merge is bit-identical for any shard count)\n", cfg.UQ.Shards)
+		}
 		if cfg.UQ.Checkpoint != "" {
 			fmt.Printf("checkpoint: %s (resume with -resume)\n", cfg.UQ.Checkpoint)
 		}

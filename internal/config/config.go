@@ -81,14 +81,30 @@ type UQConfig struct {
 	TargetCI float64 `json:"target_ci,omitempty"`
 	// Checkpoint periodically persists resumable campaign state to this
 	// path (every CheckpointEvery folded samples; 0 = default period).
+	// Sharded campaigns write one "<path>.shard-N" file per shard.
 	Checkpoint      string `json:"checkpoint,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+
+	// Shards partitions the sample range into this many self-contained,
+	// block-aligned shards (merged results are bit-identical for any shard
+	// count or worker placement — see uq.ShardPlan). 0 keeps the
+	// single-fold streaming campaign, shards=1 is a one-shard campaign
+	// through the same merge layer; sharding implies streaming and is
+	// budget-only (no adaptive targets).
+	Shards int `json:"shards,omitempty"`
+	// ShardBlock is the merge granularity of the shard plan
+	// (0 = uq.DefaultShardBlockSize).
+	ShardBlock int `json:"shard_block,omitempty"`
 }
+
+// Sharded reports whether the configuration routes the campaign through the
+// shard/merge layer (any positive shard count).
+func (u UQConfig) Sharded() bool { return u.Shards >= 1 }
 
 // Streaming reports whether the configuration selects the streaming
 // campaign path, explicitly or through one of its knobs.
 func (u UQConfig) Streaming() bool {
-	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != ""
+	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != "" || u.Sharded()
 }
 
 // Budget returns the effective sample budget of a streaming campaign.
@@ -157,6 +173,12 @@ func (c Run) Validate() error {
 	}
 	if c.UQ.MaxSamples < 0 || c.UQ.TargetSE < 0 || c.UQ.TargetCI < 0 || c.UQ.CheckpointEvery < 0 {
 		return fmt.Errorf("uq streaming knobs must be non-negative")
+	}
+	if c.UQ.Shards < 0 || c.UQ.ShardBlock < 0 {
+		return fmt.Errorf("uq sharding knobs must be non-negative")
+	}
+	if c.UQ.Sharded() && (c.UQ.TargetSE > 0 || c.UQ.TargetCI > 0) {
+		return fmt.Errorf("sharded campaigns are budget-only: adaptive stopping (target_se/target_ci) needs the single-fold streaming path")
 	}
 	if c.UQ.Method == "smolyak" && c.UQ.Streaming() {
 		return fmt.Errorf("streaming campaigns apply to sampling methods, not smolyak collocation")

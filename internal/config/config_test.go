@@ -103,6 +103,39 @@ func TestStreamingKnobs(t *testing.T) {
 	}
 }
 
+func TestShardingKnobs(t *testing.T) {
+	u := UQConfig{Samples: 100, Shards: 4}
+	if !u.Sharded() || !u.Streaming() {
+		t.Error("shards must imply the streaming sharded path")
+	}
+	if (UQConfig{Samples: 100}).Sharded() {
+		t.Error("unsharded config reported sharded")
+	}
+	cfg := Default()
+	cfg.UQ.Shards = 4
+	cfg.UQ.ShardBlock = 128
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("sharded config rejected: %v", err)
+	}
+	bad := Default()
+	bad.UQ.Shards = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	adaptive := Default()
+	adaptive.UQ.Shards = 2
+	adaptive.UQ.TargetSE = 0.1
+	if err := adaptive.Validate(); err == nil {
+		t.Error("sharded config with adaptive target accepted")
+	}
+	smolyak := Default()
+	smolyak.UQ.Method = "smolyak"
+	smolyak.UQ.Shards = 2
+	if err := smolyak.Validate(); err == nil {
+		t.Error("sharded smolyak accepted")
+	}
+}
+
 func TestSpecAndOptionsMaterialization(t *testing.T) {
 	cfg := Default()
 	cfg.Chip.Preset = "date16"

@@ -1,0 +1,202 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"etherm/internal/scenario"
+	"etherm/internal/uq"
+)
+
+// maxBodyBytes bounds worker/client request bodies (shard results carry
+// O(blocks × outputs) accumulator state, far below this).
+const maxBodyBytes = 64 << 20
+
+// Wire bodies of the worker-facing endpoints.
+type (
+	// LeaseRequest asks for a shard assignment.
+	LeaseRequest struct {
+		Worker string `json:"worker"`
+	}
+	// HeartbeatRequest extends a lease.
+	HeartbeatRequest struct {
+		LeaseID string `json:"lease_id"`
+	}
+	// ResultRequest posts a completed shard under a lease.
+	ResultRequest struct {
+		LeaseID string          `json:"lease_id"`
+		Result  *uq.ShardResult `json:"result"`
+	}
+	// FailRequest reports a failed shard attempt under a lease.
+	FailRequest struct {
+		LeaseID string `json:"lease_id"`
+		Error   string `json:"error"`
+	}
+)
+
+// apiError is the uniform error body of the fleet API.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return false
+	}
+	if len(body) > maxBodyBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{"request body exceeds the size limit"})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return false
+	}
+	return true
+}
+
+// Register mounts the coordinator's HTTP API on mux under prefix (e.g.
+// "/v1/fleet"):
+//
+//	POST   {prefix}/jobs        submit a sharded scenario  → 202 JobView
+//	GET    {prefix}/jobs        list fleet jobs            → 200 [JobView]
+//	GET    {prefix}/jobs/{id}   job + shard progress       → 200 JobView
+//	DELETE {prefix}/jobs/{id}   cancel a running job       → 202 | 404 | 409
+//	POST   {prefix}/lease       request a shard            → 200 Assignment | 204
+//	POST   {prefix}/heartbeat   keep a lease alive         → 204 | 410 gone
+//	POST   {prefix}/result      post a shard result        → 204 | 410 | 422
+//	POST   {prefix}/fail        report a shard failure     → 204 | 410
+func (c *Coordinator) Register(mux *http.ServeMux, prefix string) {
+	mux.HandleFunc("POST "+prefix+"/jobs", c.handleSubmit)
+	mux.HandleFunc("GET "+prefix+"/jobs", c.handleList)
+	mux.HandleFunc("GET "+prefix+"/jobs/{id}", c.handleJob)
+	mux.HandleFunc("DELETE "+prefix+"/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("POST "+prefix+"/lease", c.handleLease)
+	mux.HandleFunc("POST "+prefix+"/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST "+prefix+"/result", c.handleResult)
+	mux.HandleFunc("POST "+prefix+"/fail", c.handleFail)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var s scenario.Scenario
+	if !readJSON(w, r, &s) {
+		return
+	}
+	v, err := c.Submit(s)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Jobs())
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, ok := c.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such fleet job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := c.Job(id); !ok {
+		writeJSON(w, http.StatusNotFound, apiError{"no such fleet job"})
+		return
+	}
+	if err := c.Cancel(id); err != nil {
+		writeJSON(w, http.StatusConflict, apiError{err.Error()})
+		return
+	}
+	v, _ := c.Job(id)
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	a, ok := c.Lease(req.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, a)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := c.Heartbeat(req.LeaseID); err != nil {
+		writeJSON(w, http.StatusGone, apiError{err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	err := c.Complete(req.LeaseID, req.Result)
+	switch {
+	case errors.Is(err, ErrLeaseLost):
+		writeJSON(w, http.StatusGone, apiError{err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := c.Fail(req.LeaseID, req.Error); err != nil {
+		writeJSON(w, http.StatusGone, apiError{err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeOrError decodes a JSON response body into v, translating non-2xx
+// statuses into errors (410 maps to ErrLeaseLost). Used by the worker
+// client.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		return ErrLeaseLost
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e apiError
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("fleet: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("fleet: unexpected status %s", resp.Status)
+	}
+	if v == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(v)
+}

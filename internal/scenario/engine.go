@@ -51,6 +51,12 @@ type Engine struct {
 	// OnEvent, when non-nil, receives progress events. It is called from
 	// worker goroutines concurrently and must be safe for parallel use.
 	OnEvent func(Event)
+	// Sharder, when non-nil, executes sharded streaming scenarios
+	// (UQ.Shards > 1) — typically a fleet coordinator distributing shards
+	// to etworker processes. Nil runs shards locally in shard order; both
+	// paths produce bit-identical results. Called from worker goroutines
+	// concurrently and must be safe for parallel use.
+	Sharder ShardDelegate
 }
 
 // NewEngine returns an engine with a fresh assembly cache.

@@ -44,10 +44,12 @@ type ScenarioResult struct {
 	// Streaming-campaign accounting. Streamed marks the constant-memory
 	// path; StopReason records why the campaign ended ("budget",
 	// "target-se", "target-ci"); RequestedSamples is the budget the
-	// adaptive rules stopped within.
+	// adaptive rules stopped within; Shards records the shard count of a
+	// sharded campaign (0 = single-fold).
 	Streamed         bool   `json:"streamed,omitempty"`
 	StopReason       string `json:"stop_reason,omitempty"`
 	RequestedSamples int    `json:"requested_samples,omitempty"`
+	Shards           int    `json:"shards,omitempty"`
 
 	// Hottest-wire summary (expectation for UQ methods, the single
 	// trajectory for deterministic runs).
@@ -114,17 +116,10 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		GridNodes: inst.Problem.Grid.NumNodes(),
 		NumWires:  len(inst.Problem.Wires),
 	}
-	tCrit := s.UQ.CriticalK
-	if tCrit == 0 {
-		tCrit = degrade.DefaultCriticalTemp
-	}
+	tCrit := s.criticalK()
 
-	eff := sim.Options()
-	nTimes := eff.NumSteps + 1
-	times := make([]float64, nTimes)
-	for t := range times {
-		times[t] = eff.EndTime * float64(t) / float64(eff.NumSteps)
-	}
+	times := scenarioTimes(s)
+	nTimes := len(times)
 	nWires := len(inst.Problem.Wires)
 
 	var f7 *study.Fig7
@@ -149,7 +144,7 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		res.PTotalEndW = r.FieldPower[last] + r.WirePowerTotal[last]
 
 	case MethodSmolyak:
-		factory, dists := e.studyInputs(sim, s.UQ)
+		factory, dists := studyInputs(sim, s.UQ)
 		col, err := uq.SmolyakCollocation(factory, dists, s.UQ.Level)
 		if err != nil {
 			return nil, err
@@ -165,11 +160,11 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		res.Evaluations = col.Evaluations
 
 	default: // sampling methods
-		factory, dists := e.studyInputs(sim, s.UQ)
-		sampler, err := newSampler(method, len(dists), s.UQ)
-		if err != nil {
-			return nil, err
-		}
+		factory, dists := studyInputs(sim, s.UQ)
+		// The sampler is built lazily per branch: the fleet-delegate path
+		// re-derives it worker-side, and eagerly materializing e.g. a full
+		// LHS design here would be pure waste on that path.
+		mkSampler := func() (uq.Sampler, error) { return newSampler(method, len(dists), s.UQ) }
 		budget := s.UQ.Budget()
 		var done atomic.Int64
 		onSample := func(_ int, sampleErr error) {
@@ -178,29 +173,54 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 				Done: int(done.Add(1)), Total: budget, Err: sampleErr,
 			})
 		}
-		copt := uq.CampaignOptions{
-			MaxSamples: budget,
-			Workers:    sampleWorkers,
-			OnSample:   onSample,
-		}
-		if s.UQ.Streaming() {
-			copt.TargetSE = s.UQ.TargetSE
-			copt.TargetCI = s.UQ.TargetCI
-			copt.Threshold = tCrit
-			copt.CheckpointPath = s.UQ.Checkpoint
-			copt.CheckpointEvery = s.UQ.CheckpointEvery
-			copt.Tag = s.campaignTag()
+		var camp *uq.CampaignResult
+		switch {
+		case s.UQ.Sharded() && e.Sharder != nil:
+			// The fleet path: the delegate distributes the shards to
+			// workers, which derive the sampler and model themselves.
+			// Per-sample progress events do not fire here — the pull
+			// protocol has no per-sample stream; shard-level progress
+			// lives on the coordinator's job view.
+			camp, err = e.Sharder.RunSharded(ctx, s)
+		case s.UQ.Sharded():
+			// Local sharded path, bit-identical to the fleet path by
+			// construction (see uq.MergeShards).
+			var sampler uq.Sampler
+			var plan *uq.ShardPlan
+			if sampler, err = mkSampler(); err == nil {
+				if plan, err = s.ShardPlan(); err == nil {
+					camp, err = uq.RunShardedCampaign(ctx, factory, dists, sampler, plan,
+						s.shardOptions(sampleWorkers, onSample))
+				}
+			}
+		case s.UQ.Streaming():
+			copt := uq.CampaignOptions{
+				MaxSamples: budget, Workers: sampleWorkers, OnSample: onSample,
+				TargetSE: s.UQ.TargetSE, TargetCI: s.UQ.TargetCI, Threshold: tCrit,
+				CheckpointPath: s.UQ.Checkpoint, CheckpointEvery: s.UQ.CheckpointEvery,
+				Tag: s.campaignTag(),
+			}
 			if s.UQ.Checkpoint != "" {
-				cp, err := uq.LoadCheckpointIfExists(s.UQ.Checkpoint)
+				var cp *uq.Checkpoint
+				cp, err = uq.LoadCheckpointIfExists(s.UQ.Checkpoint)
 				if err != nil {
 					return nil, err
 				}
 				copt.Resume = cp
 			}
-		} else {
-			copt.StoreSamples = true
+			var sampler uq.Sampler
+			if sampler, err = mkSampler(); err == nil {
+				camp, err = uq.RunCampaign(ctx, factory, dists, sampler, copt)
+			}
+		default:
+			var sampler uq.Sampler
+			if sampler, err = mkSampler(); err == nil {
+				camp, err = uq.RunCampaign(ctx, factory, dists, sampler, uq.CampaignOptions{
+					MaxSamples: budget, Workers: sampleWorkers, OnSample: onSample,
+					StoreSamples: true,
+				})
+			}
 		}
-		camp, err := uq.RunCampaign(ctx, factory, dists, sampler, copt)
 		if err != nil {
 			return nil, err
 		}
@@ -209,12 +229,7 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 			if err != nil {
 				return nil, err
 			}
-			res.Streamed = true
-			res.StopReason = camp.StopReason
-			res.RequestedSamples = camp.Requested
-			fp := camp.Stats.FailProb()
-			res.FailProbEmp = &fp
-			res.TObsMaxK = camp.Stats.Ext.GlobalMax()
+			applyCampaign(res, camp, s.UQ.Shards)
 		} else {
 			f7, err = study.BuildFig7(times, camp.Ensemble, nWires, tCrit)
 			if err != nil {
@@ -226,13 +241,32 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		res.ErrorMCK = f7.ErrorMC
 	}
 
+	fillFromFig7(res, inst, f7, tCrit)
+	return res, nil
+}
+
+// applyCampaign records streaming-campaign accounting on a result.
+func applyCampaign(res *ScenarioResult, camp *uq.CampaignResult, shards int) {
+	res.Streamed = true
+	res.StopReason = camp.StopReason
+	res.RequestedSamples = camp.Requested
+	res.Shards = shards
+	fp := camp.Stats.FailProb()
+	res.FailProbEmp = &fp
+	res.TObsMaxK = camp.Stats.Ext.GlobalMax()
+}
+
+// fillFromFig7 fills the hottest-wire summary, failure diagnostics and
+// plotting series shared by every evaluation path (deterministic, stored,
+// streamed and sharded) and marks the result successful.
+func fillFromFig7(res *ScenarioResult, inst *Instance, f7 *study.Fig7, tCrit float64) {
 	res.OK = true
 	res.HotWire = f7.HotWire
 	if f7.HotWire < len(inst.Problem.Wires) {
 		res.HotWireName = inst.Problem.Wires[f7.HotWire].Name
 		res.HotWireSide = inst.Wires[f7.HotWire].Side.String()
 	}
-	last := nTimes - 1
+	last := len(f7.Times) - 1
 	res.TEndMaxK = f7.EMax[last]
 	res.SigmaK = f7.SigmaMC
 	res.TCritK = tCrit
@@ -245,7 +279,6 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 	if d, err := degrade.MoldEpoxy().Damage(res.TimesS, res.HotMeanK); err == nil {
 		res.DamageHot = d
 	}
-	return res, nil
 }
 
 // campaignTag fingerprints the physical model and study law behind a
@@ -285,7 +318,7 @@ func (s Scenario) campaignTag() string {
 
 // studyInputs builds the parallel model factory and germ distributions for a
 // UQ study on the instantiated simulator.
-func (e *Engine) studyInputs(sim *core.Simulator, u UQSpec) (uq.ModelFactory, []uq.Dist) {
+func studyInputs(sim *core.Simulator, u UQSpec) (uq.ModelFactory, []uq.Dist) {
 	p := study.Params{Mu: u.MeanDelta, Sigma: u.StdDelta, Rho: u.EffectiveRho()}
 	return study.ParamFactory(sim, p), study.GermDists(len(sim.Wires()), p.Rho)
 }

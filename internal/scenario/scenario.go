@@ -200,16 +200,36 @@ type UQSpec struct {
 	TargetCI float64 `json:"target_ci,omitempty"`
 	// Checkpoint persists resumable campaign state to this path every
 	// CheckpointEvery folded samples (0 = default period); when the file
-	// already exists the campaign resumes from it.
+	// already exists the campaign resumes from it. Sharded campaigns write
+	// one "<path>.shard-N" file per shard instead, so resumed shards never
+	// mix state.
 	Checkpoint      string `json:"checkpoint,omitempty"`
 	CheckpointEvery int    `json:"checkpoint_every,omitempty"`
+
+	// Shards partitions the sample index range into this many
+	// self-contained, block-aligned shards (see uq.ShardPlan): each is
+	// runnable on a different process or machine, and the merged result is
+	// bit-identical for any shard count or worker placement. 0 keeps the
+	// single-fold streaming campaign; shards=1 is a one-shard campaign
+	// through the same block-merge layer (the reference for cross-K
+	// comparisons). Sharding implies streaming and is budget-only (no
+	// adaptive stopping targets).
+	Shards int `json:"shards,omitempty"`
+	// ShardBlock is the merge granularity of the shard plan
+	// (0 = uq.DefaultShardBlockSize). It is part of the campaign identity:
+	// changing it changes shard checkpoints and the merged bits.
+	ShardBlock int `json:"shard_block,omitempty"`
 }
 
 // Streaming reports whether the declaration selects the streaming campaign
 // path, explicitly or through one of its knobs.
 func (u UQSpec) Streaming() bool {
-	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != ""
+	return u.Stream || u.MaxSamples > 0 || u.TargetSE > 0 || u.TargetCI > 0 || u.Checkpoint != "" || u.Sharded()
 }
+
+// Sharded reports whether the declaration routes the campaign through the
+// shard/merge layer (any positive shard count, including a single shard).
+func (u UQSpec) Sharded() bool { return u.Shards >= 1 }
 
 // Budget returns the effective sample budget of a streaming campaign.
 func (u UQSpec) Budget() int {
@@ -261,6 +281,12 @@ func (u UQSpec) Validate() error {
 	}
 	if u.MaxSamples < 0 || u.TargetSE < 0 || u.TargetCI < 0 || u.CheckpointEvery < 0 {
 		return fmt.Errorf("streaming knobs must be non-negative")
+	}
+	if u.Shards < 0 || u.ShardBlock < 0 {
+		return fmt.Errorf("sharding knobs must be non-negative")
+	}
+	if u.Sharded() && (u.TargetSE > 0 || u.TargetCI > 0) {
+		return fmt.Errorf("sharded campaigns are budget-only: adaptive stopping (target_se/target_ci) needs the single-fold streaming path")
 	}
 	if u.Rho != nil && (*u.Rho < 0 || *u.Rho > 1) {
 		return fmt.Errorf("rho %g outside [0, 1]", *u.Rho)

@@ -1,0 +1,166 @@
+// Sharded scenario execution: the pieces a worker fleet needs to run ONE
+// shard of a sharded streaming scenario (RunShard) and a coordinator needs
+// to fold completed shards back into a full ScenarioResult
+// (FinalizeShards). The engine's local sharded path and the etworker fleet
+// both go through these functions, so a distributed run is bit-identical to
+// a single-process run of the same shard plan.
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"etherm/internal/degrade"
+	"etherm/internal/study"
+	"etherm/internal/uq"
+)
+
+// ShardDelegate runs a whole sharded streaming campaign somewhere other
+// than the engine's process — typically a fleet coordinator that leases the
+// scenario's shards to etworker processes and merges the posted results.
+// Implementations must return the MergeShards-produced campaign result;
+// the engine turns it into the ScenarioResult exactly as it would a local
+// campaign. Per-sample progress events do not fire on this path (remote
+// workers expose no per-sample stream) — shard-level progress is the
+// delegate's to expose, e.g. on the fleet coordinator's job view.
+type ShardDelegate interface {
+	RunSharded(ctx context.Context, s Scenario) (*uq.CampaignResult, error)
+}
+
+// ShardPlan returns the deterministic shard plan of a sharded scenario.
+// The plan depends only on the declaration (budget, shard count, block
+// size), so every participant — engine, coordinator, workers — derives the
+// same partition independently.
+func (s Scenario) ShardPlan() (*uq.ShardPlan, error) {
+	if !s.UQ.Sharded() {
+		return nil, fmt.Errorf("scenario %q is not sharded", s.Name)
+	}
+	return uq.PlanShards(s.UQ.Budget(), s.UQ.Shards, s.UQ.ShardBlock)
+}
+
+// shardInputs instantiates the model side of a sharded scenario: cached
+// assembly, simulator, factory/distributions and the sampler.
+func shardInputs(cache *AssemblyCache, s Scenario) (*Instance, uq.ModelFactory, []uq.Dist, uq.Sampler, error) {
+	spec, err := s.Chip.Materialize()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	inst, err := cache.Instantiate(spec, s.Chip.ActivePairs)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	sim, err := inst.Simulator(s.Sim.CoreOptions(true))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	factory, dists := studyInputs(sim, s.UQ)
+	sampler, err := newSampler(s.UQ.EffectiveMethod(), len(dists), s.UQ)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return inst, factory, dists, sampler, nil
+}
+
+// criticalK resolves the failure threshold of a scenario.
+func (s Scenario) criticalK() float64 {
+	if s.UQ.CriticalK > 0 {
+		return s.UQ.CriticalK
+	}
+	return degrade.DefaultCriticalTemp
+}
+
+// shardOptions assembles the uq.ShardOptions of a scenario: the campaign
+// tag guards checkpoints and merges against configuration drift, and the
+// scenario's checkpoint path (when set) becomes the per-shard
+// "<path>.shard-N" base with auto-resume, matching the unsharded engine
+// semantics.
+func (s Scenario) shardOptions(workers int, onSample func(int, error)) uq.ShardOptions {
+	return uq.ShardOptions{
+		Workers:         workers,
+		Threshold:       s.criticalK(),
+		Tag:             s.campaignTag(),
+		CheckpointPath:  s.UQ.Checkpoint,
+		CheckpointEvery: s.UQ.CheckpointEvery,
+		Resume:          s.UQ.Checkpoint != "",
+		OnSample:        onSample,
+	}
+}
+
+// RunShard evaluates one shard of a sharded streaming scenario through the
+// given assembly cache. It is the worker-side entry point of the fleet: the
+// returned ShardResult is self-contained (per-block accumulators plus
+// fingerprint/tag identity) and safe to serialize to a coordinator.
+func RunShard(ctx context.Context, cache *AssemblyCache, s Scenario, shard, workers int) (*uq.ShardResult, error) {
+	s = s.withSimDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	plan, err := s.ShardPlan()
+	if err != nil {
+		return nil, err
+	}
+	_, factory, dists, sampler, err := shardInputs(cache, s)
+	if err != nil {
+		return nil, err
+	}
+	return uq.RunShard(ctx, factory, dists, sampler, plan, shard, s.shardOptions(workers, nil))
+}
+
+// FinalizeShards merges completed shard results of a sharded scenario and
+// builds the full ScenarioResult a local run would have produced (the
+// caller owns Index and ElapsedS). The merged campaign is returned
+// alongside so services can expose the raw accumulator state.
+func FinalizeShards(cache *AssemblyCache, s Scenario, results []*uq.ShardResult) (*ScenarioResult, *uq.CampaignResult, error) {
+	s = s.withSimDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, nil, err
+	}
+	plan, err := s.ShardPlan()
+	if err != nil {
+		return nil, nil, err
+	}
+	camp, err := uq.MergeShards(plan, results)
+	if err != nil {
+		return nil, nil, err
+	}
+	if want := s.campaignTag(); camp.Tag != want {
+		return nil, nil, fmt.Errorf("scenario %q: merged shards carry tag %q, expected %q (stale or foreign shard state)", s.Name, camp.Tag, want)
+	}
+	spec, err := s.Chip.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := cache.Instantiate(spec, s.Chip.ActivePairs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &ScenarioResult{
+		Name: s.Name, Description: s.Description,
+		Method:    s.UQ.EffectiveMethod(),
+		CacheHit:  inst.CacheHit,
+		GridNodes: inst.Problem.Grid.NumNodes(),
+		NumWires:  len(inst.Problem.Wires),
+	}
+	tCrit := s.criticalK()
+	f7, err := study.BuildFig7FromCampaign(scenarioTimes(s), camp, len(inst.Problem.Wires), tCrit)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Samples = camp.Succeeded()
+	res.Failures = camp.Failures
+	res.ErrorMCK = f7.ErrorMC
+	applyCampaign(res, camp, s.UQ.Shards)
+	fillFromFig7(res, inst, f7, tCrit)
+	return res, camp, nil
+}
+
+// scenarioTimes returns the recorded time grid of a scenario whose Sim
+// defaults have been applied.
+func scenarioTimes(s Scenario) []float64 {
+	o := s.Sim.CoreOptions(true)
+	times := make([]float64, o.NumSteps+1)
+	for t := range times {
+		times[t] = o.EndTime * float64(t) / float64(o.NumSteps)
+	}
+	return times
+}

@@ -389,6 +389,16 @@ type StreamOptions struct {
 	// Fig. 7 crossing diagnostics (0 = degrade.DefaultCriticalTemp).
 	TCrit float64
 
+	// Shards partitions the sample range into this many self-contained
+	// shards run in shard order and merged at fixed block granularity
+	// (bit-identical for any shard count; see uq.ShardPlan). 0 keeps the
+	// single-fold campaign; 1 is a one-shard campaign through the same
+	// merge layer. Sharded studies are budget-only: adaptive targets are
+	// rejected, and checkpoints go to "<path>.shard-N" files.
+	Shards int
+	// ShardBlock is the merge granularity (0 = uq.DefaultShardBlockSize).
+	ShardBlock int
+
 	// OnSample forwards per-evaluation progress (concurrent, like
 	// uq.EnsembleOptions.OnSample).
 	OnSample func(i int, err error)
@@ -406,28 +416,50 @@ func RunStreamingStudyWith(ctx context.Context, base *core.Simulator, p Params, 
 	if tCrit == 0 {
 		tCrit = degrade.DefaultCriticalTemp
 	}
-	copt := uq.CampaignOptions{
-		MaxSamples:      o.Samples,
-		Workers:         o.Workers,
-		TargetSE:        o.TargetSE,
-		TargetCI:        o.TargetCI,
-		Threshold:       tCrit,
-		CheckpointPath:  o.Checkpoint,
-		CheckpointEvery: o.CheckpointEvery,
-		Tag:             o.Tag,
-		OnSample:        o.OnSample,
-	}
-	if o.Resume && o.Checkpoint != "" {
-		cp, err := uq.LoadCheckpointIfExists(o.Checkpoint)
-		if err != nil {
-			return nil, nil, err
-		}
-		copt.Resume = cp
-	}
 	model := NewWireTempModel(base)
 	pd := p.withDefaults()
 	model.Mu, model.Sigma, model.Rho = pd.Mu, pd.Sigma, pd.Rho
-	camp, err := uq.RunCampaign(ctx, ParamFactory(base, p), model.InputDists(), sampler, copt)
+
+	var camp *uq.CampaignResult
+	var err error
+	if o.Shards >= 1 {
+		if o.TargetSE > 0 || o.TargetCI > 0 {
+			return nil, nil, fmt.Errorf("study: sharded campaigns are budget-only; drop the adaptive targets or the shards")
+		}
+		plan, perr := uq.PlanShards(o.Samples, o.Shards, o.ShardBlock)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		camp, err = uq.RunShardedCampaign(ctx, ParamFactory(base, p), model.InputDists(), sampler, plan, uq.ShardOptions{
+			Workers:         o.Workers,
+			Threshold:       tCrit,
+			Tag:             o.Tag,
+			CheckpointPath:  o.Checkpoint,
+			CheckpointEvery: o.CheckpointEvery,
+			Resume:          o.Resume,
+			OnSample:        o.OnSample,
+		})
+	} else {
+		copt := uq.CampaignOptions{
+			MaxSamples:      o.Samples,
+			Workers:         o.Workers,
+			TargetSE:        o.TargetSE,
+			TargetCI:        o.TargetCI,
+			Threshold:       tCrit,
+			CheckpointPath:  o.Checkpoint,
+			CheckpointEvery: o.CheckpointEvery,
+			Tag:             o.Tag,
+			OnSample:        o.OnSample,
+		}
+		if o.Resume && o.Checkpoint != "" {
+			cp, lerr := uq.LoadCheckpointIfExists(o.Checkpoint)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			copt.Resume = cp
+		}
+		camp, err = uq.RunCampaign(ctx, ParamFactory(base, p), model.InputDists(), sampler, copt)
+	}
 	if err != nil {
 		return nil, camp, err
 	}

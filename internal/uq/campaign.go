@@ -184,9 +184,12 @@ func samplerFingerprint(s Sampler) uint64 {
 	return h
 }
 
-// Save writes the checkpoint atomically (temp file + rename).
-func (c *Checkpoint) Save(path string) error {
-	data, err := json.Marshal(c)
+// saveAtomicJSON marshals v and writes it atomically (temp file + rename in
+// the destination directory), creating parent directories as needed. All
+// checkpoint writers share it so a crash mid-write never leaves a torn
+// state file behind.
+func saveAtomicJSON(path string, v any) error {
+	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
@@ -203,15 +206,28 @@ func (c *Checkpoint) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// LoadCheckpoint reads a checkpoint file.
-func LoadCheckpoint(path string) (*Checkpoint, error) {
+// loadJSON reads and unmarshals a JSON state file.
+func loadJSON(path string, v any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("uq: checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically (temp file + rename).
+func (c *Checkpoint) Save(path string) error {
+	return saveAtomicJSON(path, c)
+}
+
+// LoadCheckpoint reads a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
 	var c Checkpoint
-	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("uq: checkpoint %s: %w", path, err)
+	if err := loadJSON(path, &c); err != nil {
+		return nil, err
 	}
 	if c.Version != 1 || c.Stats == nil || c.Stats.Moments == nil {
 		return nil, fmt.Errorf("uq: checkpoint %s: unsupported or corrupt state", path)
