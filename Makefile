@@ -23,13 +23,13 @@ BENCH_TOLERANCE ?= 0.25
 BENCH_TIME_TOLERANCE ?= 0
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build verify test vet fmt-check race staticcheck bench bench-json bench-smoke bench-gate demo clean
+.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate demo clean
 
 all: build
 
 # verify is the fast tier-1 gate mirrored by CI's verify job; race,
 # staticcheck and bench-gate are the heavier CI jobs, runnable locally too.
-verify: build vet fmt-check test
+verify: build vet fmt-check openapi-check test
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ race:
 staticcheck:
 	@command -v staticcheck >/dev/null || $(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 	staticcheck ./...
+
+# openapi-check validates openapi.yaml and diffs its path/method surface
+# against the authoritative route table api.Routes() — the spec, the server
+# mux and the SDK share that table, so drift fails the build.
+openapi-check:
+	$(GO) run ./cmd/openapicheck -spec openapi.yaml
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,0 +1,179 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+)
+
+// ProblemContentType is the media type of the error envelope (RFC 9457).
+const ProblemContentType = "application/problem+json"
+
+// Machine-readable error codes. Every error body carries one in its "code"
+// member (an RFC-9457 extension) and mirrors it in the "type" URI, so
+// clients can switch on the condition without parsing prose.
+const (
+	// CodeInvalidBody marks a syntactically broken request body.
+	CodeInvalidBody = "invalid-body"
+	// CodeValidation marks a well-formed but semantically invalid request.
+	CodeValidation = "validation"
+	// CodeNotFound marks an unknown resource (or route).
+	CodeNotFound = "not-found"
+	// CodeMethodNotAllowed marks a known path hit with the wrong method.
+	CodeMethodNotAllowed = "method-not-allowed"
+	// CodeTooLarge marks a request body beyond the server's size limit.
+	CodeTooLarge = "body-too-large"
+	// CodeConflict marks an operation invalid in the resource's current
+	// state (e.g. canceling a finished job).
+	CodeConflict = "conflict"
+	// CodeLeaseLost marks a fleet call under a lease the coordinator no
+	// longer recognizes (expired, superseded or canceled); the worker must
+	// abandon the shard.
+	CodeLeaseLost = "lease-lost"
+	// CodeUnsupportedVersion marks a request demanding an API version the
+	// server does not speak.
+	CodeUnsupportedVersion = "unsupported-version"
+	// CodeInternal marks a server-side failure.
+	CodeInternal = "internal"
+)
+
+// ErrorTypeBase prefixes the "type" URI of error bodies; the full type of
+// a condition is ErrorTypeBase + Code.
+const ErrorTypeBase = "urn:etherm:error:"
+
+// Error is the uniform error body of every non-2xx response: an RFC-9457
+// problem detail plus the machine-readable Code extension. It implements
+// the error interface, so SDK methods return it directly.
+type Error struct {
+	// Type is a URI reference identifying the error condition
+	// (ErrorTypeBase + Code; "about:blank" when no code applies).
+	Type string `json:"type,omitempty"`
+	// Title is the short, human-readable summary of the condition
+	// (typically the HTTP status text).
+	Title string `json:"title"`
+	// Status is the HTTP status code of the response.
+	Status int `json:"status"`
+	// Detail explains this occurrence of the error.
+	Detail string `json:"detail,omitempty"`
+	// Instance identifies the request that failed (the request path).
+	Instance string `json:"instance,omitempty"`
+	// Code is the machine-readable condition slug (see the Code…
+	// constants).
+	Code string `json:"code,omitempty"`
+}
+
+// NewError builds a problem for an HTTP status, condition code and detail.
+func NewError(status int, code, detail string) *Error {
+	e := &Error{
+		Title:  http.StatusText(status),
+		Status: status,
+		Detail: detail,
+		Code:   code,
+	}
+	if code != "" {
+		e.Type = ErrorTypeBase + code
+	}
+	return e
+}
+
+// Errorf is NewError with a formatted detail.
+func Errorf(status int, code, format string, args ...any) *Error {
+	return NewError(status, code, fmt.Sprintf(format, args...))
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "api: %d %s", e.Status, e.Title)
+	if e.Code != "" {
+		fmt.Fprintf(&b, " (%s)", e.Code)
+	}
+	if e.Detail != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// WriteError renders the problem on a response with the problem+json
+// content type. A nil request is allowed (Instance stays empty).
+func WriteError(w http.ResponseWriter, r *http.Request, e *Error) {
+	if r != nil && e.Instance == "" {
+		cp := *e
+		cp.Instance = r.URL.Path
+		e = &cp
+	}
+	w.Header().Set("Content-Type", ProblemContentType)
+	w.WriteHeader(e.Status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(e)
+}
+
+// WriteJSON renders a success body with the API's JSON conventions
+// (indented, application/json). Error bodies go through WriteError
+// instead, so every non-2xx response is a problem+json envelope.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ErrorFromResponse decodes the error of a non-2xx response. Problem+json
+// bodies decode into their original *Error; anything else (a proxy's HTML
+// page, a plain-text body) is wrapped into a synthetic *Error carrying the
+// status, so callers can uniformly errors.As into *Error.
+func ErrorFromResponse(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if mt == ProblemContentType || mt == "application/json" {
+		var e Error
+		if err := json.Unmarshal(body, &e); err == nil && e.Status != 0 {
+			return &e
+		}
+	}
+	detail := strings.TrimSpace(string(body))
+	if len(detail) > 200 {
+		detail = detail[:200]
+	}
+	return &Error{
+		Title:  http.StatusText(resp.StatusCode),
+		Status: resp.StatusCode,
+		Detail: detail,
+	}
+}
+
+// AsError unwraps err into the *Error it carries, if any.
+func AsError(err error) (*Error, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e, true
+	}
+	return nil, false
+}
+
+// IsLeaseLost reports whether err is the coordinator's lease-lost
+// condition (HTTP 410 / CodeLeaseLost): the worker's lease expired, was
+// superseded or its job was canceled, and the shard must be abandoned.
+func IsLeaseLost(err error) bool {
+	e, ok := AsError(err)
+	return ok && (e.Code == CodeLeaseLost || e.Status == http.StatusGone)
+}
+
+// IsNotFound reports whether err is a 404 problem.
+func IsNotFound(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Status == http.StatusNotFound
+}
+
+// IsConflict reports whether err is a 409 problem.
+func IsConflict(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Status == http.StatusConflict
+}

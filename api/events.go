@@ -1,0 +1,57 @@
+package api
+
+// EventType labels one server-sent event of the job progress stream
+// (GET /v1/jobs/{id}/events). Each SSE frame carries the type twice: as
+// the SSE "event:" field and as the "type" member of the JSON "data:"
+// payload (a JobEvent), so both EventSource-style and plain-JSON consumers
+// can dispatch on it.
+type EventType string
+
+// Job progress event types.
+const (
+	// EventStatus reports the job's lifecycle state. The stream opens with
+	// one (the snapshot at subscribe time) and closes after the one whose
+	// Status is terminal.
+	EventStatus EventType = "status"
+	// EventScenario fires when one scenario of a batch job completes
+	// (Phase "done" or "failed"); Progress carries the updated counters.
+	EventScenario EventType = "scenario"
+	// EventSample reports streaming-campaign sample progress of one
+	// scenario (Done of Total evaluations). Consecutive sample events of
+	// the same scenario may be coalesced under load — consumers see the
+	// latest count, not necessarily every increment.
+	EventSample EventType = "sample"
+	// EventShards reports shard progress of a fleet job (ShardsDone of
+	// ShardsTotal accepted by the coordinator).
+	EventShards EventType = "shards"
+)
+
+// JobEvent is the JSON payload of one progress event. Fields beyond Type
+// and JobID are populated per event type as documented on the constants.
+type JobEvent struct {
+	Type  EventType `json:"type"`
+	JobID string    `json:"job_id"`
+	// Status is set on EventStatus (and, for fleet jobs, EventShards).
+	Status JobStatus `json:"status,omitempty"`
+	// Scenario names the scenario of EventScenario/EventSample.
+	Scenario string `json:"scenario,omitempty"`
+	// Phase is "done" or "failed" on EventScenario.
+	Phase string `json:"phase,omitempty"`
+	// Done/Total carry sample progress on EventSample.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+	// Progress carries the batch job's scenario counters on EventStatus
+	// and EventScenario.
+	Progress *JobProgress `json:"progress,omitempty"`
+	// ShardsDone/ShardsTotal carry fleet shard progress on EventShards.
+	ShardsDone  int `json:"shards_done,omitempty"`
+	ShardsTotal int `json:"shards_total,omitempty"`
+	// Error carries the job error on a terminal failed/canceled status.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event announces a terminal job state (the
+// server closes the stream after sending it).
+func (e JobEvent) Terminal() bool {
+	return e.Type == EventStatus && e.Status.Finished()
+}

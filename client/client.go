@@ -1,0 +1,444 @@
+// Package client is the Go SDK for the etherm HTTP API: a typed,
+// context-aware client for every endpoint of cmd/etserver and its fleet
+// coordinator, speaking the versioned wire contract of package api.
+//
+// A Client is safe for concurrent use. Idempotent calls (GETs and fleet
+// heartbeats) are retried with exponential backoff on transport errors and
+// 5xx/429 responses; all other errors surface as *api.Error so callers can
+// switch on status and condition code. WatchJob consumes the server's SSE
+// progress stream, replacing poll loops.
+//
+// The package depends only on the standard library and package api, so it
+// is importable from outside this module:
+//
+//	cl := client.New("http://etserver:8080")
+//	job, err := cl.SubmitBatch(ctx, batch)
+//	job, err = cl.WaitJob(ctx, job.ID)
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"etherm/api"
+)
+
+// Default retry policy of New (override with WithRetry).
+const (
+	// DefaultMaxAttempts bounds tries of one idempotent call (1 initial +
+	// retries).
+	DefaultMaxAttempts = 3
+	// DefaultRetryBackoff is the first retry delay; it doubles per retry.
+	DefaultRetryBackoff = 250 * time.Millisecond
+)
+
+// Client talks to one etserver. Construct with New; the zero value is not
+// usable.
+type Client struct {
+	base        string
+	httpc       *http.Client
+	maxAttempts int
+	backoff     time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (timeouts, proxies,
+// instrumented transports). The default is http.DefaultClient.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// WithRetry sets the retry policy of idempotent calls: at most maxAttempts
+// tries in total with exponential backoff starting at initial delay.
+// maxAttempts 1 disables retries.
+func WithRetry(maxAttempts int, initial time.Duration) Option {
+	return func(c *Client) {
+		if maxAttempts >= 1 {
+			c.maxAttempts = maxAttempts
+		}
+		if initial > 0 {
+			c.backoff = initial
+		}
+	}
+}
+
+// New returns a client for the etserver at baseURL (scheme://host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimSuffix(baseURL, "/"),
+		httpc:       http.DefaultClient,
+		maxAttempts: DefaultMaxAttempts,
+		backoff:     DefaultRetryBackoff,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL returns the server root the client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// retryable reports whether a response status is worth retrying on an
+// idempotent call.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do performs one API call: marshal in (when non-nil), send, decode a 2xx
+// body into out (when non-nil), or return the response's *api.Error.
+// Idempotent calls are retried per the client's policy; the context bounds
+// the whole call including backoff sleeps.
+func (c *Client) do(ctx context.Context, method, path string, in, out any, idempotent bool) error {
+	_, err := c.doStatus(ctx, method, path, in, out, idempotent)
+	return err
+}
+
+// doStatus is do exposing the success status code, for the few endpoints
+// where 2xx variants carry meaning (204 = no work on the lease call).
+func (c *Client) doStatus(ctx context.Context, method, path string, in, out any, idempotent bool) (int, error) {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return 0, fmt.Errorf("client: encode %s %s: %w", method, path, err)
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts = c.maxAttempts
+	}
+	var lastStatus int
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return lastStatus, ctx.Err()
+			}
+		}
+		status, done, err := c.once(ctx, method, path, body, out)
+		if done {
+			return status, err
+		}
+		lastStatus, lastErr = status, err
+		if ctx.Err() != nil {
+			return lastStatus, lastErr
+		}
+	}
+	return lastStatus, lastErr
+}
+
+// once performs a single HTTP attempt. done=false means the error is
+// retryable on an idempotent call.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) (status int, done bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, true, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set("Accept", "application/json, "+api.ProblemContentType)
+	req.Header.Set(api.VersionHeader, api.APIVersion)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, false, err // transport error: retryable
+	}
+	defer resp.Body.Close()
+	status = resp.StatusCode
+	if status < 200 || status >= 300 {
+		apiErr := api.ErrorFromResponse(resp)
+		return status, !retryable(status), apiErr
+	}
+	if out == nil || status == http.StatusNoContent {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)) // drain for connection reuse
+		return status, true, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return status, true, fmt.Errorf("client: decode %s %s: %w", method, path, err)
+	}
+	return status, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Batch jobs.
+// ---------------------------------------------------------------------------
+
+// SubmitBatch submits a scenario batch as an asynchronous job
+// (POST /v1/jobs). The returned job is queued or already running; follow
+// it with GetJob, WaitJob or WatchJob.
+func (c *Client) SubmitBatch(ctx context.Context, b *api.Batch) (*api.Job, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var job api.Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", b, &job, false); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// GetJob fetches one batch job (GET /v1/jobs/{id}). For fleet job IDs use
+// GetFleetJob — the unified endpoint serves those with a different shape.
+func (c *Client) GetJob(ctx context.Context, id string) (*api.Job, error) {
+	var job api.Job
+	if err := c.do(ctx, http.MethodGet, api.JobPath(id), nil, &job, true); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// CancelJob aborts a queued or running job (DELETE /v1/jobs/{id}); the job
+// transitions to "canceled". Canceling a finished job returns a 409
+// *api.Error.
+func (c *Client) CancelJob(ctx context.Context, id string) (*api.Job, error) {
+	var job api.Job
+	if err := c.do(ctx, http.MethodDelete, api.JobPath(id), nil, &job, false); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// ListJobsOptions pages through GET /v1/jobs.
+type ListJobsOptions struct {
+	// Limit bounds the page size (0 = server default).
+	Limit int
+	// Cursor continues a walk: pass the NextCursor of the previous page.
+	Cursor string
+}
+
+// ListJobs returns one page of jobs, newest first, without result
+// payloads. Walk pages by passing each response's NextCursor back until it
+// is empty.
+func (c *Client) ListJobs(ctx context.Context, opt ListJobsOptions) (*api.JobList, error) {
+	q := url.Values{}
+	if opt.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opt.Limit))
+	}
+	if opt.Cursor != "" {
+		q.Set("cursor", opt.Cursor)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var list api.JobList
+	if err := c.do(ctx, http.MethodGet, path, nil, &list, true); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// Presets fetches the bundled paper-grounded scenario suite
+// (GET /v1/scenarios/presets), editable and resubmittable via SubmitBatch.
+func (c *Client) Presets(ctx context.Context) (*api.Batch, error) {
+	var b api.Batch
+	if err := c.do(ctx, http.MethodGet, "/v1/scenarios/presets", nil, &b, true); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Health reads the server's liveness and cache statistics (GET /healthz).
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	var h api.Health
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// WaitJob blocks until a BATCH job reaches a terminal state and returns
+// its final view (including results). It consumes the SSE progress
+// stream; when the stream is unavailable or breaks it falls back to
+// polling GetJob. A fleet job ID is rejected with an error — its terminal
+// view has a different shape; use WaitFleetJob. The context bounds the
+// wait.
+func (c *Client) WaitJob(ctx context.Context, id string) (*api.Job, error) {
+	terminal, fleetStream, err := c.watchUntilTerminal(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if fleetStream {
+		return nil, fmt.Errorf("client: job %s is a fleet job; use WaitFleetJob", id)
+	}
+	if terminal {
+		return c.GetJob(ctx, id)
+	}
+	// SSE unavailable (old server, proxy stripping streams): poll.
+	for {
+		job, err := c.GetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Status.Finished() {
+			return job, nil
+		}
+		if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// WaitFleetJob blocks until a fleet job reaches a terminal state and
+// returns its final view (shard states and the finalized result). Like
+// WaitJob it rides the SSE stream with a poll fallback.
+func (c *Client) WaitFleetJob(ctx context.Context, id string) (*api.FleetJob, error) {
+	terminal, _, err := c.watchUntilTerminal(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	if terminal {
+		return c.GetFleetJob(ctx, id)
+	}
+	for {
+		v, err := c.GetFleetJob(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if v.Status.Finished() {
+			return v, nil
+		}
+		if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// watchUntilTerminal drains one SSE watch. terminal reports whether the
+// stream closed after a terminal status (false means the stream was
+// unavailable and the caller should poll); fleetStream reports whether
+// the events carried fleet shard progress.
+func (c *Client) watchUntilTerminal(ctx context.Context, id string) (terminal, fleetStream bool, err error) {
+	events, errc := c.WatchJob(ctx, id)
+	for ev := range events {
+		if ev.ShardsTotal > 0 {
+			fleetStream = true
+		}
+	}
+	if err := <-errc; err == nil {
+		terminal = true
+	} else if ctx.Err() != nil {
+		return false, fleetStream, ctx.Err()
+	} else if e, ok := api.AsError(err); ok && e.Status == http.StatusNotFound {
+		return false, fleetStream, err // no such job: polling would 404 forever
+	}
+	return terminal, fleetStream, nil
+}
+
+// sleepCtx sleeps or returns the context error, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet: sharded campaigns and the worker protocol.
+// ---------------------------------------------------------------------------
+
+// SubmitFleetJob submits one sharded scenario to the fleet coordinator
+// (POST /v1/fleet/jobs); its shards are leased to connected workers.
+func (c *Client) SubmitFleetJob(ctx context.Context, s *api.Scenario) (*api.FleetJob, error) {
+	var v api.FleetJob
+	if err := c.do(ctx, http.MethodPost, api.FleetPrefix+"/jobs", s, &v, false); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// GetFleetJob fetches one fleet job with per-shard progress
+// (GET /v1/fleet/jobs/{id}).
+func (c *Client) GetFleetJob(ctx context.Context, id string) (*api.FleetJob, error) {
+	var v api.FleetJob
+	if err := c.do(ctx, http.MethodGet, api.FleetJobPath(id), nil, &v, true); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// ListFleetJobs returns all fleet jobs in submission order
+// (GET /v1/fleet/jobs).
+func (c *Client) ListFleetJobs(ctx context.Context) ([]*api.FleetJob, error) {
+	var v []*api.FleetJob
+	if err := c.do(ctx, http.MethodGet, api.FleetPrefix+"/jobs", nil, &v, true); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// CancelFleetJob aborts a running fleet job (DELETE /v1/fleet/jobs/{id});
+// outstanding leases are invalidated and workers abandon their shards.
+func (c *Client) CancelFleetJob(ctx context.Context, id string) (*api.FleetJob, error) {
+	var v api.FleetJob
+	if err := c.do(ctx, http.MethodDelete, api.FleetJobPath(id), nil, &v, false); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Lease asks the coordinator for a shard assignment
+// (POST /v1/fleet/lease). ok=false means no work is currently available.
+func (c *Client) Lease(ctx context.Context, workerID string) (lease *api.FleetLease, ok bool, err error) {
+	var a api.FleetLease
+	status, err := c.doStatus(ctx, http.MethodPost, api.FleetPrefix+"/lease",
+		api.LeaseRequest{Worker: workerID}, &a, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if status == http.StatusNoContent {
+		return nil, false, nil
+	}
+	return &a, true, nil
+}
+
+// Heartbeat extends a shard lease (POST /v1/fleet/heartbeat). A lease the
+// coordinator no longer recognizes returns an *api.Error for which
+// api.IsLeaseLost is true; the worker must abandon the shard. Heartbeats
+// are idempotent and retried on transport errors.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	return c.do(ctx, http.MethodPost, api.FleetPrefix+"/heartbeat",
+		api.HeartbeatRequest{LeaseID: leaseID}, nil, true)
+}
+
+// PostShardResult posts a completed shard under a live lease
+// (POST /v1/fleet/result). A stale lease returns api.IsLeaseLost; a result
+// that does not describe the leased shard returns a 422 *api.Error.
+func (c *Client) PostShardResult(ctx context.Context, leaseID string, res *api.ShardResult) error {
+	return c.do(ctx, http.MethodPost, api.FleetPrefix+"/result",
+		api.ShardResultRequest{LeaseID: leaseID, Result: res}, nil, false)
+}
+
+// FailShard reports a failed shard attempt under a lease
+// (POST /v1/fleet/fail); the shard is re-leased until the coordinator's
+// attempt budget is exhausted.
+func (c *Client) FailShard(ctx context.Context, leaseID, msg string) error {
+	return c.do(ctx, http.MethodPost, api.FleetPrefix+"/fail",
+		api.ShardFailRequest{LeaseID: leaseID, Error: msg}, nil, false)
+}

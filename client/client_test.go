@@ -1,0 +1,477 @@
+// The SDK tests run against fake httptest handlers, so they cover the
+// client's wire behavior — paths, bodies, headers, retries, pagination,
+// SSE framing — without running simulations. They live in package
+// client_test and import only the public api and client packages, which
+// doubles as the importability proof: no internal type appears in any
+// signature the tests touch.
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"etherm/api"
+	"etherm/client"
+)
+
+// fakeServer builds an httptest server from a handler map keyed by
+// "METHOD /path" patterns, answering problem+json 404s otherwise.
+func fakeServer(t *testing.T, handlers map[string]http.HandlerFunc) (*httptest.Server, *client.Client) {
+	t.Helper()
+	mux := http.NewServeMux()
+	for pattern, h := range handlers {
+		mux.HandleFunc(pattern, h)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern == "" {
+			api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no route %s", r.URL.Path))
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, client.New(ts.URL, client.WithRetry(3, time.Millisecond))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	api.WriteJSON(w, status, v)
+}
+
+// TestClientMethodRoundTrips drives every plain request/response method of
+// the SDK against canned handlers, asserting the method, path, version
+// header and body shape of each call.
+func TestClientMethodRoundTrips(t *testing.T) {
+	ctx := context.Background()
+	now := time.Now().UTC().Truncate(time.Second)
+	job := &api.Job{ID: "job-000001", Status: api.JobQueued, SubmittedAt: now,
+		Progress: api.JobProgress{ScenariosTotal: 1}}
+	fleetJob := &api.FleetJob{ID: "fleet-000001", Status: api.JobRunning,
+		Scenario: api.Scenario{Name: "s"},
+		Plan:     &api.ShardPlan{MaxSamples: 8, BlockSize: 2, NumShards: 2},
+		Shards: []api.ShardStatus{
+			{Shard: 0, Start: 0, End: 4, Status: api.ShardPending},
+			{Shard: 1, Start: 4, End: 8, Status: api.ShardPending},
+		}}
+	lease := &api.FleetLease{JobID: "fleet-000001", LeaseID: "lease-000001", Shard: 1,
+		LeaseTTL: 5 * time.Second, Plan: fleetJob.Plan, Scenario: fleetJob.Scenario}
+
+	var gotResult api.ShardResultRequest
+	var gotFail api.ShardFailRequest
+	checkVersion := func(t *testing.T, r *http.Request) {
+		if v := r.Header.Get(api.VersionHeader); v != api.APIVersion {
+			t.Errorf("%s %s: version header %q", r.Method, r.URL.Path, v)
+		}
+	}
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"POST /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
+			checkVersion(t, r)
+			var b api.Batch
+			if err := json.NewDecoder(r.Body).Decode(&b); err != nil || len(b.Scenarios) != 1 {
+				t.Errorf("submit body wrong: %+v (%v)", b, err)
+			}
+			writeJSON(w, http.StatusAccepted, job)
+		},
+		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			checkVersion(t, r)
+			if r.PathValue("id") != job.ID {
+				api.WriteError(w, r, api.NewError(http.StatusNotFound, api.CodeNotFound, "no such job"))
+				return
+			}
+			writeJSON(w, http.StatusOK, job)
+		},
+		"DELETE /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			cp := *job
+			cp.Status = api.JobCanceled
+			writeJSON(w, http.StatusAccepted, &cp)
+		},
+		"GET /v1/scenarios/presets": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, &api.Batch{Scenarios: []api.Scenario{{Name: "p"}}})
+		},
+		"GET /healthz": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, &api.Health{Status: "ok", Jobs: 2})
+		},
+		"POST /v1/fleet/jobs": func(w http.ResponseWriter, r *http.Request) {
+			var s api.Scenario
+			if err := json.NewDecoder(r.Body).Decode(&s); err != nil || s.Name != "s" {
+				t.Errorf("fleet submit body wrong: %+v (%v)", s, err)
+			}
+			writeJSON(w, http.StatusAccepted, fleetJob)
+		},
+		"GET /v1/fleet/jobs": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, []*api.FleetJob{fleetJob})
+		},
+		"GET /v1/fleet/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, fleetJob)
+		},
+		"DELETE /v1/fleet/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			cp := *fleetJob
+			cp.Status = api.JobCanceled
+			writeJSON(w, http.StatusAccepted, &cp)
+		},
+		"POST /v1/fleet/lease": func(w http.ResponseWriter, r *http.Request) {
+			var req api.LeaseRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker != "w1" {
+				t.Errorf("lease body wrong: %+v (%v)", req, err)
+			}
+			writeJSON(w, http.StatusOK, lease)
+		},
+		"POST /v1/fleet/heartbeat": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		},
+		"POST /v1/fleet/result": func(w http.ResponseWriter, r *http.Request) {
+			if err := json.NewDecoder(r.Body).Decode(&gotResult); err != nil {
+				t.Error(err)
+			}
+			w.WriteHeader(http.StatusNoContent)
+		},
+		"POST /v1/fleet/fail": func(w http.ResponseWriter, r *http.Request) {
+			if err := json.NewDecoder(r.Body).Decode(&gotFail); err != nil {
+				t.Error(err)
+			}
+			w.WriteHeader(http.StatusNoContent)
+		},
+	})
+
+	batch := &api.Batch{Scenarios: []api.Scenario{{Name: "s"}}}
+	if got, err := cl.SubmitBatch(ctx, batch); err != nil || got.ID != job.ID {
+		t.Errorf("SubmitBatch: %+v, %v", got, err)
+	}
+	if got, err := cl.GetJob(ctx, job.ID); err != nil || got.Status != api.JobQueued {
+		t.Errorf("GetJob: %+v, %v", got, err)
+	}
+	if _, err := cl.GetJob(ctx, "job-000099"); !api.IsNotFound(err) {
+		t.Errorf("GetJob unknown: %v", err)
+	}
+	if got, err := cl.CancelJob(ctx, job.ID); err != nil || got.Status != api.JobCanceled {
+		t.Errorf("CancelJob: %+v, %v", got, err)
+	}
+	if got, err := cl.Presets(ctx); err != nil || len(got.Scenarios) != 1 {
+		t.Errorf("Presets: %+v, %v", got, err)
+	}
+	if got, err := cl.Health(ctx); err != nil || got.Status != "ok" {
+		t.Errorf("Health: %+v, %v", got, err)
+	}
+	if got, err := cl.SubmitFleetJob(ctx, &fleetJob.Scenario); err != nil || got.ID != fleetJob.ID {
+		t.Errorf("SubmitFleetJob: %+v, %v", got, err)
+	}
+	if got, err := cl.GetFleetJob(ctx, fleetJob.ID); err != nil || len(got.Shards) != 2 {
+		t.Errorf("GetFleetJob: %+v, %v", got, err)
+	}
+	if got, err := cl.ListFleetJobs(ctx); err != nil || len(got) != 1 {
+		t.Errorf("ListFleetJobs: %+v, %v", got, err)
+	}
+	if got, err := cl.CancelFleetJob(ctx, fleetJob.ID); err != nil || got.Status != api.JobCanceled {
+		t.Errorf("CancelFleetJob: %+v, %v", got, err)
+	}
+	gotLease, ok, err := cl.Lease(ctx, "w1")
+	if err != nil || !ok || gotLease.LeaseID != lease.LeaseID || gotLease.LeaseTTL != lease.LeaseTTL {
+		t.Errorf("Lease: %+v, ok=%v, %v", gotLease, ok, err)
+	}
+	if err := cl.Heartbeat(ctx, lease.LeaseID); err != nil {
+		t.Errorf("Heartbeat: %v", err)
+	}
+	res := &api.ShardResult{Shard: 1, Start: 4, End: 8, BlockSize: 2, Sampler: "mc",
+		NumOutputs: 2, Evaluated: 4,
+		Blocks: []json.RawMessage{json.RawMessage(`{"n":2}`), json.RawMessage(`{"n":2}`)}}
+	if err := cl.PostShardResult(ctx, lease.LeaseID, res); err != nil {
+		t.Errorf("PostShardResult: %v", err)
+	}
+	if gotResult.LeaseID != lease.LeaseID || gotResult.Result == nil ||
+		string(gotResult.Result.Blocks[0]) != `{"n":2}` {
+		t.Errorf("result body mangled: %+v", gotResult)
+	}
+	if err := cl.FailShard(ctx, lease.LeaseID, "boom"); err != nil {
+		t.Errorf("FailShard: %v", err)
+	}
+	if gotFail.LeaseID != lease.LeaseID || gotFail.Error != "boom" {
+		t.Errorf("fail body mangled: %+v", gotFail)
+	}
+}
+
+// TestLeaseNoWork covers the 204 no-work path.
+func TestLeaseNoWork(t *testing.T) {
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"POST /v1/fleet/lease": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		},
+	})
+	lease, ok, err := cl.Lease(context.Background(), "w")
+	if err != nil || ok || lease != nil {
+		t.Errorf("Lease on idle coordinator: %+v, ok=%v, %v", lease, ok, err)
+	}
+}
+
+// TestRetryBackoffOn503 verifies the idempotent-call retry loop: two 503s,
+// then success; and that non-idempotent calls never retry.
+func TestRetryBackoffOn503(t *testing.T) {
+	var gets, posts atomic.Int64
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			if gets.Add(1) <= 2 {
+				api.WriteError(w, r, api.NewError(http.StatusServiceUnavailable, api.CodeInternal, "warming up"))
+				return
+			}
+			writeJSON(w, http.StatusOK, &api.Job{ID: r.PathValue("id"), Status: api.JobDone})
+		},
+		"POST /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
+			posts.Add(1)
+			api.WriteError(w, r, api.NewError(http.StatusServiceUnavailable, api.CodeInternal, "no"))
+		},
+	})
+	job, err := cl.GetJob(context.Background(), "job-000001")
+	if err != nil || job.Status != api.JobDone {
+		t.Fatalf("GetJob after 503s: %+v, %v", job, err)
+	}
+	if n := gets.Load(); n != 3 {
+		t.Errorf("GET attempted %d times, want 3 (2 × 503 + success)", n)
+	}
+
+	if _, err := cl.SubmitBatch(context.Background(),
+		&api.Batch{Scenarios: []api.Scenario{{Name: "x"}}}); err == nil {
+		t.Fatal("submit against a 503 server succeeded")
+	}
+	if n := posts.Load(); n != 1 {
+		t.Errorf("non-idempotent POST attempted %d times, want exactly 1", n)
+	}
+
+	// A persistent 503 surfaces as *api.Error after the attempts run out.
+	gets.Store(-100)
+	_, err = cl.GetJob(context.Background(), "job-000001")
+	e, ok := api.AsError(err)
+	if !ok || e.Status != http.StatusServiceUnavailable {
+		t.Errorf("exhausted retries error: %v", err)
+	}
+}
+
+// TestListJobsCursorWalk pages through a fake 25-job history, checking the
+// limit/cursor query parameters and the NextCursor chain.
+func TestListJobsCursorWalk(t *testing.T) {
+	const total, pageSize = 25, 10
+	ids := make([]string, total)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("job-%06d", total-i) // newest (highest seq) first
+	}
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs": func(w http.ResponseWriter, r *http.Request) {
+			limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+			if limit != pageSize {
+				t.Errorf("limit %d requested, want %d", limit, pageSize)
+			}
+			start := 0
+			if cursor := r.URL.Query().Get("cursor"); cursor != "" {
+				for i, id := range ids {
+					if id == cursor {
+						start = i + 1
+					}
+				}
+			}
+			end := min(start+limit, total)
+			page := api.JobList{}
+			for _, id := range ids[start:end] {
+				page.Jobs = append(page.Jobs, &api.Job{ID: id, Status: api.JobDone})
+			}
+			if end < total {
+				page.NextCursor = ids[end-1]
+			}
+			writeJSON(w, http.StatusOK, page)
+		},
+	})
+
+	var walked []string
+	cursor := ""
+	for {
+		page, err := cl.ListJobs(context.Background(), client.ListJobsOptions{Limit: pageSize, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range page.Jobs {
+			walked = append(walked, j.ID)
+		}
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if len(walked) != total {
+		t.Fatalf("walked %d jobs, want %d", len(walked), total)
+	}
+	for i, id := range walked {
+		if id != ids[i] {
+			t.Fatalf("walk position %d: %s, want %s", i, id, ids[i])
+		}
+	}
+}
+
+// sseHandler streams the given events as SSE frames.
+func sseHandler(events []api.JobEvent) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		f := w.(http.Flusher)
+		fmt.Fprint(w, ": keepalive\n\n") // comment frames must be ignored
+		f.Flush()
+		for _, ev := range events {
+			data, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			f.Flush()
+		}
+	}
+}
+
+// TestWatchJobCanceledJob follows the SSE stream of a job that gets
+// canceled: progress events arrive, then the terminal canceled status, and
+// the stream ends cleanly.
+func TestWatchJobCanceledJob(t *testing.T) {
+	stream := []api.JobEvent{
+		{Type: api.EventStatus, JobID: "job-000001", Status: api.JobRunning, Progress: &api.JobProgress{ScenariosTotal: 3}},
+		{Type: api.EventSample, JobID: "job-000001", Scenario: "mc", Done: 5, Total: 100},
+		{Type: api.EventScenario, JobID: "job-000001", Scenario: "det", Phase: "done",
+			Progress: &api.JobProgress{ScenariosDone: 1, ScenariosTotal: 3}},
+		{Type: api.EventStatus, JobID: "job-000001", Status: api.JobCanceled, Error: "canceled by client",
+			Progress: &api.JobProgress{ScenariosDone: 1, ScenariosTotal: 3}},
+	}
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}/events": sseHandler(stream),
+	})
+
+	events, errc := cl.WatchJob(context.Background(), "job-000001")
+	var got []api.JobEvent
+	for ev := range events {
+		got = append(got, ev)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if len(got) != len(stream) {
+		t.Fatalf("received %d events, want %d: %+v", len(got), len(stream), got)
+	}
+	last := got[len(got)-1]
+	if !last.Terminal() || last.Status != api.JobCanceled || last.Error != "canceled by client" {
+		t.Errorf("terminal event wrong: %+v", last)
+	}
+	if got[1].Done != 5 || got[1].Total != 100 {
+		t.Errorf("sample event mangled: %+v", got[1])
+	}
+}
+
+// TestWatchJobContextCancel cancels the watcher mid-stream: the events
+// channel closes and the error channel reports the context error.
+func TestWatchJobContextCancel(t *testing.T) {
+	started := make(chan struct{})
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}/events": func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/event-stream")
+			w.WriteHeader(http.StatusOK)
+			f := w.(http.Flusher)
+			data, _ := json.Marshal(api.JobEvent{Type: api.EventStatus, JobID: "job-000001", Status: api.JobRunning})
+			fmt.Fprintf(w, "event: status\ndata: %s\n\n", data)
+			f.Flush()
+			close(started)
+			<-r.Context().Done() // hold the stream open until the client drops it
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	events, errc := cl.WatchJob(ctx, "job-000001")
+	<-started
+	var got []api.JobEvent
+	go func() {
+		for ev := range events {
+			got = append(got, ev)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Error("canceled watch reported no error")
+	}
+}
+
+// TestWatchJobTruncatedStream covers a stream that dies before a terminal
+// event: WatchJob must surface an error instead of a silent clean close.
+func TestWatchJobTruncatedStream(t *testing.T) {
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}/events": sseHandler([]api.JobEvent{
+			{Type: api.EventStatus, JobID: "job-000001", Status: api.JobRunning},
+		}),
+	})
+	events, errc := cl.WatchJob(context.Background(), "job-000001")
+	for range events {
+	}
+	if err := <-errc; err == nil {
+		t.Error("truncated stream reported no error")
+	}
+}
+
+// TestWatchJobErrorResponse covers a watch on an unknown job.
+func TestWatchJobErrorResponse(t *testing.T) {
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{})
+	events, errc := cl.WatchJob(context.Background(), "job-000001")
+	for range events {
+	}
+	if err := <-errc; !api.IsNotFound(err) {
+		t.Errorf("watch of unknown job: %v", err)
+	}
+}
+
+// TestErrorDecoding pins the problem+json decode path of the SDK.
+func TestErrorDecoding(t *testing.T) {
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			api.WriteError(w, r, api.NewError(http.StatusGone, api.CodeLeaseLost, "expired"))
+		},
+	})
+	_, err := cl.GetJob(context.Background(), "job-000001")
+	e, ok := api.AsError(err)
+	if !ok {
+		t.Fatalf("error is not *api.Error: %v", err)
+	}
+	if e.Status != http.StatusGone || e.Code != api.CodeLeaseLost || e.Detail != "expired" {
+		t.Errorf("decoded problem wrong: %+v", e)
+	}
+	if !api.IsLeaseLost(err) {
+		t.Error("IsLeaseLost failed on a lease-lost problem")
+	}
+}
+
+// TestWaitJobRoutesFleetStreams pins the WaitJob/WaitFleetJob split: a
+// stream carrying fleet shard progress must not be decoded into an
+// api.Job (the shapes differ); WaitFleetJob returns the typed fleet view.
+func TestWaitJobRoutesFleetStreams(t *testing.T) {
+	fleetJob := &api.FleetJob{ID: "fleet-000001", Status: api.JobDone,
+		Scenario: api.Scenario{Name: "s"},
+		Plan:     &api.ShardPlan{MaxSamples: 8, BlockSize: 2, NumShards: 2},
+		Shards: []api.ShardStatus{
+			{Shard: 0, Start: 0, End: 4, Status: api.ShardDone},
+			{Shard: 1, Start: 4, End: 8, Status: api.ShardDone},
+		}, ShardsDone: 2}
+	stream := []api.JobEvent{
+		{Type: api.EventStatus, JobID: fleetJob.ID, Status: api.JobRunning, ShardsTotal: 2},
+		{Type: api.EventShards, JobID: fleetJob.ID, Status: api.JobRunning, ShardsDone: 1, ShardsTotal: 2},
+		{Type: api.EventStatus, JobID: fleetJob.ID, Status: api.JobDone, ShardsDone: 2, ShardsTotal: 2},
+	}
+	_, cl := fakeServer(t, map[string]http.HandlerFunc{
+		"GET /v1/jobs/{id}/events": sseHandler(stream),
+		"GET /v1/fleet/jobs/{id}": func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, fleetJob)
+		},
+	})
+
+	if _, err := cl.WaitJob(context.Background(), fleetJob.ID); err == nil {
+		t.Error("WaitJob accepted a fleet job stream")
+	}
+	got, err := cl.WaitFleetJob(context.Background(), fleetJob.ID)
+	if err != nil {
+		t.Fatalf("WaitFleetJob: %v", err)
+	}
+	if got.ID != fleetJob.ID || got.ShardsDone != 2 || len(got.Shards) != 2 {
+		t.Errorf("WaitFleetJob view wrong: %+v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"etherm/api"
+)
+
+// WatchJob subscribes to the server-sent progress stream of a job
+// (GET /v1/jobs/{id}/events) and delivers its events — scenario
+// completions, streaming-campaign sample counts and, for fleet jobs, shard
+// progress — until the job reaches a terminal state. It works for both
+// batch ("job-…") and fleet ("fleet-…") job IDs.
+//
+// The events channel closes when the stream ends; the error channel then
+// yields exactly one value: nil after a clean close (a terminal event was
+// observed) or the error that broke the stream (including ctx.Err() when
+// the caller canceled the watch). A canceled job terminates the stream
+// normally with a final "status" event of status "canceled".
+func (c *Client) WatchJob(ctx context.Context, id string) (<-chan api.JobEvent, <-chan error) {
+	events := make(chan api.JobEvent, 16)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(events)
+		errc <- c.watch(ctx, id, events)
+	}()
+	return events, errc
+}
+
+// watch runs one SSE subscription, pushing decoded events to out.
+func (c *Client) watch(ctx context.Context, id string, out chan<- api.JobEvent) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.JobEventsPath(id), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	req.Header.Set(api.VersionHeader, api.APIVersion)
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return api.ErrorFromResponse(resp)
+	}
+	if mt := resp.Header.Get("Content-Type"); !strings.HasPrefix(mt, "text/event-stream") {
+		return fmt.Errorf("client: job events endpoint returned %q, not an event stream", mt)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	var data strings.Builder
+	terminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch accumulated data.
+			if data.Len() > 0 {
+				var ev api.JobEvent
+				if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+					return fmt.Errorf("client: bad job event: %w", err)
+				}
+				data.Reset()
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+				if ev.Terminal() {
+					terminal = true
+				}
+			}
+		case strings.HasPrefix(line, "data:"):
+			// Multi-line data fields concatenate with newlines (SSE spec).
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// "event:", "id:", "retry:" and ": keepalive" comments carry no
+			// payload we need — the JSON data duplicates the event type.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if !terminal {
+		return fmt.Errorf("client: job event stream ended before a terminal state")
+	}
+	return nil
+}

@@ -32,6 +32,8 @@ import (
 	"runtime"
 	"time"
 
+	"etherm/api"
+	"etherm/client"
 	"etherm/internal/fleet"
 	"etherm/internal/scenario"
 )
@@ -211,7 +213,7 @@ func manifestJSON(res *scenario.BatchResult) ([]byte, error) {
 func startLocalFleet(eng *scenario.Engine, n int, bin string, sampleWorkers int, verbose bool) (func(), error) {
 	coord := fleet.NewCoordinator(eng.Cache(), 15*time.Second)
 	mux := http.NewServeMux()
-	coord.Register(mux, "/v1/fleet")
+	coord.Register(mux, api.FleetPrefix)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("fleet listener: %w", err)
@@ -222,16 +224,33 @@ func startLocalFleet(eng *scenario.Engine, n int, bin string, sampleWorkers int,
 	eng.Sharder = coord
 
 	ctx, cancel := context.WithCancel(context.Background())
-	stop := func() {
-		cancel()
-		_ = srv.Close()
-	}
 
 	if bin == "" {
 		bin = findEtworker()
 	}
 	if bin != "" {
 		fmt.Printf("fleet: %d etworker processes (%s) against %s\n", n, bin, base)
+		var procs []*exec.Cmd
+		var reaped []chan struct{}
+		// stop kills the children explicitly and reaps them before
+		// returning: relying on CommandContext's cancel watchdog alone
+		// races etbatch's own exit (on a single CPU the kill goroutine may
+		// never be scheduled), leaking orphaned etworkers.
+		stop := func() {
+			cancel()
+			_ = srv.Close()
+			for _, c := range procs {
+				if c.Process != nil {
+					_ = c.Process.Kill()
+				}
+			}
+			for _, done := range reaped {
+				select {
+				case <-done:
+				case <-time.After(5 * time.Second):
+				}
+			}
+		}
 		for i := 0; i < n; i++ {
 			args := []string{"-server", base, "-id", fmt.Sprintf("local-%d", i)}
 			if sampleWorkers > 0 {
@@ -248,15 +267,22 @@ func startLocalFleet(eng *scenario.Engine, n int, bin string, sampleWorkers int,
 				stop()
 				return nil, fmt.Errorf("spawn etworker: %w", err)
 			}
-			go func() { _ = cmd.Wait() }()
+			done := make(chan struct{})
+			go func() { defer close(done); _ = cmd.Wait() }()
+			procs = append(procs, cmd)
+			reaped = append(reaped, done)
 		}
 		return stop, nil
+	}
+	stop := func() {
+		cancel()
+		_ = srv.Close()
 	}
 
 	fmt.Printf("fleet: etworker binary not found; running %d in-process workers over %s\n", n, base)
 	for i := 0; i < n; i++ {
 		w := &fleet.Worker{
-			BaseURL:       base + "/v1/fleet",
+			Client:        client.New(base),
 			ID:            fmt.Sprintf("inproc-%d", i),
 			SampleWorkers: sampleWorkers,
 			Poll:          100 * time.Millisecond,

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"etherm/api"
+	"etherm/internal/fleet"
+)
+
+// eventHub fans job progress events out to SSE subscribers. Publishing
+// never blocks on a slow consumer: events queue per subscriber and
+// consecutive sample events of the same scenario coalesce (watchers see
+// the latest count, not every increment), so a stalled client cannot back
+// up the scenario engine's event path.
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[string]map[*eventSub]struct{}
+}
+
+// eventSub is one watcher's queue.
+type eventSub struct {
+	mu       sync.Mutex
+	queue    []api.JobEvent
+	sampleAt map[string]int // scenario → queue index of its pending sample event
+	notify   chan struct{}  // 1-slot wakeup
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: make(map[string]map[*eventSub]struct{})}
+}
+
+// subscribe registers a watcher for one job's events.
+func (h *eventHub) subscribe(jobID string) *eventSub {
+	sub := &eventSub{notify: make(chan struct{}, 1)}
+	h.mu.Lock()
+	if h.subs[jobID] == nil {
+		h.subs[jobID] = make(map[*eventSub]struct{})
+	}
+	h.subs[jobID][sub] = struct{}{}
+	h.mu.Unlock()
+	return sub
+}
+
+// unsubscribe removes a watcher.
+func (h *eventHub) unsubscribe(jobID string, sub *eventSub) {
+	h.mu.Lock()
+	if set := h.subs[jobID]; set != nil {
+		delete(set, sub)
+		if len(set) == 0 {
+			delete(h.subs, jobID)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// publish queues ev on every subscriber of the job.
+func (h *eventHub) publish(jobID string, ev api.JobEvent) {
+	h.mu.Lock()
+	for sub := range h.subs[jobID] {
+		sub.push(ev)
+	}
+	h.mu.Unlock()
+}
+
+// push enqueues one event and wakes the subscriber. Sample events
+// coalesce per scenario — a pending one is overwritten in place — so the
+// queue of a slow watcher is bounded by the batch size (one sample slot
+// per scenario plus the finite lifecycle events), even with many
+// concurrent streaming scenarios interleaving their progress.
+func (s *eventSub) push(ev api.JobEvent) {
+	s.mu.Lock()
+	if ev.Type == api.EventSample {
+		if i, ok := s.sampleAt[ev.Scenario]; ok {
+			s.queue[i] = ev
+			s.mu.Unlock()
+			s.wake()
+			return
+		}
+		if s.sampleAt == nil {
+			s.sampleAt = make(map[string]int)
+		}
+		s.sampleAt[ev.Scenario] = len(s.queue)
+	}
+	s.queue = append(s.queue, ev)
+	s.mu.Unlock()
+	s.wake()
+}
+
+func (s *eventSub) wake() {
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain takes the queued events.
+func (s *eventSub) drain() []api.JobEvent {
+	s.mu.Lock()
+	out := s.queue
+	s.queue = nil
+	s.sampleAt = nil
+	s.mu.Unlock()
+	return out
+}
+
+// sseKeepalive is the idle comment interval of an event stream.
+const sseKeepalive = 15 * time.Second
+
+// fleetPollInterval is how often the SSE handler samples the coordinator
+// state of a fleet job (the pull-based fleet protocol has no push source).
+const fleetPollInterval = 150 * time.Millisecond
+
+// handleEvents serves GET /v1/jobs/{id}/events: a server-sent-event stream
+// of the job's progress (api.JobEvent frames) that opens with a status
+// snapshot and closes after the terminal status event. Batch jobs stream
+// live engine events (scenario completions, streaming-campaign sample
+// counts); fleet job IDs fall through to a coordinator watch emitting
+// shard progress.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal,
+			"response writer does not support streaming"))
+		return
+	}
+	if s.snapshot(id) != nil {
+		s.watchBatchJob(w, r, flusher, id)
+		return
+	}
+	if _, isFleet := s.coord.Job(id); isFleet {
+		s.watchFleetJob(w, r, flusher, id)
+		return
+	}
+	api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no such job %s", id))
+}
+
+// sseHeaders switches the response into an event stream.
+func sseHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // defeat buffering proxies
+	w.WriteHeader(http.StatusOK)
+}
+
+// writeEvent renders one SSE frame.
+func writeEvent(w http.ResponseWriter, flusher http.Flusher, ev api.JobEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+		return err
+	}
+	flusher.Flush()
+	return nil
+}
+
+// watchBatchJob subscribes to the hub and streams events until the job
+// terminates or the client goes away. Subscribing before snapshotting
+// closes the race with a job finishing in between: the terminal transition
+// is then either in the snapshot or in the queue.
+func (s *Server) watchBatchJob(w http.ResponseWriter, r *http.Request, flusher http.Flusher, id string) {
+	sub := s.hub.subscribe(id)
+	defer s.hub.unsubscribe(id, sub)
+
+	j := s.snapshot(id)
+	if j == nil { // evicted between route and subscribe
+		api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no such job %s", id))
+		return
+	}
+	sseHeaders(w)
+	snap := statusEvent(j)
+	if err := writeEvent(w, flusher, snap); err != nil || snap.Terminal() {
+		return
+	}
+
+	keepalive := time.NewTicker(sseKeepalive)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-sub.notify:
+			for _, ev := range sub.drain() {
+				if err := writeEvent(w, flusher, ev); err != nil {
+					return
+				}
+				if ev.Terminal() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// watchFleetJob polls the coordinator and emits shard-progress deltas as
+// events, closing with the terminal status. The fleet protocol is pull
+// based (workers poll leases), so a short poll here is the push adapter.
+// The events only need the view's counters, so no wire conversion happens
+// on the poll path; idle stretches carry keepalive comments like the
+// batch stream.
+func (s *Server) watchFleetJob(w http.ResponseWriter, r *http.Request, flusher http.Flusher, id string) {
+	sseHeaders(w)
+	lastDone := -1
+	first := true
+	lastWrite := time.Now()
+	ticker := time.NewTicker(fleetPollInterval)
+	defer ticker.Stop()
+	for {
+		fv, ok := s.coord.Job(id)
+		if !ok {
+			// Evicted mid-watch: nothing more will happen; end the stream.
+			return
+		}
+		terminal := fv.Status != fleet.JobRunning
+		ev := api.JobEvent{
+			JobID: fv.ID, Status: api.JobStatus(fv.Status),
+			ShardsDone: fv.ShardsDone, ShardsTotal: len(fv.Shards),
+		}
+		switch {
+		case first || terminal:
+			ev.Type = api.EventStatus
+			ev.Error = fv.Error
+		case fv.ShardsDone != lastDone:
+			ev.Type = api.EventShards
+		default:
+			ev.Type = ""
+		}
+		if ev.Type != "" {
+			if err := writeEvent(w, flusher, ev); err != nil {
+				return
+			}
+			lastWrite = time.Now()
+		}
+		if terminal {
+			return
+		}
+		first = false
+		lastDone = fv.ShardsDone
+		if time.Since(lastWrite) >= sseKeepalive {
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+			lastWrite = time.Now()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,15 +1,25 @@
 // Command etserver serves the batch scenario engine over HTTP: clients
-// submit declarative scenario batches as asynchronous jobs, poll their
-// status and fetch the structured results manifest. One assembly cache is
-// shared across all jobs, so repeated studies on the same package geometry
-// skip mesh construction and FIT assembly entirely.
+// submit declarative scenario batches as asynchronous jobs, stream their
+// progress over server-sent events, and fetch the structured results
+// manifest. One assembly cache is shared across all jobs, so repeated
+// studies on the same package geometry skip mesh construction and FIT
+// assembly entirely.
 //
-// API:
+// The wire contract is the versioned API of package api (negotiated via
+// the ET-API-Version header): request/response bodies are api types,
+// every error — including routing errors (404/405) — is an RFC-9457
+// problem+json envelope, and package client is the matching Go SDK.
 //
-//	POST   /v1/jobs               submit a scenario.Batch (JSON) → 202 + job
-//	GET    /v1/jobs               list jobs (without result payloads)
+// API (v1):
+//
+//	POST   /v1/jobs               submit an api.Batch (JSON) → 202 + api.Job
+//	GET    /v1/jobs               list jobs, newest first, paginated
+//	                              (?limit=, ?cursor=; no result payloads)
 //	GET    /v1/jobs/{id}          job status, progress and, when done, results
 //	                              (fleet job IDs show per-shard progress)
+//	GET    /v1/jobs/{id}/events   SSE progress stream (api.JobEvent frames):
+//	                              scenario completions, sample counts, shard
+//	                              progress; closes after the terminal status
 //	DELETE /v1/jobs/{id}          cancel a queued or running job → "canceled"
 //	GET    /v1/scenarios/presets  the bundled paper-grounded scenario suite
 //	GET    /healthz               liveness + assembly-cache statistics
@@ -33,7 +43,8 @@
 //	curl -s localhost:8080/v1/scenarios/presets > batch.json
 //	curl -s -X POST --data-binary @batch.json localhost:8080/v1/jobs
 //	curl -s localhost:8080/v1/jobs/job-000001
-//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001   # cancel mid-run
+//	curl -sN localhost:8080/v1/jobs/job-000001/events   # live progress (SSE)
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001 # cancel mid-run
 package main
 
 import (

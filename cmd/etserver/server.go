@@ -6,66 +6,30 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"etherm/api"
+	"etherm/internal/apiconv"
 	"etherm/internal/fleet"
 	"etherm/internal/scenario"
 )
 
-// JobStatus is the lifecycle state of a submitted batch job.
-type JobStatus string
-
-// Job lifecycle states.
-const (
-	// JobQueued means the job waits for a free runner slot.
-	JobQueued JobStatus = "queued"
-	// JobRunning means the batch is being evaluated.
-	JobRunning JobStatus = "running"
-	// JobDone means the batch finished (individual scenarios may still have
-	// failed; see the result's failed_count).
-	JobDone JobStatus = "done"
-	// JobFailed means the batch as a whole errored before producing results.
-	JobFailed JobStatus = "failed"
-	// JobCanceled means the client aborted the job via DELETE before it
-	// finished; streaming scenarios stop mid-ensemble.
-	JobCanceled JobStatus = "canceled"
-)
-
-// finished reports whether a status is terminal.
-func finished(s JobStatus) bool {
-	return s == JobDone || s == JobFailed || s == JobCanceled
-}
-
-// JobProgress counts finished scenarios while a job runs.
-type JobProgress struct {
-	ScenariosDone   int `json:"scenarios_done"`
-	ScenariosFailed int `json:"scenarios_failed"`
-	ScenariosTotal  int `json:"scenarios_total"`
-}
-
-// Job is the public view of one submitted batch.
-type Job struct {
-	ID          string      `json:"id"`
-	Status      JobStatus   `json:"status"`
-	BatchName   string      `json:"batch_name,omitempty"`
-	SubmittedAt time.Time   `json:"submitted_at"`
-	StartedAt   *time.Time  `json:"started_at,omitempty"`
-	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
-	Progress    JobProgress `json:"progress"`
-	// Error is set when Status is JobFailed.
-	Error string `json:"error,omitempty"`
-	// Result is set when Status is JobDone.
-	Result *scenario.BatchResult `json:"result,omitempty"`
-}
-
-// Server is the HTTP job service: an in-memory job store, a bounded number
-// of concurrent batch runners, and one shared assembly cache that stays
-// warm across jobs. Every job runs under its own cancellable context so
-// clients can abort queued or running work with DELETE /v1/jobs/{id}.
-// Finished jobs beyond the retention cap are evicted oldest-first (queued
-// and running jobs are never evicted), so a long-running server does not
-// accumulate result payloads without bound.
+// Server is the HTTP job service: an in-memory store of api.Job records, a
+// bounded number of concurrent batch runners, one shared assembly cache
+// that stays warm across jobs, and an event hub broadcasting job progress
+// over server-sent events. Every network touchpoint speaks the versioned
+// wire contract of package api: request and response bodies are api types,
+// errors are RFC-9457 problem+json envelopes (api.Error), the route table
+// is api.Routes, and the API version is negotiated via api.VersionHeader.
+//
+// Every job runs under its own cancellable context so clients can abort
+// queued or running work with DELETE /v1/jobs/{id}. Finished jobs beyond
+// the retention cap are evicted oldest-first (queued and running jobs are
+// never evicted), so a long-running server does not accumulate result
+// payloads without bound.
 type Server struct {
 	cache      *scenario.AssemblyCache
 	coord      *fleet.Coordinator
@@ -79,16 +43,25 @@ type Server struct {
 	FleetBatches bool
 
 	mu      sync.Mutex
-	jobs    map[string]*Job
+	jobs    map[string]*api.Job
 	cancels map[string]context.CancelFunc // pending/running jobs only
 	order   []string                      // job IDs in submission order
 	seq     int
 
+	hub *eventHub
 	mux *http.ServeMux
 }
 
 // DefaultMaxHistory is the default finished-job retention cap.
 const DefaultMaxHistory = 128
+
+// Pagination bounds of GET /v1/jobs.
+const (
+	// DefaultListLimit is the page size when the client passes none.
+	DefaultListLimit = 50
+	// MaxListLimit caps client-requested page sizes.
+	MaxListLimit = 500
+)
 
 // NewServer returns a server allowing maxConcurrent batch jobs to run in
 // parallel (minimum 1), retaining at most DefaultMaxHistory finished jobs.
@@ -119,21 +92,31 @@ func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration)
 		sem:        make(chan struct{}, maxConcurrent),
 		maxBody:    4 << 20,
 		maxHistory: maxHistory,
-		jobs:       make(map[string]*Job),
+		jobs:       make(map[string]*api.Job),
 		cancels:    make(map[string]context.CancelFunc),
+		hub:        newEventHub(),
 		mux:        http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/scenarios/presets", s.handlePresets)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// One handler per route of the public contract. A test asserts this
+	// map covers api.Routes exactly, so the registered surface, the SDK
+	// and openapi.yaml cannot drift apart.
+	handlers := map[string]http.HandlerFunc{
+		"POST /v1/jobs":             s.handleSubmit,
+		"GET /v1/jobs":              s.handleList,
+		"GET /v1/jobs/{id}":         s.handleGet,
+		"DELETE /v1/jobs/{id}":      s.handleCancel,
+		"GET /v1/jobs/{id}/events":  s.handleEvents,
+		"GET /v1/scenarios/presets": s.handlePresets,
+		"GET /healthz":              s.handleHealth,
+	}
+	for pattern, h := range handlers {
+		s.mux.HandleFunc(pattern, h)
+	}
 	// The fleet coordinator: etworkers lease shards of sharded scenarios
 	// from these endpoints; clients submit sharded campaign jobs to
 	// POST /v1/fleet/jobs and read shard progress from GET /v1/jobs/{id}
 	// (which falls through to fleet jobs) or GET /v1/fleet/jobs/{id}.
-	s.coord.Register(s.mux, "/v1/fleet")
+	s.coord.Register(s.mux, api.FleetPrefix)
 	return s
 }
 
@@ -141,49 +124,93 @@ func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration)
 // scenarios should run on the fleet plug it into their engine).
 func (s *Server) Coordinator() *fleet.Coordinator { return s.coord }
 
-// Handler returns the HTTP handler (also used by httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler (also used by httptest): the registered
+// routes wrapped in version negotiation and uniform problem+json routing
+// errors (404 for unknown paths, 405 with Allow for known paths hit with
+// the wrong method).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.VersionHeader, api.APIVersion)
+		if err := api.CheckVersion(r.Header.Get(api.VersionHeader)); err != nil {
+			api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeUnsupportedVersion, err.Error()))
+			return
+		}
+		// Probe the route table first: Handler only reports the match, the
+		// dispatch below goes through ServeHTTP so path values are bound.
+		_, pattern := s.mux.Handler(r)
+		if pattern == "" {
+			if allow := s.allowedMethods(r); len(allow) > 0 {
+				w.Header().Set("Allow", strings.Join(allow, ", "))
+				api.WriteError(w, r, api.Errorf(http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+					"method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allow, ", ")))
+			} else {
+				api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound,
+					"no such route: %s", r.URL.Path))
+			}
+			return
+		}
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
-// writeJSON renders v with the given status.
+// allowedMethods probes the mux for methods that WOULD match the request
+// path, powering method-aware 405 responses.
+func (s *Server) allowedMethods(r *http.Request) []string {
+	var allow []string
+	for _, m := range []string{http.MethodGet, http.MethodPost, http.MethodDelete, http.MethodPut, http.MethodPatch} {
+		if m == r.Method {
+			continue
+		}
+		probe := r.Clone(r.Context())
+		probe.Method = m
+		if _, pattern := s.mux.Handler(probe); pattern != "" {
+			allow = append(allow, m)
+		}
+	}
+	return allow
+}
+
+// writeJSON renders a 2xx body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	api.WriteJSON(w, status, v)
 }
 
-// apiError is the uniform error body.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-// handleSubmit accepts a scenario.Batch as JSON, enqueues it and returns
-// 202 with the job description.
+// handleSubmit accepts an api.Batch as JSON, enqueues it and returns 202
+// with the job description.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
 		return
 	}
 	if int64(len(body)) > s.maxBody {
-		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{"scenario file exceeds the size limit"})
+		api.WriteError(w, r, api.Errorf(http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+			"scenario file exceeds the %d-byte limit", s.maxBody))
 		return
 	}
+	// Syntactically broken JSON is an invalid-body 400, mirroring the fleet
+	// endpoints; only well-formed bodies proceed to semantic validation.
+	var syntax any
+	if err := json.Unmarshal(body, &syntax); err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
+		return
+	}
+	// scenario.ParseBatch is the validation authority; api.Batch is
+	// conformance-tested to marshal into exactly this shape.
 	batch, err := scenario.ParseBatch(body)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, err.Error()))
 		return
 	}
 
 	s.mu.Lock()
 	s.seq++
-	job := &Job{
+	job := &api.Job{
 		ID:          fmt.Sprintf("job-%06d", s.seq),
-		Status:      JobQueued,
+		Status:      api.JobQueued,
 		BatchName:   batch.Name,
 		SubmittedAt: time.Now().UTC(),
-		Progress:    JobProgress{ScenariosTotal: len(batch.Scenarios)},
+		Progress:    api.JobProgress{ScenariosTotal: len(batch.Scenarios)},
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.jobs[job.ID] = job
@@ -194,23 +221,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	go s.runJob(ctx, job.ID, batch)
 
-	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	w.Header().Set("Location", api.JobPath(job.ID))
 	writeJSON(w, http.StatusAccepted, s.snapshot(job.ID))
 }
 
 // runJob executes one batch under the runner-slot semaphore, streaming
-// scenario completions into the job's progress counters. The job's context
-// cancels the whole pipeline: a queued job is abandoned before acquiring a
-// runner slot, a running one aborts mid-batch (streaming scenarios stop
-// mid-ensemble).
+// scenario completions into the job's progress counters and the event hub.
+// The job's context cancels the whole pipeline: a queued job is abandoned
+// before acquiring a runner slot, a running one aborts mid-batch
+// (streaming scenarios stop mid-ensemble).
 func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 	defer s.release(id)
 
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		s.finish(id, func(j *Job) {
-			j.Status = JobCanceled
+		s.finish(id, func(j *api.Job) {
+			j.Status = api.JobCanceled
 			j.Error = "canceled before start"
 		})
 		return
@@ -218,10 +245,11 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 	defer func() { <-s.sem }()
 
 	now := time.Now().UTC()
-	s.update(id, func(j *Job) {
-		j.Status = JobRunning
+	s.update(id, func(j *api.Job) {
+		j.Status = api.JobRunning
 		j.StartedAt = &now
 	})
+	s.publishStatus(id)
 
 	eng := scenario.NewEngineWithCache(s.cache)
 	if s.FleetBatches {
@@ -230,38 +258,76 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 	eng.OnEvent = func(ev scenario.Event) {
 		switch ev.Phase {
 		case scenario.PhaseDone, scenario.PhaseFailed:
-			s.update(id, func(j *Job) {
+			s.update(id, func(j *api.Job) {
 				j.Progress.ScenariosDone++
 				if ev.Phase == scenario.PhaseFailed {
 					j.Progress.ScenariosFailed++
 				}
 			})
+			if j := s.snapshot(id); j != nil {
+				s.hub.publish(id, api.JobEvent{
+					Type: api.EventScenario, JobID: id,
+					Scenario: ev.Scenario, Phase: string(ev.Phase),
+					Progress: &j.Progress,
+				})
+			}
+		case scenario.PhaseSample:
+			s.hub.publish(id, api.JobEvent{
+				Type: api.EventSample, JobID: id,
+				Scenario: ev.Scenario, Done: ev.Done, Total: ev.Total,
+			})
 		}
 	}
 	res, err := eng.Run(ctx, batch)
-	s.finish(id, func(j *Job) {
+	var apiRes *api.BatchResult
+	var convErr error
+	if res != nil {
+		apiRes, convErr = apiconv.BatchResultToAPI(res)
+	}
+	s.finish(id, func(j *api.Job) {
 		switch {
 		case ctx.Err() != nil:
-			j.Status = JobCanceled
+			j.Status = api.JobCanceled
 			j.Error = "canceled by client"
-			j.Result = res // partial results when the final scenario absorbed the cancel
+			j.Result = apiRes // partial results when the final scenario absorbed the cancel
 		case err != nil:
-			j.Status = JobFailed
+			j.Status = api.JobFailed
 			j.Error = err.Error()
+		case convErr != nil:
+			j.Status = api.JobFailed
+			j.Error = convErr.Error()
 		default:
-			j.Status = JobDone
-			j.Result = res
+			j.Status = api.JobDone
+			j.Result = apiRes
 		}
 	})
 }
 
-// finish stamps the completion time and applies the terminal transition.
-func (s *Server) finish(id string, f func(*Job)) {
+// finish stamps the completion time, applies the terminal transition and
+// publishes the terminal status event (closing watcher streams).
+func (s *Server) finish(id string, f func(*api.Job)) {
 	done := time.Now().UTC()
-	s.update(id, func(j *Job) {
+	s.update(id, func(j *api.Job) {
 		j.FinishedAt = &done
 		f(j)
 	})
+	s.publishStatus(id)
+}
+
+// publishStatus broadcasts the job's current status snapshot to watchers.
+func (s *Server) publishStatus(id string) {
+	if j := s.snapshot(id); j != nil {
+		s.hub.publish(id, statusEvent(j))
+	}
+}
+
+// statusEvent renders a job snapshot as its SSE status event.
+func statusEvent(j *api.Job) api.JobEvent {
+	p := j.Progress
+	return api.JobEvent{
+		Type: api.EventStatus, JobID: j.ID, Status: j.Status,
+		Progress: &p, Error: j.Error,
+	}
 }
 
 // release drops the job's cancel handle once the runner goroutine exits.
@@ -284,31 +350,45 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	var cancel context.CancelFunc
 	var done bool
 	if ok {
-		done = finished(j.Status)
+		done = j.Status.Finished()
 		cancel = s.cancels[id]
 	}
 	s.mu.Unlock()
 	if !ok {
 		if _, isFleet := s.coord.Job(id); isFleet {
 			if err := s.coord.Cancel(id); err != nil {
-				writeJSON(w, http.StatusConflict, apiError{err.Error()})
+				api.WriteError(w, r, api.NewError(http.StatusConflict, api.CodeConflict, err.Error()))
 				return
 			}
-			fv, _ := s.coord.Job(id)
-			writeJSON(w, http.StatusAccepted, fv)
+			s.writeFleetJob(w, r, id)
 			return
 		}
-		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no such job %s", id))
 		return
 	}
 	if done {
-		writeJSON(w, http.StatusConflict, apiError{"job already finished"})
+		api.WriteError(w, r, api.Errorf(http.StatusConflict, api.CodeConflict, "job %s already finished", id))
 		return
 	}
 	if cancel != nil {
 		cancel()
 	}
 	writeJSON(w, http.StatusAccepted, s.snapshot(id))
+}
+
+// writeFleetJob renders the coordinator's view of a fleet job (202).
+func (s *Server) writeFleetJob(w http.ResponseWriter, r *http.Request, id string) {
+	fv, ok := s.coord.Job(id)
+	if !ok {
+		api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no such job %s", id))
+		return
+	}
+	fj, err := fleet.ViewToAPI(fv)
+	if err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal, err.Error()))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, fj)
 }
 
 // evictLocked drops the oldest finished jobs until at most maxHistory
@@ -322,7 +402,7 @@ func (s *Server) evictLocked() {
 	excess := len(s.order) - s.maxHistory
 	for _, id := range s.order {
 		j := s.jobs[id]
-		if excess > 0 && finished(j.Status) {
+		if excess > 0 && j.Status.Finished() {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -333,7 +413,7 @@ func (s *Server) evictLocked() {
 }
 
 // update mutates a job under the store lock.
-func (s *Server) update(id string, f func(*Job)) {
+func (s *Server) update(id string, f func(*api.Job)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if j, ok := s.jobs[id]; ok {
@@ -343,7 +423,7 @@ func (s *Server) update(id string, f func(*Job)) {
 
 // snapshot returns a deep-enough copy of a job for rendering without racing
 // the runner goroutine. The result pointer is shared but immutable once set.
-func (s *Server) snapshot(id string) *Job {
+func (s *Server) snapshot(id string) *api.Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
@@ -362,26 +442,73 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j := s.snapshot(id)
 	if j == nil {
 		if fv, ok := s.coord.Job(id); ok {
-			writeJSON(w, http.StatusOK, fv)
+			fj, err := fleet.ViewToAPI(fv)
+			if err != nil {
+				api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal, err.Error()))
+				return
+			}
+			writeJSON(w, http.StatusOK, fj)
 			return
 		}
-		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		api.WriteError(w, r, api.Errorf(http.StatusNotFound, api.CodeNotFound, "no such job %s", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
 }
 
-// jobList is the body of GET /v1/jobs.
-type jobList struct {
-	Jobs []*Job `json:"jobs"`
+// jobSeq extracts the monotonic sequence number of a job ID ("job-000042"),
+// the pagination key of the list endpoint. Cursors survive eviction of the
+// cursor job because the key is ordered, not positional.
+func jobSeq(id string) (int, bool) {
+	num, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
-// handleList returns all jobs in submission order, without embedded results
-// (fetch an individual job for its manifest).
+// handleList returns one page of jobs, newest first, without embedded
+// result payloads (fetch an individual job for its manifest). ?limit=
+// bounds the page size, ?cursor= (the next_cursor of the previous page)
+// continues the walk toward older jobs.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	limit := DefaultListLimit
+	if lv := r.URL.Query().Get("limit"); lv != "" {
+		n, err := strconv.Atoi(lv)
+		if err != nil || n < 1 {
+			api.WriteError(w, r, api.Errorf(http.StatusBadRequest, api.CodeValidation,
+				"limit %q is not a positive integer", lv))
+			return
+		}
+		limit = min(n, MaxListLimit)
+	}
+	before := int(^uint(0) >> 1) // no cursor: start at the newest job
+	if cv := r.URL.Query().Get("cursor"); cv != "" {
+		n, ok := jobSeq(cv)
+		if !ok {
+			api.WriteError(w, r, api.Errorf(http.StatusBadRequest, api.CodeValidation,
+				"cursor %q is not a job ID", cv))
+			return
+		}
+		before = n
+	}
+
 	s.mu.Lock()
-	out := jobList{Jobs: make([]*Job, 0, len(s.order))}
-	for _, id := range s.order {
+	out := api.JobList{Jobs: make([]*api.Job, 0, min(limit, len(s.order)))}
+	for i := len(s.order) - 1; i >= 0; i-- {
+		id := s.order[i]
+		seq, ok := jobSeq(id)
+		if !ok || seq >= before {
+			continue
+		}
+		if len(out.Jobs) == limit {
+			out.NextCursor = out.Jobs[limit-1].ID
+			break
+		}
 		cp := *s.jobs[id]
 		cp.Result = nil
 		out.Jobs = append(out.Jobs, &cp)
@@ -396,22 +523,12 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, scenario.Presets())
 }
 
-// health is the body of GET /healthz.
-type health struct {
-	Status       string `json:"status"`
-	Jobs         int    `json:"jobs"`
-	FleetJobs    int    `json:"fleet_jobs"`
-	CacheEntries int    `json:"cache_entries"`
-	CacheHits    int64  `json:"cache_hits"`
-	CacheMisses  int64  `json:"cache_misses"`
-}
-
 // handleHealth reports liveness plus cache statistics.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, health{
+	writeJSON(w, http.StatusOK, api.Health{
 		Status: "ok", Jobs: n,
 		FleetJobs:    len(s.coord.Jobs()),
 		CacheEntries: s.cache.Len(),

@@ -10,80 +10,54 @@ import (
 	"testing"
 	"time"
 
-	"etherm/internal/config"
-	"etherm/internal/fleet"
-	"etherm/internal/scenario"
+	"etherm/api"
+	"etherm/client"
+	"etherm/internal/apiconv"
 )
 
-// postBatch submits a batch and returns the decoded job.
-func postBatch(t *testing.T, ts *httptest.Server, b *scenario.Batch) Job {
+// newTestServer spins an httptest server plus an SDK client against it.
+func newTestServer(t *testing.T, srv *Server) (*httptest.Server, *client.Client) {
 	t.Helper()
-	body, err := json.Marshal(b)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, client.New(ts.URL)
+}
+
+// submitBatch submits a batch through the SDK.
+func submitBatch(t *testing.T, cl *client.Client, b *api.Batch) *api.Job {
+	t.Helper()
+	job, err := cl.SubmitBatch(context.Background(), b)
 	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("submit status %d, want 202", resp.StatusCode)
-	}
-	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, "/v1/jobs/job-") {
-		t.Errorf("Location header %q", loc)
-	}
-	var job Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		t.Fatal(err)
+		t.Fatalf("submit: %v", err)
 	}
 	return job
 }
 
-// getJob fetches one job by ID.
-func getJob(t *testing.T, ts *httptest.Server, id string) (Job, int) {
+// waitDone waits for a terminal state through the SDK (SSE under the hood).
+func waitDone(t *testing.T, cl *client.Client, id string, timeout time.Duration) *api.Job {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	job, err := cl.WaitJob(ctx, id)
 	if err != nil {
-		t.Fatal(err)
+		t.Fatalf("wait %s: %v", id, err)
 	}
-	defer resp.Body.Close()
-	var job Job
-	if resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return job, resp.StatusCode
+	return job
 }
 
-// waitDone polls until the job reaches a terminal state.
-func waitDone(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) Job {
-	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		job, code := getJob(t, ts, id)
-		if code != http.StatusOK {
-			t.Fatalf("job %s: status code %d", id, code)
-		}
-		if finished(job.Status) {
-			return job
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	t.Fatalf("job %s did not finish within %v", id, timeout)
-	return Job{}
+// tinySim is the fast transient configuration shared by the API tests.
+func tinySim() api.SimSpec {
+	return api.SimSpec{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"}
 }
 
 // tinyBatch is a fast two-scenario batch (shared coarse mesh, short
 // horizon) for API round-trip tests.
-func tinyBatch() *scenario.Batch {
-	sim := config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"}
-	return &scenario.Batch{
+func tinyBatch() *api.Batch {
+	return &api.Batch{
 		Name: "api-test",
-		Scenarios: []scenario.Scenario{
-			{Name: "pair", Chip: scenario.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}}, Sim: sim},
-			{Name: "full", Chip: scenario.ChipSpec{HMaxM: 0.8e-3}, Sim: sim},
+		Scenarios: []api.Scenario{
+			{Name: "pair", Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}}, Sim: tinySim()},
+			{Name: "full", Chip: api.ChipSpec{HMaxM: 0.8e-3}, Sim: tinySim()},
 		},
 	}
 }
@@ -92,26 +66,25 @@ func TestJobRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs coupled-field simulations")
 	}
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
+	_, cl := newTestServer(t, NewServer(1))
 
-	job := postBatch(t, ts, tinyBatch())
-	if job.ID == "" || (job.Status != JobQueued && job.Status != JobRunning) {
+	job := submitBatch(t, cl, tinyBatch())
+	if job.ID == "" || (job.Status != api.JobQueued && job.Status != api.JobRunning) {
 		t.Fatalf("unexpected submit response: %+v", job)
 	}
 	if job.Progress.ScenariosTotal != 2 {
 		t.Errorf("progress total %d, want 2", job.Progress.ScenariosTotal)
 	}
 
-	done := waitDone(t, ts, job.ID, 3*time.Minute)
-	if done.Status != JobDone {
+	done := waitDone(t, cl, job.ID, 3*time.Minute)
+	if done.Status != api.JobDone {
 		t.Fatalf("job finished as %s (%s)", done.Status, done.Error)
 	}
 	if done.Result == nil || len(done.Result.Scenarios) != 2 {
 		t.Fatalf("missing results: %+v", done.Result)
 	}
 	if done.Result.FailedCount != 0 {
-		t.Fatalf("scenarios failed: %+v", done.Result.Failed())
+		t.Fatalf("scenarios failed: %+v", done.Result)
 	}
 	if done.Progress.ScenariosDone != 2 {
 		t.Errorf("progress done %d, want 2", done.Progress.ScenariosDone)
@@ -131,9 +104,9 @@ func TestJobRoundTrip(t *testing.T) {
 	}
 
 	// A second identical job on the warm server caches everything.
-	job2 := postBatch(t, ts, tinyBatch())
-	done2 := waitDone(t, ts, job2.ID, 3*time.Minute)
-	if done2.Status != JobDone {
+	job2 := submitBatch(t, cl, tinyBatch())
+	done2 := waitDone(t, cl, job2.ID, 3*time.Minute)
+	if done2.Status != api.JobDone {
 		t.Fatalf("second job finished as %s (%s)", done2.Status, done2.Error)
 	}
 	for _, s := range done2.Result.Scenarios {
@@ -142,20 +115,16 @@ func TestJobRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Listing returns both jobs in order, without result payloads.
-	resp, err := http.Get(ts.URL + "/v1/jobs")
+	// Listing returns both jobs newest first, without result payloads.
+	list, err := cl.ListJobs(context.Background(), client.ListJobsOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var list struct {
-		Jobs []Job `json:"jobs"`
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != job2.ID || list.Jobs[1].ID != job.ID {
+		t.Errorf("job list wrong (want newest first): %+v", list.Jobs)
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		t.Fatal(err)
-	}
-	if len(list.Jobs) != 2 || list.Jobs[0].ID != job.ID || list.Jobs[1].ID != job2.ID {
-		t.Errorf("job list wrong: %+v", list.Jobs)
+	if list.NextCursor != "" {
+		t.Errorf("unexpected next cursor %q on a complete page", list.NextCursor)
 	}
 	for _, j := range list.Jobs {
 		if j.Result != nil {
@@ -165,22 +134,28 @@ func TestJobRoundTrip(t *testing.T) {
 }
 
 func TestSubmitValidation(t *testing.T) {
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
+	ts, _ := newTestServer(t, NewServer(1))
 
-	for name, body := range map[string]string{
-		"not json":      "}{",
-		"empty batch":   `{"scenarios": []}`,
-		"unknown field": `{"scenarios": [{"name": "x", "chipp": 1}]}`,
-		"duplicate":     `{"scenarios": [{"name": "x"}, {"name": "x"}]}`,
+	for name, tc := range map[string]struct {
+		body   string
+		status int
+		code   string
+	}{
+		"not json":      {"}{", http.StatusBadRequest, api.CodeInvalidBody},
+		"empty batch":   {`{"scenarios": []}`, http.StatusUnprocessableEntity, api.CodeValidation},
+		"unknown field": {`{"scenarios": [{"name": "x", "chipp": 1}]}`, http.StatusUnprocessableEntity, api.CodeValidation},
+		"duplicate":     {`{"scenarios": [{"name": "x"}, {"name": "x"}]}`, http.StatusUnprocessableEntity, api.CodeValidation},
 	} {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusUnprocessableEntity {
-			t.Errorf("%s: status %d, want 422", name, resp.StatusCode)
+		problem := decodeProblem(t, resp)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.status)
+		}
+		if problem.Code != tc.code {
+			t.Errorf("%s: problem code %q, want %q", name, problem.Code, tc.code)
 		}
 	}
 }
@@ -189,36 +164,28 @@ func TestFinishedJobEviction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs coupled-field simulations")
 	}
-	ts := httptest.NewServer(NewServerWithHistory(1, 2).Handler())
-	defer ts.Close()
+	_, cl := newTestServer(t, NewServerWithHistory(1, 2))
 
-	small := &scenario.Batch{Scenarios: []scenario.Scenario{{
+	small := &api.Batch{Scenarios: []api.Scenario{{
 		Name: "pair",
-		Chip: scenario.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
-		Sim:  config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
+		Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
+		Sim:  tinySim(),
 	}}}
 	var ids []string
 	for i := 0; i < 4; i++ {
-		job := postBatch(t, ts, small)
-		waitDone(t, ts, job.ID, time.Minute)
+		job := submitBatch(t, cl, small)
+		waitDone(t, cl, job.ID, time.Minute)
 		ids = append(ids, job.ID)
 	}
 	// Retention cap 2: the two oldest finished jobs are gone, newest remain.
-	if _, code := getJob(t, ts, ids[0]); code != http.StatusNotFound {
-		t.Errorf("oldest job survived eviction (status %d)", code)
+	if _, err := cl.GetJob(context.Background(), ids[0]); !api.IsNotFound(err) {
+		t.Errorf("oldest job survived eviction (err %v)", err)
 	}
-	if _, code := getJob(t, ts, ids[3]); code != http.StatusOK {
-		t.Errorf("newest job evicted (status %d)", code)
+	if _, err := cl.GetJob(context.Background(), ids[3]); err != nil {
+		t.Errorf("newest job evicted: %v", err)
 	}
-	resp, err := http.Get(ts.URL + "/v1/jobs")
+	list, err := cl.ListJobs(context.Background(), client.ListJobsOptions{})
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var list struct {
-		Jobs []Job `json:"jobs"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
 	if len(list.Jobs) > 2 {
@@ -226,57 +193,45 @@ func TestFinishedJobEviction(t *testing.T) {
 	}
 }
 
-// cancelJob issues DELETE /v1/jobs/{id} and returns the status code.
-func cancelJob(t *testing.T, ts *httptest.Server, id string) int {
-	t.Helper()
-	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	return resp.StatusCode
-}
-
 func TestJobCancellation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs coupled-field simulations")
 	}
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
+	_, cl := newTestServer(t, NewServer(1))
+	ctx := context.Background()
 
 	// A long streaming Monte Carlo job: hundreds of samples, so the cancel
 	// lands mid-ensemble.
-	big := &scenario.Batch{
+	big := &api.Batch{
 		Name: "cancel-me",
-		Scenarios: []scenario.Scenario{{
+		Scenarios: []api.Scenario{{
 			Name: "mc-long",
-			Chip: scenario.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
-			Sim:  config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
-			UQ:   scenario.UQSpec{Method: "monte-carlo", Samples: 2000, Seed: 1, Stream: true},
+			Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
+			Sim:  tinySim(),
+			UQ:   api.UQSpec{Method: api.MethodMonteCarlo, Samples: 2000, Seed: 1, Stream: true},
 		}},
 	}
-	job := postBatch(t, ts, big)
+	job := submitBatch(t, cl, big)
 
 	// Wait until it is actually running before canceling, so the test
 	// exercises the mid-run path (the queued path is covered by timing
 	// races either way).
 	deadline := time.Now().Add(time.Minute)
 	for time.Now().Before(deadline) {
-		j, _ := getJob(t, ts, job.ID)
-		if j.Status == JobRunning {
+		j, err := cl.GetJob(ctx, job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == api.JobRunning {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if code := cancelJob(t, ts, job.ID); code != http.StatusAccepted {
-		t.Fatalf("cancel status %d, want 202", code)
+	if _, err := cl.CancelJob(ctx, job.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
 	}
-	done := waitDone(t, ts, job.ID, time.Minute)
-	if done.Status != JobCanceled {
+	done := waitDone(t, cl, job.ID, time.Minute)
+	if done.Status != api.JobCanceled {
 		t.Fatalf("job finished as %s (%s), want canceled", done.Status, done.Error)
 	}
 	if done.FinishedAt == nil {
@@ -284,65 +239,54 @@ func TestJobCancellation(t *testing.T) {
 	}
 
 	// Canceling a finished job conflicts; canceling an unknown one 404s.
-	if code := cancelJob(t, ts, job.ID); code != http.StatusConflict {
-		t.Errorf("second cancel status %d, want 409", code)
+	if _, err := cl.CancelJob(ctx, job.ID); !api.IsConflict(err) {
+		t.Errorf("second cancel error %v, want 409 conflict", err)
 	}
-	if code := cancelJob(t, ts, "job-999999"); code != http.StatusNotFound {
-		t.Errorf("unknown cancel status %d, want 404", code)
+	if _, err := cl.CancelJob(ctx, "job-999999"); !api.IsNotFound(err) {
+		t.Errorf("unknown cancel error %v, want 404", err)
 	}
 
 	// The server stays healthy and accepts new work after a cancel.
-	job2 := postBatch(t, ts, tinyBatch())
-	if done2 := waitDone(t, ts, job2.ID, 3*time.Minute); done2.Status != JobDone {
+	job2 := submitBatch(t, cl, tinyBatch())
+	if done2 := waitDone(t, cl, job2.ID, 3*time.Minute); done2.Status != api.JobDone {
 		t.Fatalf("post-cancel job finished as %s (%s)", done2.Status, done2.Error)
 	}
 }
 
 func TestUnknownJob(t *testing.T) {
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
-	if _, code := getJob(t, ts, "job-999999"); code != http.StatusNotFound {
-		t.Errorf("unknown job returned %d, want 404", code)
+	_, cl := newTestServer(t, NewServer(1))
+	if _, err := cl.GetJob(context.Background(), "job-999999"); !api.IsNotFound(err) {
+		t.Errorf("unknown job returned %v, want 404 problem", err)
 	}
 }
 
 func TestPresetsEndpoint(t *testing.T) {
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/v1/scenarios/presets")
+	_, cl := newTestServer(t, NewServer(1))
+	b, err := cl.Presets(context.Background())
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("presets status %d", resp.StatusCode)
-	}
-	var b scenario.Batch
-	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
 		t.Fatal(err)
 	}
 	if len(b.Scenarios) < 8 {
 		t.Errorf("served presets cover %d scenarios, want ≥ 8", len(b.Scenarios))
 	}
-	// The served suite must itself be a valid submission.
+	// The served suite must itself be a valid submission, both through the
+	// wire validator and the engine's deep validator.
 	if err := b.Validate(); err != nil {
+		t.Errorf("served presets invalid on the wire: %v", err)
+	}
+	internal, err := apiconv.BatchToInternal(b)
+	if err != nil {
+		t.Fatalf("served presets do not fit the wire contract: %v", err)
+	}
+	if err := internal.Validate(); err != nil {
 		t.Errorf("served presets invalid: %v", err)
 	}
 }
 
 func TestHealthz(t *testing.T) {
-	ts := httptest.NewServer(NewServer(1).Handler())
-	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
+	_, cl := newTestServer(t, NewServer(1))
+	h, err := cl.Health(context.Background())
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
-	}
-	var h health
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
 	if h.Status != "ok" {
@@ -350,96 +294,116 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// TestFleetJobOverServerAPI drives a sharded campaign end to end through
-// the server: a client submits the scenario to POST /v1/fleet/jobs, an
-// etworker pull loop serves the shards over the same mux, and shard
-// progress plus the final result are readable from GET /v1/jobs/{id} (the
-// unified job endpoint falls through to fleet jobs).
-func TestFleetJobOverServerAPI(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs coupled-field ensembles")
-	}
-	ts := httptest.NewServer(NewServerWithOptions(1, 8, 5*time.Second).Handler())
-	defer ts.Close()
+// TestListPagination walks GET /v1/jobs with limit/cursor through the SDK:
+// newest first, stable page boundaries, empty cursor at the end.
+func TestListPagination(t *testing.T) {
+	ts, cl := newTestServer(t, NewServer(1))
+	ctx := context.Background()
 
-	s := scenario.Scenario{
-		Name: "mc-fleet",
-		Chip: scenario.ChipSpec{HMaxM: 0.8e-3},
-		Sim:  config.SimConfig{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
-		UQ: scenario.UQSpec{
-			Method: scenario.MethodMonteCarlo, Samples: 4, Seed: 9,
-			Shards: 2, ShardBlock: 2,
-		},
-	}
-	body, err := json.Marshal(s)
+	quick := &api.Batch{Scenarios: []api.Scenario{{
+		Name: "pair", Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}}, Sim: tinySim(),
+	}}}
+
+	// The first submission goes over raw HTTP to pin the 202 + Location
+	// contract the SDK abstracts away.
+	raw, err := json.Marshal(quick)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/fleet/jobs", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(raw))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var view fleet.JobView
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("fleet submit status %d", resp.StatusCode)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+	var first api.Job
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if view.Status != fleet.JobRunning || len(view.Shards) != 2 {
-		t.Fatalf("unexpected fleet job view: %+v", view)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != api.JobPath(first.ID) {
+		t.Errorf("Location header %q, want %q", loc, api.JobPath(first.ID))
+	}
+	if v := resp.Header.Get(api.VersionHeader); v != api.APIVersion {
+		t.Errorf("version header %q, want %q", v, api.APIVersion)
 	}
 
-	// Shard progress is visible on the unified job endpoint before any
-	// worker joins.
-	progress := getFleetJob(t, ts, view.ID)
-	if progress.ShardsDone != 0 || len(progress.Shards) != 2 {
-		t.Fatalf("initial shard progress: %+v", progress)
+	ids := []string{first.ID}
+	for i := 0; i < 4; i++ {
+		ids = append(ids, submitBatch(t, cl, quick).ID)
+	}
+	// Cancel everything immediately: pagination needs jobs, not results.
+	for _, id := range ids {
+		if _, err := cl.CancelJob(ctx, id); err != nil && !api.IsConflict(err) {
+			t.Fatalf("cancel %s: %v", id, err)
+		}
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	w := &fleet.Worker{BaseURL: ts.URL + "/v1/fleet", ID: "api-test", SampleWorkers: 2, Poll: 20 * time.Millisecond}
-	go func() { _ = w.Run(ctx) }()
-
-	deadline := time.Now().Add(3 * time.Minute)
-	var final fleet.JobView
+	var walked []string
+	cursor := ""
+	pages := 0
 	for {
-		final = getFleetJob(t, ts, view.ID)
-		if final.Status != fleet.JobRunning {
+		list, err := cl.ListJobs(ctx, client.ListJobsOptions{Limit: 2, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(list.Jobs) > 2 {
+			t.Fatalf("page holds %d jobs, limit is 2", len(list.Jobs))
+		}
+		for _, j := range list.Jobs {
+			walked = append(walked, j.ID)
+		}
+		pages++
+		if list.NextCursor == "" {
 			break
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("fleet job stuck: %+v", final)
+		cursor = list.NextCursor
+		if pages > 10 {
+			t.Fatal("cursor walk does not terminate")
 		}
-		time.Sleep(50 * time.Millisecond)
 	}
-	if final.Status != fleet.JobDone || final.Result == nil {
-		t.Fatalf("fleet job finished as %s (%s)", final.Status, final.Error)
+	if len(walked) != len(ids) {
+		t.Fatalf("walked %d jobs, submitted %d", len(walked), len(ids))
 	}
-	if final.ShardsDone != 2 || !final.Result.OK || final.Result.Shards != 2 {
-		t.Errorf("fleet result accounting: done=%d result=%+v", final.ShardsDone, final.Result)
+	// Newest first across page boundaries: the reverse of submission order.
+	for i, id := range walked {
+		if want := ids[len(ids)-1-i]; id != want {
+			t.Errorf("walk position %d: got %s, want %s", i, id, want)
+		}
 	}
-	if final.Result.Samples+final.Result.Failures != 4 {
-		t.Errorf("fleet campaign consumed %d samples, want 4", final.Result.Samples+final.Result.Failures)
+
+	// Bad pagination parameters are 400 problems.
+	for _, q := range []string{"?limit=0", "?limit=x", "?cursor=nope"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		problem := decodeProblem(t, resp)
+		if resp.StatusCode != http.StatusBadRequest || problem.Code != api.CodeValidation {
+			t.Errorf("%s: status %d code %q, want 400 %q", q, resp.StatusCode, problem.Code, api.CodeValidation)
+		}
 	}
 }
 
-// getFleetJob reads a fleet job view from the unified GET /v1/jobs/{id}.
-func getFleetJob(t *testing.T, ts *httptest.Server, id string) fleet.JobView {
+// decodeProblem reads a problem+json body, failing the test when the
+// response does not carry the uniform error envelope.
+func decodeProblem(t *testing.T, resp *http.Response) *api.Error {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
-	if err != nil {
-		t.Fatal(err)
-	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("fleet job %s: status %d", id, resp.StatusCode)
+	if ct := resp.Header.Get("Content-Type"); ct != api.ProblemContentType {
+		t.Errorf("%s %s: error content type %q, want %q",
+			resp.Request.Method, resp.Request.URL.Path, ct, api.ProblemContentType)
 	}
-	var v fleet.JobView
-	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
-		t.Fatal(err)
+	var e api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("error body is not problem json: %v", err)
 	}
-	return v
+	if e.Status != resp.StatusCode {
+		t.Errorf("problem status %d != HTTP status %d", e.Status, resp.StatusCode)
+	}
+	if e.Title == "" {
+		t.Error("problem has no title")
+	}
+	return &e
 }

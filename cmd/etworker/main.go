@@ -13,7 +13,8 @@
 //	etworker -server ... -sample-workers 4 -id gpu-3 # bound parallelism, name the worker
 //
 // The -server URL is the etserver root; the worker talks to its /v1/fleet
-// API. Checkpoints declared by a scenario land on the WORKER's filesystem
+// API through the public Go SDK (package client) — etworker itself carries
+// no HTTP plumbing. Checkpoints declared by a scenario land on the WORKER's filesystem
 // (one "<path>.shard-N" file per shard), so a restarted worker resumes its
 // shard instead of recomputing it.
 package main
@@ -24,10 +25,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
+	"etherm/client"
 	"etherm/internal/fleet"
 )
 
@@ -62,7 +63,7 @@ func run() error {
 	}
 
 	w := &fleet.Worker{
-		BaseURL:       strings.TrimSuffix(*server, "/") + "/v1/fleet",
+		Client:        client.New(*server),
 		ID:            name,
 		SampleWorkers: *sampleWorkers,
 		Poll:          *poll,

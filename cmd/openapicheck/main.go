@@ -1,0 +1,54 @@
+// Command openapicheck gates the committed OpenAPI description against
+// the authoritative route table of package api: it validates openapi.yaml
+// structurally (3.x version, info fields matching api.APIVersion, every
+// operation carrying responses) and diffs the spec's path/method surface
+// against api.Routes(). CI runs it via `make openapi-check`, so the spec,
+// the server mux (built from the same table) and the SDK cannot drift
+// apart silently.
+//
+// Usage:
+//
+//	openapicheck [-spec openapi.yaml]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"etherm/api"
+	"etherm/internal/openapi"
+)
+
+func main() {
+	spec := flag.String("spec", "openapi.yaml", "OpenAPI document to check")
+	flag.Parse()
+
+	if err := run(*spec); err != nil {
+		fmt.Fprintln(os.Stderr, "openapicheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("openapicheck: %s matches the %d-route %s surface\n",
+		*spec, len(api.Routes()), api.APIVersion)
+}
+
+func run(path string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	d, err := openapi.Parse(doc)
+	if err != nil {
+		return err
+	}
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if diff := d.Diff(api.Routes()); len(diff) != 0 {
+		for _, line := range diff {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+		return fmt.Errorf("%s drifted from api.Routes() (%d discrepancies)", path, len(diff))
+	}
+	return nil
+}

@@ -7,7 +7,8 @@
 // uncertain wire geometries.
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); the executables under cmd/ and the runnable walkthroughs under
-// examples/ are the public surface. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper.
+// inventory); the public surface is the versioned wire contract in package
+// api with its Go SDK in package client, the executables under cmd/, and
+// the runnable walkthroughs under examples/. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper.
 package etherm

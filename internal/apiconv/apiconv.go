@@ -1,0 +1,124 @@
+// Package apiconv converts between the public wire types of package api
+// and the engine's internal types. Conversions go through a strict JSON
+// round trip (marshal the source, decode into the destination with
+// unknown fields rejected), which makes the package double as the
+// conformance harness of the API contract: any field present on one side
+// but missing on the other fails the conversion — and the tests — instead
+// of silently dropping data.
+//
+// Float payloads survive the round trip bit-exactly (Go's encoder emits
+// the shortest decimal that parses back to the same float64), and the
+// serialized accumulator blocks of shard results are carried as raw JSON,
+// so a fleet campaign merged from converted results stays bit-identical to
+// a single-process run.
+package apiconv
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"etherm/api"
+	"etherm/internal/scenario"
+	"etherm/internal/uq"
+)
+
+// Strict converts src into dst by marshaling src and decoding the JSON
+// into dst with unknown fields rejected. src and dst must have the same
+// JSON shape; a field mismatch is an error, not data loss.
+func Strict(src, dst any) error {
+	data, err := json.Marshal(src)
+	if err != nil {
+		return fmt.Errorf("apiconv: encode %T: %w", src, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("apiconv: %T does not fit %T: %w", src, dst, err)
+	}
+	return nil
+}
+
+// ScenarioToInternal converts a wire scenario into the engine's type.
+func ScenarioToInternal(s *api.Scenario) (scenario.Scenario, error) {
+	var out scenario.Scenario
+	err := Strict(s, &out)
+	return out, err
+}
+
+// ScenarioToAPI converts an engine scenario into its wire form.
+func ScenarioToAPI(s scenario.Scenario) (api.Scenario, error) {
+	var out api.Scenario
+	err := Strict(s, &out)
+	return out, err
+}
+
+// BatchToInternal converts a wire batch into the engine's type.
+func BatchToInternal(b *api.Batch) (*scenario.Batch, error) {
+	var out scenario.Batch
+	if err := Strict(b, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BatchToAPI converts an engine batch into its wire form.
+func BatchToAPI(b *scenario.Batch) (*api.Batch, error) {
+	var out api.Batch
+	if err := Strict(b, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// BatchResultToAPI converts a batch manifest into its wire form.
+func BatchResultToAPI(r *scenario.BatchResult) (*api.BatchResult, error) {
+	var out api.BatchResult
+	if err := Strict(r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ScenarioResultToInternal converts a wire scenario result back into the
+// engine's type (used by tests comparing fleet results bit-for-bit).
+func ScenarioResultToInternal(r *api.ScenarioResult) (*scenario.ScenarioResult, error) {
+	var out scenario.ScenarioResult
+	if err := Strict(r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PlanToAPI converts a shard plan into its wire form.
+func PlanToAPI(p *uq.ShardPlan) (*api.ShardPlan, error) {
+	if p == nil {
+		return nil, nil
+	}
+	var out api.ShardPlan
+	if err := Strict(p, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardResultToAPI converts a computed shard result into its wire form;
+// the per-block accumulator state is serialized once here and travels as
+// raw JSON from then on.
+func ShardResultToAPI(r *uq.ShardResult) (*api.ShardResult, error) {
+	var out api.ShardResult
+	if err := Strict(r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ShardResultToInternal decodes a wire shard result (its raw accumulator
+// blocks included) into the engine's type, rejecting unknown fields.
+func ShardResultToInternal(r *api.ShardResult) (*uq.ShardResult, error) {
+	var out uq.ShardResult
+	if err := Strict(r, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,226 @@
+package apiconv
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"etherm/api"
+	"etherm/internal/config"
+	"etherm/internal/scenario"
+	"etherm/internal/uq"
+)
+
+// fullScenario populates every field of the internal scenario declaration
+// with a non-zero value, so a wire field missing on either side fails the
+// strict round trip instead of hiding behind omitempty.
+func fullScenario() scenario.Scenario {
+	rho, htc, emis := 0.5, 25.0, 0.4
+	return scenario.Scenario{
+		Name:        "full",
+		Description: "conformance fixture",
+		Chip: scenario.ChipSpec{
+			Preset:         "date16",
+			DriveVoltageV:  0.04,
+			DriveScale:     1.2,
+			HMaxM:          0.8e-3,
+			WireSegments:   7,
+			WireDiameterM:  25e-6,
+			WireMaterial:   "gold",
+			MeanElongation: 0.2,
+			ActivePairs:    []int{0, 2},
+			HTC:            &htc,
+			Emissivity:     &emis,
+			AmbientK:       300,
+		},
+		Sim: config.SimConfig{
+			EndTimeS: 10, NumSteps: 4, Coupling: "weak", Nonlinear: "newton",
+			Integrator: "bdf2", Joule: "edge-split", LinTol: 1e-10,
+			Precond: "ic0", PrecondOmega: 0.9, PrecondRefresh: 1.5, SolverWorkers: 2,
+		},
+		UQ: scenario.UQSpec{
+			Method: scenario.MethodMonteCarlo, Samples: 8, Level: 0, Seed: 3,
+			Rho: &rho, MeanDelta: 0.17, StdDelta: 0.048, CriticalK: 523,
+			Stream: true, MaxSamples: 8, TargetSE: 0.1, TargetCI: 0.01,
+			Checkpoint: "cp.json", CheckpointEvery: 4,
+			Shards: 2, ShardBlock: 4,
+		},
+	}
+}
+
+// fullScenarioResult populates every field of the internal result.
+func fullScenarioResult() *scenario.ScenarioResult {
+	cross, cross6, failP := 12.5, 9.25, 0.125
+	return &scenario.ScenarioResult{
+		Index: 3, Name: "full", Description: "conformance fixture",
+		OK: true, Error: "isolated failure text", CacheHit: true, ElapsedS: 1.5,
+		GridNodes: 1024, NumWires: 12, Method: scenario.MethodMonteCarlo,
+		Samples: 8, Failures: 1, Evaluations: 5,
+		Streamed: true, StopReason: "budget", RequestedSamples: 8, Shards: 2,
+		HotWire: 4, HotWireName: "w5", HotWireSide: "left",
+		TEndMaxK: 450.5, SigmaK: 3.25, ErrorMCK: 1.125,
+		TCritK: 523, CrossMeanS: &cross, Cross6SigS: &cross6,
+		ExceedProb: 0.0625, FailProbEmp: &failP, TObsMaxK: 533.5,
+		DamageHot: 0.5, PTotalEndW: 2.25,
+		TimesS: []float64{0, 1}, HotMeanK: []float64{300, 400.0625}, HotSigmaK: []float64{0, 1.5},
+	}
+}
+
+// TestScenarioShapeConformance pins the wire shape of scenario
+// declarations field-for-field in both directions.
+func TestScenarioShapeConformance(t *testing.T) {
+	in := fullScenario()
+	wire, err := ScenarioToAPI(in)
+	if err != nil {
+		t.Fatalf("internal scenario does not fit api.Scenario: %v", err)
+	}
+	back, err := ScenarioToInternal(&wire)
+	if err != nil {
+		t.Fatalf("api.Scenario does not fit internal scenario: %v", err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("scenario round trip not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestBatchShapeConformance covers the batch envelope plus a fully
+// populated api-side construction decoding into the engine's validator.
+func TestBatchShapeConformance(t *testing.T) {
+	in := &scenario.Batch{
+		Name: "b", Workers: 2, SampleWorkers: 3,
+		Scenarios: []scenario.Scenario{fullScenario()},
+	}
+	wire, err := BatchToAPI(in)
+	if err != nil {
+		t.Fatalf("internal batch does not fit api.Batch: %v", err)
+	}
+	back, err := BatchToInternal(wire)
+	if err != nil {
+		t.Fatalf("api.Batch does not fit internal batch: %v", err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("batch round trip not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+	// The api.Batch marshal must parse through the server's strict parser.
+	data, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scenario.ParseBatch(data); err != nil {
+		t.Errorf("api.Batch rejected by scenario.ParseBatch: %v", err)
+	}
+}
+
+// TestResultShapeConformance pins scenario/batch results.
+func TestResultShapeConformance(t *testing.T) {
+	in := &scenario.BatchResult{
+		Name:      "b",
+		Scenarios: []*scenario.ScenarioResult{fullScenarioResult()},
+		Workers:   2, SampleWorkers: 3,
+		CacheHits: 4, CacheMisses: 5, CacheEntries: 6, FailedCount: 1, ElapsedS: 2.5,
+	}
+	wire, err := BatchResultToAPI(in)
+	if err != nil {
+		t.Fatalf("internal batch result does not fit api.BatchResult: %v", err)
+	}
+	back, err := ScenarioResultToInternal(wire.Scenarios[0])
+	if err != nil {
+		t.Fatalf("api.ScenarioResult does not fit internal result: %v", err)
+	}
+	a, _ := json.Marshal(in.Scenarios[0])
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("scenario result round trip not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestShardResultBitIdentity runs a real (synthetic) shard, round-trips
+// its result through the wire form twice — exactly what worker → client →
+// coordinator does — and requires the merged campaign state to be
+// bit-identical to merging the original results.
+func TestShardResultBitIdentity(t *testing.T) {
+	dists := []uq.Dist{uq.Uniform{Lo: 0, Hi: 1}, uq.Uniform{Lo: 0, Hi: 1}}
+	factory := uq.SingleFactory(affineModel{})
+	plan, err := uq.PlanShards(48, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := uq.PseudoRandom{D: 2, Seed: 11}
+	opt := uq.ShardOptions{Workers: 2, Threshold: 0.75, Tag: "conv"}
+
+	var direct, viaWire []*uq.ShardResult
+	for k := 0; k < plan.NumShards; k++ {
+		res, err := uq.RunShard(context.Background(), factory, dists, sampler, plan, k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct = append(direct, res)
+
+		wire, err := ShardResultToAPI(res)
+		if err != nil {
+			t.Fatalf("shard result does not fit api.ShardResult: %v", err)
+		}
+		// Simulate the HTTP hop: marshal the api form and decode it again.
+		data, err := json.Marshal(api.ShardResultRequest{LeaseID: "lease-1", Result: wire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var req api.ShardResultRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ShardResultToInternal(req.Result)
+		if err != nil {
+			t.Fatalf("api.ShardResult does not fit internal result: %v", err)
+		}
+		viaWire = append(viaWire, back)
+	}
+
+	a, err := uq.MergeShards(plan, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := uq.MergeShards(plan, viaWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a.Stats)
+	bj, _ := json.Marshal(b.Stats)
+	if string(aj) != string(bj) {
+		t.Errorf("merged campaign state differs after wire round trip:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestPlanConversion covers the shard plan mirror.
+func TestPlanConversion(t *testing.T) {
+	p, err := uq.PlanShards(100, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := PlanToAPI(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.MaxSamples != 100 || wire.BlockSize != 8 || wire.NumShards != 4 {
+		t.Errorf("plan conversion lost fields: %+v", wire)
+	}
+	if nilPlan, err := PlanToAPI(nil); err != nil || nilPlan != nil {
+		t.Errorf("nil plan should convert to nil, got %+v (%v)", nilPlan, err)
+	}
+}
+
+// affineModel is a cheap two-input model for shard fixtures.
+type affineModel struct{}
+
+func (affineModel) Dim() int        { return 2 }
+func (affineModel) NumOutputs() int { return 3 }
+func (affineModel) Eval(p, out []float64) error {
+	for j := range out {
+		out[j] = p[0] + float64(j+1)*p[1]
+	}
+	return nil
+}

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +9,9 @@ import (
 	"testing"
 	"time"
 
+	"etherm/api"
+	"etherm/client"
+	"etherm/internal/apiconv"
 	"etherm/internal/config"
 	"etherm/internal/scenario"
 	"etherm/internal/uq"
@@ -72,15 +74,16 @@ func TestFleetEndToEndOverHTTP(t *testing.T) {
 
 	coord := NewCoordinator(nil, 5*time.Second)
 	mux := http.NewServeMux()
-	coord.Register(mux, "/v1/fleet")
+	coord.Register(mux, api.FleetPrefix)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
+	cl := client.New(srv.URL)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	for i := 0; i < 2; i++ {
 		w := &Worker{
-			BaseURL:       srv.URL + "/v1/fleet",
+			Client:        cl,
 			ID:            "test-worker",
 			SampleWorkers: 2,
 			Poll:          20 * time.Millisecond,
@@ -88,14 +91,13 @@ func TestFleetEndToEndOverHTTP(t *testing.T) {
 		go func() { _ = w.Run(ctx) }()
 	}
 
-	// Submit over the wire, exactly as a client would.
-	body, _ := json.Marshal(s)
-	resp, err := http.Post(srv.URL+"/v1/fleet/jobs", "application/json", bytes.NewReader(body))
+	// Submit over the wire through the SDK, exactly as a client would.
+	ws, err := apiconv.ScenarioToAPI(s)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var view JobView
-	if err := decodeOrError(resp, &view); err != nil {
+	view, err := cl.SubmitFleetJob(ctx, &ws)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(view.Shards) != 3 {
@@ -121,17 +123,21 @@ func TestFleetEndToEndOverHTTP(t *testing.T) {
 		t.Errorf("fleet result differs from single-process run:\n%s\nvs\n%s", got, want)
 	}
 
-	// Shard progress is readable over the wire too.
-	resp, err = http.Get(srv.URL + "/v1/fleet/jobs/" + view.ID)
+	// Shard progress is readable over the wire too, and the wire result —
+	// round-tripped through the public api types — stays bit-identical.
+	wire, err := cl.GetFleetJob(ctx, view.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var wire JobView
-	if err := decodeOrError(resp, &wire); err != nil {
+	if wire.Status != api.JobDone || wire.Result == nil {
+		t.Fatalf("GET job view incomplete: %+v", wire.Status)
+	}
+	back, err := apiconv.ScenarioResultToInternal(wire.Result)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if wire.Status != JobDone || wire.Result == nil {
-		t.Errorf("GET job view incomplete: %+v", wire.Status)
+	if got := canonical(t, back); got != want {
+		t.Errorf("wire fleet result differs from single-process run:\n%s\nvs\n%s", got, want)
 	}
 }
 

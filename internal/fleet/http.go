@@ -3,79 +3,80 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 
-	"etherm/internal/scenario"
-	"etherm/internal/uq"
+	"etherm/api"
+	"etherm/internal/apiconv"
 )
 
 // maxBodyBytes bounds worker/client request bodies (shard results carry
 // O(blocks × outputs) accumulator state, far below this).
 const maxBodyBytes = 64 << 20
 
-// Wire bodies of the worker-facing endpoints.
-type (
-	// LeaseRequest asks for a shard assignment.
-	LeaseRequest struct {
-		Worker string `json:"worker"`
-	}
-	// HeartbeatRequest extends a lease.
-	HeartbeatRequest struct {
-		LeaseID string `json:"lease_id"`
-	}
-	// ResultRequest posts a completed shard under a lease.
-	ResultRequest struct {
-		LeaseID string          `json:"lease_id"`
-		Result  *uq.ShardResult `json:"result"`
-	}
-	// FailRequest reports a failed shard attempt under a lease.
-	FailRequest struct {
-		LeaseID string `json:"lease_id"`
-		Error   string `json:"error"`
-	}
-)
-
-// apiError is the uniform error body of the fleet API.
-type apiError struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
+// readJSON decodes a request body into v, writing the problem+json error
+// itself when the body is oversized or malformed.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
 		return false
 	}
 	if len(body) > maxBodyBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{"request body exceeds the size limit"})
+		api.WriteError(w, r, api.NewError(http.StatusRequestEntityTooLarge, api.CodeTooLarge,
+			"request body exceeds the size limit"))
 		return false
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
 		return false
 	}
 	return true
 }
 
-// Register mounts the coordinator's HTTP API on mux under prefix (e.g.
-// "/v1/fleet"):
+// ViewToAPI converts a coordinator job view into its wire form.
+func ViewToAPI(v *JobView) (*api.FleetJob, error) {
+	var out api.FleetJob
+	if err := apiconv.Strict(v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// leaseToAPI converts a shard assignment into its wire form.
+func leaseToAPI(a *Assignment) (*api.FleetLease, error) {
+	var out api.FleetLease
+	if err := apiconv.Strict(a, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// writeView renders a job view, or a 500 problem when it does not fit the
+// wire contract (a conformance bug, caught by tests).
+func writeView(w http.ResponseWriter, r *http.Request, status int, v *JobView) {
+	out, err := ViewToAPI(v)
+	if err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal, err.Error()))
+		return
+	}
+	api.WriteJSON(w, status, out)
+}
+
+// Register mounts the coordinator's HTTP API on mux under prefix
+// (api.FleetPrefix in production):
 //
-//	POST   {prefix}/jobs        submit a sharded scenario  → 202 JobView
-//	GET    {prefix}/jobs        list fleet jobs            → 200 [JobView]
-//	GET    {prefix}/jobs/{id}   job + shard progress       → 200 JobView
+//	POST   {prefix}/jobs        submit a sharded scenario  → 202 api.FleetJob
+//	GET    {prefix}/jobs        list fleet jobs            → 200 [api.FleetJob]
+//	GET    {prefix}/jobs/{id}   job + shard progress       → 200 api.FleetJob
 //	DELETE {prefix}/jobs/{id}   cancel a running job       → 202 | 404 | 409
-//	POST   {prefix}/lease       request a shard            → 200 Assignment | 204
+//	POST   {prefix}/lease       request a shard            → 200 api.FleetLease | 204
 //	POST   {prefix}/heartbeat   keep a lease alive         → 204 | 410 gone
 //	POST   {prefix}/result      post a shard result        → 204 | 410 | 422
 //	POST   {prefix}/fail        report a shard failure     → 204 | 410
+//
+// Errors are RFC-9457 problem+json bodies (api.Error); the lease-lost
+// condition carries api.CodeLeaseLost so workers can abandon their shard.
 func (c *Coordinator) Register(mux *http.ServeMux, prefix string) {
 	mux.HandleFunc("POST "+prefix+"/jobs", c.handleSubmit)
 	mux.HandleFunc("GET "+prefix+"/jobs", c.handleList)
@@ -88,47 +89,62 @@ func (c *Coordinator) Register(mux *http.ServeMux, prefix string) {
 }
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var s scenario.Scenario
-	if !readJSON(w, r, &s) {
+	var ws api.Scenario
+	if !readJSON(w, r, &ws) {
+		return
+	}
+	s, err := apiconv.ScenarioToInternal(&ws)
+	if err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
 		return
 	}
 	v, err := c.Submit(s)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, err.Error()))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, v)
+	writeView(w, r, http.StatusAccepted, v)
 }
 
 func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, c.Jobs())
+	views := c.Jobs()
+	out := make([]*api.FleetJob, 0, len(views))
+	for _, v := range views {
+		fj, err := ViewToAPI(v)
+		if err != nil {
+			api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal, err.Error()))
+			return
+		}
+		out = append(out, fj)
+	}
+	api.WriteJSON(w, http.StatusOK, out)
 }
 
 func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	v, ok := c.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such fleet job"})
+		api.WriteError(w, r, api.NewError(http.StatusNotFound, api.CodeNotFound, "no such fleet job"))
 		return
 	}
-	writeJSON(w, http.StatusOK, v)
+	writeView(w, r, http.StatusOK, v)
 }
 
 func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := c.Job(id); !ok {
-		writeJSON(w, http.StatusNotFound, apiError{"no such fleet job"})
+		api.WriteError(w, r, api.NewError(http.StatusNotFound, api.CodeNotFound, "no such fleet job"))
 		return
 	}
 	if err := c.Cancel(id); err != nil {
-		writeJSON(w, http.StatusConflict, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusConflict, api.CodeConflict, err.Error()))
 		return
 	}
 	v, _ := c.Job(id)
-	writeJSON(w, http.StatusAccepted, v)
+	writeView(w, r, http.StatusAccepted, v)
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
-	var req LeaseRequest
+	var req api.LeaseRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
@@ -137,66 +153,60 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	writeJSON(w, http.StatusOK, a)
+	lease, err := leaseToAPI(a)
+	if err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusInternalServerError, api.CodeInternal, err.Error()))
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, lease)
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
-	var req HeartbeatRequest
+	var req api.HeartbeatRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
 	if err := c.Heartbeat(req.LeaseID); err != nil {
-		writeJSON(w, http.StatusGone, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusGone, api.CodeLeaseLost, err.Error()))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
-	var req ResultRequest
+	var req api.ShardResultRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	err := c.Complete(req.LeaseID, req.Result)
+	if req.Result == nil {
+		api.WriteError(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation,
+			"result request carries no shard result"))
+		return
+	}
+	res, err := apiconv.ShardResultToInternal(req.Result)
+	if err != nil {
+		api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeInvalidBody, err.Error()))
+		return
+	}
+	err = c.Complete(req.LeaseID, res)
 	switch {
 	case errors.Is(err, ErrLeaseLost):
-		writeJSON(w, http.StatusGone, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusGone, api.CodeLeaseLost, err.Error()))
 	case err != nil:
-		writeJSON(w, http.StatusUnprocessableEntity, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusUnprocessableEntity, api.CodeValidation, err.Error()))
 	default:
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
 
 func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
-	var req FailRequest
+	var req api.ShardFailRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
 	if err := c.Fail(req.LeaseID, req.Error); err != nil {
-		writeJSON(w, http.StatusGone, apiError{err.Error()})
+		api.WriteError(w, r, api.NewError(http.StatusGone, api.CodeLeaseLost, err.Error()))
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// decodeOrError decodes a JSON response body into v, translating non-2xx
-// statuses into errors (410 maps to ErrLeaseLost). Used by the worker
-// client.
-func decodeOrError(resp *http.Response, v any) error {
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusGone {
-		return ErrLeaseLost
-	}
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var e apiError
-		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("fleet: %s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("fleet: unexpected status %s", resp.Status)
-	}
-	if v == nil || resp.StatusCode == http.StatusNoContent {
-		return nil
-	}
-	return json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(v)
 }

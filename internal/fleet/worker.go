@@ -1,32 +1,32 @@
 package fleet
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"time"
 
+	"etherm/api"
+	"etherm/client"
+	"etherm/internal/apiconv"
 	"etherm/internal/scenario"
 )
 
 // Worker is the pull loop of an etworker process: lease a shard from the
 // coordinator, run it through the scenario engine's shard entry point while
-// heartbeating the lease, and post back the serialized result. When the
-// heartbeat reports the lease lost (the coordinator presumed this worker
-// dead and re-leased the shard), the shard run is canceled and its result
-// discarded — the re-leased copy is bit-identical, so exactly-once merging
-// is preserved by the coordinator's stale-lease rejection.
+// heartbeating the lease, and post back the serialized result. All wire
+// traffic goes through the public Go SDK (package client) — the worker
+// carries no HTTP plumbing of its own. When the heartbeat reports the
+// lease lost (the coordinator presumed this worker dead and re-leased the
+// shard), the shard run is canceled and its result discarded — the
+// re-leased copy is bit-identical, so exactly-once merging is preserved by
+// the coordinator's stale-lease rejection.
 type Worker struct {
-	// BaseURL is the coordinator's fleet API root, e.g.
-	// "http://host:8080/v1/fleet".
-	BaseURL string
+	// Client talks to the coordinator's etserver (required), e.g.
+	// client.New("http://host:8080").
+	Client *client.Client
 	// ID names the worker in leases (for progress display and debugging).
 	ID string
-	// Client is the HTTP client (nil = http.DefaultClient).
-	Client *http.Client
 	// SampleWorkers bounds parallel model evaluations inside a shard
 	// (0 = GOMAXPROCS).
 	SampleWorkers int
@@ -43,71 +43,29 @@ type Worker struct {
 // DefaultPoll is the idle re-poll interval of a worker.
 const DefaultPoll = 2 * time.Second
 
-func (w *Worker) client() *http.Client {
-	if w.Client != nil {
-		return w.Client
-	}
-	return http.DefaultClient
-}
-
 func (w *Worker) logf(format string, args ...any) {
 	if w.Logf != nil {
 		w.Logf(format, args...)
 	}
 }
 
-// post sends a JSON body and decodes the JSON response (out may be nil).
-func (w *Worker) post(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return err
-	}
-	return decodeOrError(resp, out)
-}
-
-// lease asks for work; ok=false means no shard is currently available.
-func (w *Worker) lease(ctx context.Context) (*Assignment, bool, error) {
-	body, err := json.Marshal(LeaseRequest{Worker: w.ID})
-	if err != nil {
-		return nil, false, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+"/lease", bytes.NewReader(body))
-	if err != nil {
-		return nil, false, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return nil, false, err
-	}
-	if resp.StatusCode == http.StatusNoContent {
-		resp.Body.Close()
-		return nil, false, nil
-	}
-	var a Assignment
-	if err := decodeOrError(resp, &a); err != nil {
-		return nil, false, err
-	}
-	return &a, true, nil
-}
-
 // RunOnce leases and runs at most one shard. It returns worked=false when
 // the coordinator had no work.
 func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
-	a, ok, err := w.lease(ctx)
+	a, ok, err := w.Client.Lease(ctx, w.ID)
 	if err != nil || !ok {
 		return false, err
 	}
 	w.logf("worker %s: leased shard %d of %s [%d samples]", w.ID, a.Shard, a.JobID, a.Plan.MaxSamples)
+
+	scen, err := apiconv.ScenarioToInternal(&a.Scenario)
+	if err != nil {
+		// The assignment does not fit the contract: report and move on.
+		if ferr := w.failShard(ctx, a, err); ferr != nil {
+			return true, ferr
+		}
+		return true, nil
+	}
 
 	// Heartbeat in the background; cancel the shard when the lease is lost.
 	shardCtx, cancel := context.WithCancelCause(ctx)
@@ -126,7 +84,7 @@ func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
 			case <-shardCtx.Done():
 				return
 			case <-t.C:
-				if err := w.post(shardCtx, "/heartbeat", HeartbeatRequest{LeaseID: a.LeaseID}, nil); errors.Is(err, ErrLeaseLost) {
+				if err := w.Client.Heartbeat(shardCtx, a.LeaseID); api.IsLeaseLost(err) {
 					cancel(ErrLeaseLost)
 					return
 				}
@@ -139,7 +97,7 @@ func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
 		cache = scenario.NewCache()
 		w.Cache = cache
 	}
-	res, runErr := scenario.RunShard(shardCtx, cache, a.Scenario, a.Shard, w.SampleWorkers)
+	res, runErr := scenario.RunShard(shardCtx, cache, scen, a.Shard, w.SampleWorkers)
 	cancel(nil)
 	<-hbDone
 	if errors.Is(context.Cause(shardCtx), ErrLeaseLost) {
@@ -147,14 +105,20 @@ func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
 		return true, nil // the shard was re-leased elsewhere; not a worker error
 	}
 	if runErr != nil {
-		w.logf("worker %s: shard %d of %s failed: %v", w.ID, a.Shard, a.JobID, runErr)
-		if ferr := w.post(ctx, "/fail", FailRequest{LeaseID: a.LeaseID, Error: runErr.Error()}, nil); ferr != nil && !errors.Is(ferr, ErrLeaseLost) {
+		if ferr := w.failShard(ctx, a, runErr); ferr != nil {
 			return true, ferr
 		}
 		return true, nil
 	}
-	if err := w.post(ctx, "/result", ResultRequest{LeaseID: a.LeaseID, Result: res}, nil); err != nil {
-		if errors.Is(err, ErrLeaseLost) {
+	wireRes, err := apiconv.ShardResultToAPI(res)
+	if err != nil {
+		if ferr := w.failShard(ctx, a, err); ferr != nil {
+			return true, ferr
+		}
+		return true, nil
+	}
+	if err := w.Client.PostShardResult(ctx, a.LeaseID, wireRes); err != nil {
+		if api.IsLeaseLost(err) {
 			w.logf("worker %s: result for shard %d of %s arrived after lease expiry; discarded", w.ID, a.Shard, a.JobID)
 			return true, nil
 		}
@@ -164,12 +128,22 @@ func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
 	return true, nil
 }
 
+// failShard reports a failed shard attempt; a lost lease is not an error
+// (the shard was re-leased elsewhere).
+func (w *Worker) failShard(ctx context.Context, a *api.FleetLease, cause error) error {
+	w.logf("worker %s: shard %d of %s failed: %v", w.ID, a.Shard, a.JobID, cause)
+	if err := w.Client.FailShard(ctx, a.LeaseID, cause.Error()); err != nil && !api.IsLeaseLost(err) {
+		return err
+	}
+	return nil
+}
+
 // Run pulls and executes shards until the context is canceled, sleeping
 // Poll between idle polls. Transient errors (coordinator restarts, network
 // blips) are logged and retried.
 func (w *Worker) Run(ctx context.Context) error {
-	if w.BaseURL == "" {
-		return fmt.Errorf("fleet: worker needs a coordinator base URL")
+	if w.Client == nil {
+		return fmt.Errorf("fleet: worker needs a coordinator client")
 	}
 	poll := w.Poll
 	if poll <= 0 {

@@ -1,0 +1,197 @@
+// Package openapi is a purpose-built reader for the repo's openapi.yaml:
+// enough structural YAML to validate the document and extract its
+// path/method surface, with zero dependencies (the toolchain bakes in no
+// YAML parser). It understands the subset the spec is written in — block
+// mappings with two-space indentation and quoted or plain scalar keys —
+// which cmd/openapicheck then diffs against the authoritative route table
+// api.Routes().
+package openapi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"etherm/api"
+)
+
+// methods recognized as OpenAPI operations.
+var methods = map[string]bool{
+	"get": true, "put": true, "post": true, "delete": true,
+	"options": true, "head": true, "patch": true, "trace": true,
+}
+
+// line is one significant (non-blank, non-comment) YAML line.
+type line struct {
+	num    int
+	indent int
+	key    string // "" when the line is not a "key:"-shaped mapping entry
+	value  string
+}
+
+// parseLines splits the document into significant lines with indentation.
+func parseLines(doc []byte) []line {
+	var out []line
+	for i, raw := range strings.Split(string(doc), "\n") {
+		trimmed := strings.TrimRight(raw, " \t\r")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" || strings.HasPrefix(body, "#") {
+			continue
+		}
+		l := line{num: i + 1, indent: len(trimmed) - len(body)}
+		if k, v, ok := splitKey(body); ok {
+			l.key, l.value = k, v
+		} else {
+			l.value = body
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// splitKey parses a `key:` or `key: value` line, unquoting the key.
+// List items ("- …") and flow scalars are not mapping keys.
+func splitKey(body string) (key, value string, ok bool) {
+	if strings.HasPrefix(body, "- ") || body == "-" {
+		return "", "", false
+	}
+	idx := strings.Index(body, ":")
+	if idx < 0 {
+		return "", "", false
+	}
+	if rest := body[idx+1:]; rest != "" && !strings.HasPrefix(rest, " ") {
+		return "", "", false // "urn:etherm:…"-style scalar, not a key
+	}
+	key = strings.TrimSpace(body[:idx])
+	if len(key) >= 2 {
+		for _, q := range []string{`"`, `'`} {
+			if strings.HasPrefix(key, q) && strings.HasSuffix(key, q) {
+				key = key[1 : len(key)-1]
+				break
+			}
+		}
+	}
+	if key == "" {
+		return "", "", false
+	}
+	return key, strings.TrimSpace(body[idx+1:]), true
+}
+
+// Document is the validated surface of the spec.
+type Document struct {
+	OpenAPI string // the "openapi" version scalar
+	Title   string // info.title
+	Version string // info.version
+	Routes  []api.Route
+	// missingResponses lists operations without a responses section.
+	missingResponses []string
+}
+
+// Parse reads the spec and extracts its structure.
+func Parse(doc []byte) (*Document, error) {
+	d := &Document{}
+	lines := parseLines(doc)
+	section := ""     // current top-level key
+	currentPath := "" // current path under paths:
+	currentOp := ""   // current method under the path
+	opResponses := false
+	flushOp := func() {
+		if currentOp != "" && !opResponses {
+			d.missingResponses = append(d.missingResponses,
+				strings.ToUpper(currentOp)+" "+currentPath)
+		}
+		currentOp, opResponses = "", false
+	}
+	for _, l := range lines {
+		switch {
+		case l.indent == 0 && l.key != "":
+			flushOp()
+			section = l.key
+			currentPath = ""
+			switch l.key {
+			case "openapi":
+				d.OpenAPI = l.value
+			}
+		case section == "info" && l.indent == 2 && l.key == "title":
+			d.Title = l.value
+		case section == "info" && l.indent == 2 && l.key == "version":
+			d.Version = l.value
+		case section == "paths" && l.indent == 2 && l.key != "":
+			flushOp()
+			if !strings.HasPrefix(l.key, "/") {
+				return nil, fmt.Errorf("openapi.yaml:%d: path %q does not start with /", l.num, l.key)
+			}
+			currentPath = l.key
+		case section == "paths" && l.indent == 4 && l.key != "" && currentPath != "":
+			flushOp()
+			if !methods[l.key] {
+				return nil, fmt.Errorf("openapi.yaml:%d: %q is not an HTTP method", l.num, l.key)
+			}
+			currentOp = l.key
+			d.Routes = append(d.Routes, api.Route{
+				Method:  strings.ToUpper(l.key),
+				Pattern: currentPath,
+			})
+		case section == "paths" && l.indent == 6 && l.key == "responses" && currentOp != "":
+			opResponses = true
+		}
+	}
+	flushOp()
+	return d, nil
+}
+
+// Validate checks the structural invariants of the spec.
+func (d *Document) Validate() error {
+	if !strings.HasPrefix(d.OpenAPI, "3.") {
+		return fmt.Errorf("openapi version %q is not 3.x", d.OpenAPI)
+	}
+	if d.Title == "" {
+		return fmt.Errorf("info.title is missing")
+	}
+	if d.Version == "" {
+		return fmt.Errorf("info.version is missing")
+	}
+	if d.Version != api.APIVersion {
+		return fmt.Errorf("info.version %q does not match api.APIVersion %q", d.Version, api.APIVersion)
+	}
+	if len(d.Routes) == 0 {
+		return fmt.Errorf("spec declares no paths")
+	}
+	seen := map[string]bool{}
+	for _, r := range d.Routes {
+		if seen[r.String()] {
+			return fmt.Errorf("duplicate operation %s", r)
+		}
+		seen[r.String()] = true
+	}
+	if len(d.missingResponses) > 0 {
+		return fmt.Errorf("operations without responses: %s", strings.Join(d.missingResponses, ", "))
+	}
+	return nil
+}
+
+// Diff compares the spec's routes against a served route table and returns
+// human-readable discrepancies (empty when the surfaces match).
+func (d *Document) Diff(served []api.Route) []string {
+	spec := map[string]bool{}
+	for _, r := range d.Routes {
+		spec[r.String()] = true
+	}
+	srv := map[string]bool{}
+	for _, r := range served {
+		srv[r.String()] = true
+	}
+	var out []string
+	for key := range srv {
+		if !spec[key] {
+			out = append(out, fmt.Sprintf("served but not in openapi.yaml: %s", key))
+		}
+	}
+	for key := range spec {
+		if !srv[key] {
+			out = append(out, fmt.Sprintf("in openapi.yaml but not served: %s", key))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

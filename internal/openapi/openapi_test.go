@@ -1,0 +1,137 @@
+package openapi
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"etherm/api"
+)
+
+// minimalSpec is a hand-rolled fixture exercising quoted path keys,
+// comments and scalar values containing colons.
+const minimalSpec = `# comment
+openapi: 3.0.3
+info:
+  title: t
+  description: >
+    folded text with a colon: inside
+  version: v1
+paths:
+  /healthz:
+    get:
+      summary: health
+      responses:
+        "200":
+          description: ok
+  "/v1/things/{id}":
+    get:
+      responses:
+        "200":
+          description: thing
+    delete:
+      responses:
+        "202":
+          description: urn:example:scalar-with-colons
+components:
+  schemas:
+    Thing:
+      type: object
+`
+
+func TestParseMinimalSpec(t *testing.T) {
+	d, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.OpenAPI != "3.0.3" || d.Title != "t" || d.Version != "v1" {
+		t.Errorf("header fields wrong: %+v", d)
+	}
+	want := []api.Route{
+		{Method: "GET", Pattern: "/healthz"},
+		{Method: "GET", Pattern: "/v1/things/{id}"},
+		{Method: "DELETE", Pattern: "/v1/things/{id}"},
+	}
+	if len(d.Routes) != len(want) {
+		t.Fatalf("routes %+v, want %+v", d.Routes, want)
+	}
+	for i, r := range want {
+		if d.Routes[i] != r {
+			t.Errorf("route %d: %+v, want %+v", i, d.Routes[i], r)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("minimal spec invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingResponses(t *testing.T) {
+	spec := strings.Replace(minimalSpec, "    get:\n      summary: health\n      responses:\n        \"200\":\n          description: ok\n",
+		"    get:\n      summary: health\n", 1)
+	d, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "without responses") {
+		t.Errorf("missing responses not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBadVersion(t *testing.T) {
+	d, err := Parse([]byte(strings.Replace(minimalSpec, "version: v1", "version: v2", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil || !strings.Contains(err.Error(), "APIVersion") {
+		t.Errorf("version mismatch not caught: %v", err)
+	}
+}
+
+func TestParseRejectsBadMethod(t *testing.T) {
+	if _, err := Parse([]byte("openapi: 3.0.3\npaths:\n  /x:\n    fetch:\n      responses:\n        \"200\":\n          description: d\n")); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := Parse([]byte("openapi: 3.0.3\npaths:\n  no-slash:\n    get:\n      responses:\n        \"200\":\n          description: d\n")); err == nil {
+		t.Error("path without leading slash accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := []api.Route{
+		{Method: "GET", Pattern: "/healthz"},
+		{Method: "GET", Pattern: "/v1/things/{id}"},
+		{Method: "POST", Pattern: "/v1/things"},
+	}
+	diff := d.Diff(served)
+	if len(diff) != 2 {
+		t.Fatalf("diff %v, want two discrepancies", diff)
+	}
+	if !strings.Contains(diff[0], "DELETE /v1/things/{id}") || !strings.Contains(diff[1], "POST /v1/things") {
+		t.Errorf("diff content wrong: %v", diff)
+	}
+}
+
+// TestCommittedSpecMatchesContract is the openapi-check gate as a unit
+// test: the committed openapi.yaml must validate and describe exactly
+// api.Routes().
+func TestCommittedSpecMatchesContract(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "openapi.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("committed spec invalid: %v", err)
+	}
+	if diff := d.Diff(api.Routes()); len(diff) != 0 {
+		t.Errorf("committed spec drifted from api.Routes():\n  %s", strings.Join(diff, "\n  "))
+	}
+}
