@@ -23,7 +23,7 @@ BENCH_TOLERANCE ?= 0.25
 BENCH_TIME_TOLERANCE ?= 0
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate demo clean
+.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate fuzz-smoke load-smoke demo clean
 
 all: build
 
@@ -38,9 +38,11 @@ vet:
 	$(GO) vet ./...
 
 # race mirrors CI's race job: the full suite under the race detector (the
-# coordinator/worker fleet paths are the hot spots it watches).
+# coordinator/worker fleet paths and the SSE hub soak are the hot spots it
+# watches), with shuffled test order so inter-test state dependencies
+# cannot hide.
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -shuffle=on -timeout 30m ./...
 
 # staticcheck mirrors CI's pinned staticcheck job. Installs on demand when
 # the binary is missing (requires network once).
@@ -90,6 +92,28 @@ bench-gate: $(if $(wildcard $(BENCH_SMOKE_OUT)),,bench-smoke)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) \
 		-in $(BENCH_SMOKE_OUT) -tolerance $(BENCH_TOLERANCE) \
 		-time-tolerance $(BENCH_TIME_TOLERANCE)
+
+# fuzz-smoke gives each WAL/snapshot fuzzer a short budget on top of the
+# committed corpus (internal/jobstore/testdata/fuzz) — CI runs this on
+# every push; long exploratory runs stay local (`go test -fuzz ... -fuzztime 10m`).
+FUZZ_TIME ?= 15s
+fuzz-smoke:
+	$(GO) test ./internal/jobstore -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/jobstore -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZ_TIME)
+
+# load-smoke drives cmd/etload against an in-process server: a sustained
+# throughput pass, then a fan-out pass that must hold ≥1000 concurrent SSE
+# watchers with zero dropped terminal events. Nonzero exit on any drop,
+# failed job or watcher shortfall gates CI; the JSON latency reports are
+# uploaded as artifacts by the bench-gate job.
+LOAD_SMOKE_OUT ?= out/etload.json
+LOAD_SMOKE_FANOUT_OUT ?= out/etload_fanout.json
+load-smoke:
+	@mkdir -p $(dir $(LOAD_SMOKE_OUT))
+	$(GO) run ./cmd/etload -self -jobs 200 -watchers 100 \
+		-min-peak-watchers 100 -out $(LOAD_SMOKE_OUT)
+	$(GO) run ./cmd/etload -self -jobs 20 -watchers 1000 -anchors 8 \
+		-min-peak-watchers 1000 -out $(LOAD_SMOKE_FANOUT_OUT)
 
 # demo runs the bundled batch scenario suite.
 demo:

@@ -45,6 +45,7 @@ const FleetPrefix = "/v1/fleet"
 func Routes() []Route {
 	return []Route{
 		{"GET", "/healthz"},
+		{"GET", "/metrics"},
 		{"POST", "/v1/jobs"},
 		{"GET", "/v1/jobs"},
 		{"GET", "/v1/jobs/{id}"},

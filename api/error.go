@@ -7,6 +7,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
@@ -34,6 +35,11 @@ const (
 	// longer recognizes (expired, superseded or canceled); the worker must
 	// abandon the shard.
 	CodeLeaseLost = "lease-lost"
+	// CodeOverloaded marks a submission rejected by backpressure: the
+	// server's queue of waiting jobs is full. The response carries a
+	// Retry-After header (mirrored in RetryAfterS) and the request was NOT
+	// processed, so retrying it is always safe.
+	CodeOverloaded = "overloaded"
 	// CodeUnsupportedVersion marks a request demanding an API version the
 	// server does not speak.
 	CodeUnsupportedVersion = "unsupported-version"
@@ -64,6 +70,10 @@ type Error struct {
 	// Code is the machine-readable condition slug (see the Code…
 	// constants).
 	Code string `json:"code,omitempty"`
+	// RetryAfterS, when non-zero, is the server's Retry-After hint in
+	// seconds (set on 429 overload responses; the SDK uses it as the
+	// retry backoff).
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
 // NewError builds a problem for an HTTP status, condition code and detail.
@@ -100,12 +110,16 @@ func (e *Error) Error() string {
 }
 
 // WriteError renders the problem on a response with the problem+json
-// content type. A nil request is allowed (Instance stays empty).
+// content type. A nil request is allowed (Instance stays empty). A
+// non-zero RetryAfterS also sets the Retry-After header.
 func WriteError(w http.ResponseWriter, r *http.Request, e *Error) {
 	if r != nil && e.Instance == "" {
 		cp := *e
 		cp.Instance = r.URL.Path
 		e = &cp
+	}
+	if e.RetryAfterS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterS))
 	}
 	w.Header().Set("Content-Type", ProblemContentType)
 	w.WriteHeader(e.Status)
@@ -128,13 +142,24 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 // ErrorFromResponse decodes the error of a non-2xx response. Problem+json
 // bodies decode into their original *Error; anything else (a proxy's HTML
 // page, a plain-text body) is wrapped into a synthetic *Error carrying the
-// status, so callers can uniformly errors.As into *Error.
+// status, so callers can uniformly errors.As into *Error. A Retry-After
+// header (whole seconds) is folded into RetryAfterS when the body did not
+// carry it.
 func ErrorFromResponse(resp *http.Response) error {
+	retryAfter := 0
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil && n > 0 {
+			retryAfter = n
+		}
+	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
 	if mt == ProblemContentType || mt == "application/json" {
 		var e Error
 		if err := json.Unmarshal(body, &e); err == nil && e.Status != 0 {
+			if e.RetryAfterS == 0 {
+				e.RetryAfterS = retryAfter
+			}
 			return &e
 		}
 	}
@@ -143,9 +168,10 @@ func ErrorFromResponse(resp *http.Response) error {
 		detail = detail[:200]
 	}
 	return &Error{
-		Title:  http.StatusText(resp.StatusCode),
-		Status: resp.StatusCode,
-		Detail: detail,
+		Title:       http.StatusText(resp.StatusCode),
+		Status:      resp.StatusCode,
+		Detail:      detail,
+		RetryAfterS: retryAfter,
 	}
 }
 
@@ -176,4 +202,12 @@ func IsNotFound(err error) bool {
 func IsConflict(err error) bool {
 	e, ok := AsError(err)
 	return ok && e.Status == http.StatusConflict
+}
+
+// IsOverloaded reports whether err is the server's backpressure rejection
+// (HTTP 429 / CodeOverloaded). The request was not processed; retry after
+// the RetryAfterS hint.
+func IsOverloaded(err error) bool {
+	e, ok := AsError(err)
+	return ok && (e.Code == CodeOverloaded || e.Status == http.StatusTooManyRequests)
 }

@@ -221,6 +221,15 @@ type Health struct {
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    int64  `json:"cache_hits"`
 	CacheMisses  int64  `json:"cache_misses"`
+	// QueuedJobs counts jobs waiting for a runner slot (the backpressure
+	// queue); MaxQueued is its capacity (0 = unbounded).
+	QueuedJobs int `json:"queued_jobs"`
+	MaxQueued  int `json:"max_queued,omitempty"`
+	// Watchers counts open SSE event streams.
+	Watchers int `json:"watchers"`
+	// Persistent reports whether the server runs on a durable job store
+	// (-data); false means state dies with the process.
+	Persistent bool `json:"persistent"`
 }
 
 // ---------------------------------------------------------------------------

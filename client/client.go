@@ -4,9 +4,12 @@
 //
 // A Client is safe for concurrent use. Idempotent calls (GETs and fleet
 // heartbeats) are retried with exponential backoff on transport errors and
-// 5xx/429 responses; all other errors surface as *api.Error so callers can
-// switch on status and condition code. WatchJob consumes the server's SSE
-// progress stream, replacing poll loops.
+// 5xx/429 responses; submissions additionally retry the server's 429
+// backpressure rejection (which guarantees the request was not processed),
+// honoring its Retry-After hint as the backoff. All other errors surface
+// as *api.Error so callers can switch on status and condition code.
+// WatchJob consumes the server's SSE progress stream, replacing poll
+// loops.
 //
 // The package depends only on the standard library and package api, so it
 // is importable from outside this module:
@@ -120,31 +123,33 @@ func (c *Client) doStatus(ctx context.Context, method, path string, in, out any,
 			return 0, fmt.Errorf("client: encode %s %s: %w", method, path, err)
 		}
 	}
-	attempts := 1
-	if idempotent {
-		attempts = c.maxAttempts
-	}
-	var lastStatus int
-	var lastErr error
-	for attempt := 0; attempt < attempts; attempt++ {
-		if attempt > 0 {
-			delay := c.backoff << (attempt - 1)
-			select {
-			case <-time.After(delay):
-			case <-ctx.Done():
-				return lastStatus, ctx.Err()
-			}
-		}
+	for attempt := 0; ; attempt++ {
 		status, done, err := c.once(ctx, method, path, body, out)
 		if done {
 			return status, err
 		}
-		lastStatus, lastErr = status, err
-		if ctx.Err() != nil {
-			return lastStatus, lastErr
+		// Non-idempotent calls must not be replayed after an ambiguous
+		// failure (the server may have processed them) — except the 429
+		// backpressure rejection, which guarantees the request was NOT
+		// processed and is therefore always safe to retry.
+		if !idempotent && !api.IsOverloaded(err) {
+			return status, err
+		}
+		if attempt+1 >= c.maxAttempts || ctx.Err() != nil {
+			return status, err
+		}
+		// Exponential backoff, overridden by the server's Retry-After hint
+		// when the rejection carried one.
+		delay := c.backoff << attempt
+		if e, ok := api.AsError(err); ok && e.RetryAfterS > 0 {
+			delay = time.Duration(e.RetryAfterS) * time.Second
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return status, ctx.Err()
 		}
 	}
-	return lastStatus, lastErr
 }
 
 // once performs a single HTTP attempt. done=false means the error is

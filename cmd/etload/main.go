@@ -1,0 +1,427 @@
+// Command etload is the load and soak harness of the etherm control
+// plane, built on the public client SDK. It drives two pressures at once
+// and fails loudly when the server drops anything:
+//
+//   - Watcher fan-out: anchor jobs are submitted, a large pool of
+//     concurrent SSE watchers (-watchers) attaches across them, and the
+//     anchors are then canceled. EVERY watcher must receive a terminal
+//     event; a single dropped terminal fails the run.
+//   - Sustained throughput: -jobs tiny jobs are submitted from
+//     -concurrency workers, each followed to its terminal state over SSE.
+//     Submit and end-to-end latencies are recorded as raw samples and
+//     reported as p50/p90/p99; backpressure rejections (429) are counted
+//     via the transport and must all have been retried into acceptance.
+//
+// The target is either a running server (-server URL) or an in-process
+// one (-self), which embeds internal/server on a loopback listener — the
+// CI smoke path, exercising the same HTTP surface without process
+// management. With -duration the throughput phase loops until the
+// deadline (soak mode).
+//
+// Usage:
+//
+//	etload -self -jobs 200 -watchers 100 -out load.json
+//	etload -server http://etserver:8080 -jobs 1000 -watchers 1000 \
+//	       -duration 10m -min-peak-watchers 1000
+//
+// The JSON report (written to -out, "-" = stdout) carries the latency
+// histograms and drop counters; the process exits nonzero on any dropped
+// terminal event, failed job, watch error, or a watcher peak below
+// -min-peak-watchers.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etherm/api"
+	"etherm/client"
+	"etherm/internal/server"
+)
+
+func main() {
+	var (
+		serverURL = flag.String("server", "", "target server URL (mutually exclusive with -self)")
+		self      = flag.Bool("self", false, "start an in-process server on a loopback port and load it")
+		jobs      = flag.Int("jobs", 200, "jobs to submit in the throughput phase")
+		watchers  = flag.Int("watchers", 100, "concurrent SSE watchers in the fan-out phase")
+		anchors   = flag.Int("anchors", 4, "anchor jobs the watcher pool distributes across")
+		conc      = flag.Int("concurrency", 16, "concurrent submitters in the throughput phase")
+		duration  = flag.Duration("duration", 0, "soak: repeat the throughput phase until this deadline (0 = one pass)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall run timeout")
+		minPeak   = flag.Int("min-peak-watchers", 0, "fail unless this many watchers were concurrently connected")
+		out       = flag.String("out", "-", "JSON report path (- = stdout)")
+
+		selfMaxJobs   = flag.Int("self-max-jobs", 2, "-self: concurrent batch runners")
+		selfMaxQueued = flag.Int("self-max-queued", 64, "-self: backpressure queue bound (0 = unbounded)")
+		selfData      = flag.String("self-data", "", "-self: persist to this data directory (empty = in-memory)")
+	)
+	flag.Parse()
+
+	if (*serverURL == "") == !*self {
+		log.Fatal("etload: pass exactly one of -server URL or -self")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	base := *serverURL
+	if *self {
+		srv, err := server.New(server.Config{
+			MaxConcurrent: *selfMaxJobs,
+			MaxHistory:    2 * (*jobs + *anchors),
+			MaxQueued:     *selfMaxQueued,
+			DataDir:       *selfData,
+		})
+		if err != nil {
+			log.Fatalf("etload: start server: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("etload: listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			_ = hs.Close()
+			_ = srv.Close()
+		}()
+		base = "http://" + ln.Addr().String()
+		log.Printf("etload: in-process server on %s (runners=%d, max-queued=%d)",
+			base, *selfMaxJobs, *selfMaxQueued)
+	}
+
+	counter := &countingTransport{base: http.DefaultTransport}
+	cl := client.New(base,
+		client.WithHTTPClient(&http.Client{Transport: counter}),
+		client.WithRetry(5, 100*time.Millisecond))
+
+	rep := report{Config: runConfig{
+		Server: base, Jobs: *jobs, Watchers: *watchers, Anchors: *anchors,
+		Concurrency: *conc, DurationS: duration.Seconds(),
+	}}
+
+	if err := runWatcherFanout(ctx, cl, *watchers, *anchors, &rep); err != nil {
+		log.Fatalf("etload: watcher phase: %v", err)
+	}
+	if err := runThroughput(ctx, cl, *jobs, *conc, *duration, &rep); err != nil {
+		log.Fatalf("etload: throughput phase: %v", err)
+	}
+	rep.Rejected429 = counter.n429.Load()
+
+	rep.OK = rep.WatcherStats.DroppedTerminal == 0 &&
+		rep.WatcherStats.WatchErrors == 0 &&
+		rep.Throughput.FailedJobs == 0 &&
+		rep.WatcherStats.PeakConcurrent >= int64(*minPeak)
+
+	if err := writeReport(*out, &rep); err != nil {
+		log.Fatalf("etload: %v", err)
+	}
+	if !rep.OK {
+		log.Fatalf("etload: FAILED (dropped=%d watchErrs=%d failedJobs=%d peak=%d/%d)",
+			rep.WatcherStats.DroppedTerminal, rep.WatcherStats.WatchErrors,
+			rep.Throughput.FailedJobs, rep.WatcherStats.PeakConcurrent, *minPeak)
+	}
+	log.Printf("etload: OK — %d jobs (%.1f/s), peak %d watchers, %d backpressure rejections retried",
+		rep.Throughput.Jobs, rep.Throughput.JobsPerS, rep.WatcherStats.PeakConcurrent, rep.Rejected429)
+}
+
+// countingTransport counts backpressure rejections at the wire, beneath
+// the SDK's retry loop.
+type countingTransport struct {
+	base http.RoundTripper
+	n429 atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(r)
+	if err == nil && resp.StatusCode == http.StatusTooManyRequests {
+		t.n429.Add(1)
+	}
+	return resp, err
+}
+
+// tinyBatch is the cheapest real workload: one coarse-mesh scenario with a
+// three-step transient. Every submission after the first hits the shared
+// assembly cache, so a load run measures the control plane, not the solver.
+func tinyBatch(name string) *api.Batch {
+	return &api.Batch{
+		Name: name,
+		Scenarios: []api.Scenario{{
+			Name: "pair",
+			Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
+			Sim:  api.SimSpec{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
+		}},
+	}
+}
+
+// runWatcherFanout submits anchor jobs, attaches the full watcher pool
+// across them, waits for every stream to be connected, then cancels the
+// anchors. Every watcher must observe a terminal event.
+func runWatcherFanout(ctx context.Context, cl *client.Client, watchers, anchors int, rep *report) error {
+	if watchers <= 0 {
+		return nil
+	}
+	if anchors < 1 {
+		anchors = 1
+	}
+	ids := make([]string, 0, anchors)
+	for i := 0; i < anchors; i++ {
+		job, err := cl.SubmitBatch(ctx, tinyBatch(fmt.Sprintf("etload-anchor-%d", i)))
+		if err != nil {
+			return fmt.Errorf("submit anchor: %w", err)
+		}
+		ids = append(ids, job.ID)
+	}
+
+	var (
+		current, peak   atomic.Int64
+		gotTerminal     atomic.Int64
+		dropped         atomic.Int64
+		watchErrs       atomic.Int64
+		firstEvent      = newSampler(watchers)
+		connected       sync.WaitGroup
+		finished        sync.WaitGroup
+		releaseAnchors  = make(chan struct{})
+		releaseWatchers sync.Once
+	)
+	connected.Add(watchers)
+	finished.Add(watchers)
+	for w := 0; w < watchers; w++ {
+		go func(w int) {
+			defer finished.Done()
+			start := time.Now()
+			events, errc := cl.WatchJob(ctx, ids[w%len(ids)])
+			n := current.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			connected.Done()
+			defer current.Add(-1)
+
+			first, terminal := true, false
+			for ev := range events {
+				if first {
+					firstEvent.add(time.Since(start))
+					first = false
+				}
+				if ev.Terminal() {
+					terminal = true
+				}
+			}
+			if err := <-errc; err != nil {
+				watchErrs.Add(1)
+				return
+			}
+			if terminal {
+				gotTerminal.Add(1)
+			} else {
+				dropped.Add(1)
+			}
+		}(w)
+	}
+
+	// All streams up (each watcher has issued its request and is counted):
+	// release the anchors so every stream must end with a terminal event.
+	go func() {
+		connected.Wait()
+		releaseWatchers.Do(func() { close(releaseAnchors) })
+	}()
+	select {
+	case <-releaseAnchors:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	for _, id := range ids {
+		// A fast anchor may already be terminal; that cancel conflict is
+		// fine — its watchers saw the terminal status either way.
+		if _, err := cl.CancelJob(ctx, id); err != nil && !api.IsConflict(err) {
+			return fmt.Errorf("cancel anchor %s: %w", id, err)
+		}
+	}
+	finished.Wait()
+
+	rep.WatcherStats = watcherStats{
+		Target:           watchers,
+		PeakConcurrent:   peak.Load(),
+		TerminalReceived: gotTerminal.Load(),
+		DroppedTerminal:  dropped.Load(),
+		WatchErrors:      watchErrs.Load(),
+		FirstEventMS:     firstEvent.quantilesMS(),
+	}
+	return nil
+}
+
+// runThroughput pushes jobs through the server from conc submitters and
+// follows each to its terminal state, collecting latency samples. With a
+// soak duration it repeats passes until the deadline.
+func runThroughput(ctx context.Context, cl *client.Client, jobs, conc int, soak time.Duration, rep *report) error {
+	if jobs <= 0 {
+		return nil
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	var (
+		submitLat = newSampler(jobs)
+		e2eLat    = newSampler(jobs)
+		failed    atomic.Int64
+		total     atomic.Int64
+		work      = make(chan int)
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(soak)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				t0 := time.Now()
+				job, err := cl.SubmitBatch(ctx, tinyBatch(fmt.Sprintf("etload-%06d", i)))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				submitLat.add(time.Since(t0))
+				final, err := cl.WaitJob(ctx, job.ID)
+				if err != nil || final.Status != api.JobDone {
+					failed.Add(1)
+					continue
+				}
+				e2eLat.add(time.Since(t0))
+				total.Add(1)
+			}
+		}()
+	}
+	i := 0
+feed:
+	for pass := 0; ; pass++ {
+		for n := 0; n < jobs; n++ {
+			select {
+			case work <- i:
+				i++
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		if soak <= 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Throughput = throughputStats{
+		Jobs:       total.Load(),
+		FailedJobs: failed.Load(),
+		ElapsedS:   elapsed.Seconds(),
+		JobsPerS:   float64(total.Load()) / elapsed.Seconds(),
+		SubmitMS:   submitLat.quantilesMS(),
+		E2EMS:      e2eLat.quantilesMS(),
+	}
+	return ctx.Err()
+}
+
+// sampler collects raw latency samples for exact quantiles.
+type sampler struct {
+	mu sync.Mutex
+	v  []time.Duration
+}
+
+func newSampler(capHint int) *sampler { return &sampler{v: make([]time.Duration, 0, capHint)} }
+
+func (s *sampler) add(d time.Duration) {
+	s.mu.Lock()
+	s.v = append(s.v, d)
+	s.mu.Unlock()
+}
+
+// quantilesMS reports p50/p90/p99/max in milliseconds.
+func (s *sampler) quantilesMS() quantiles {
+	s.mu.Lock()
+	v := append([]time.Duration(nil), s.v...)
+	s.mu.Unlock()
+	if len(v) == 0 {
+		return quantiles{}
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(v)-1))
+		return float64(v[i]) / float64(time.Millisecond)
+	}
+	return quantiles{
+		N: len(v), P50: at(0.50), P90: at(0.90), P99: at(0.99),
+		Max: float64(v[len(v)-1]) / float64(time.Millisecond),
+	}
+}
+
+type quantiles struct {
+	N   int     `json:"n"`
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type runConfig struct {
+	Server      string  `json:"server"`
+	Jobs        int     `json:"jobs"`
+	Watchers    int     `json:"watchers"`
+	Anchors     int     `json:"anchors"`
+	Concurrency int     `json:"concurrency"`
+	DurationS   float64 `json:"duration_s,omitempty"`
+}
+
+type watcherStats struct {
+	Target           int       `json:"target"`
+	PeakConcurrent   int64     `json:"peak_concurrent"`
+	TerminalReceived int64     `json:"terminal_received"`
+	DroppedTerminal  int64     `json:"dropped_terminal"`
+	WatchErrors      int64     `json:"watch_errors"`
+	FirstEventMS     quantiles `json:"first_event_ms"`
+}
+
+type throughputStats struct {
+	Jobs       int64     `json:"jobs"`
+	FailedJobs int64     `json:"failed_jobs"`
+	ElapsedS   float64   `json:"elapsed_s"`
+	JobsPerS   float64   `json:"jobs_per_s"`
+	SubmitMS   quantiles `json:"submit_ms"`
+	E2EMS      quantiles `json:"e2e_ms"`
+}
+
+type report struct {
+	Config       runConfig       `json:"config"`
+	WatcherStats watcherStats    `json:"watchers"`
+	Throughput   throughputStats `json:"throughput"`
+	Rejected429  int64           `json:"rejected_429"`
+	OK           bool            `json:"ok"`
+}
+
+func writeReport(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" || path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -22,7 +22,10 @@
 //	                              progress; closes after the terminal status
 //	DELETE /v1/jobs/{id}          cancel a queued or running job → "canceled"
 //	GET    /v1/scenarios/presets  the bundled paper-grounded scenario suite
-//	GET    /healthz               liveness + assembly-cache statistics
+//	GET    /healthz               liveness, queue depth, watcher and cache stats
+//	GET    /metrics               Prometheus text exposition (jobs by state,
+//	                              queue depth, SSE watchers, lease expiries,
+//	                              WAL fsync latency, …)
 //
 // Fleet coordinator (sharded campaigns served by etworker processes):
 //
@@ -37,6 +40,15 @@
 //
 //	etserver [-addr :8080] [-max-jobs 2] [-history 128]
 //	         [-lease-ttl 30s] [-fleet-batches]
+//	         [-data DIR] [-max-queued 0]
+//
+// With -data DIR the server persists every job, lease and fleet shard
+// transition to an fsync'd write-ahead log under DIR and recovers the
+// full control-plane state on restart — including after kill -9:
+// finished jobs keep their results, interrupted jobs are requeued, and
+// fleet campaigns resume from their completed shards. -max-queued bounds
+// the submission queue; beyond it, POST /v1/jobs returns 429 with a
+// Retry-After hint (the SDK retries automatically).
 //
 // Quickstart against a running server:
 //
@@ -55,25 +67,42 @@ import (
 	"time"
 
 	"etherm/internal/fleet"
+	"etherm/internal/server"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		maxJobs      = flag.Int("max-jobs", 2, "batch jobs evaluated concurrently")
-		history      = flag.Int("history", DefaultMaxHistory, "finished jobs retained before oldest-first eviction")
+		history      = flag.Int("history", server.DefaultMaxHistory, "finished jobs retained before oldest-first eviction")
 		leaseTTL     = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "shard lease TTL before a silent etworker is presumed dead")
 		fleetBatches = flag.Bool("fleet-batches", false, "run sharded scenarios of batch jobs on the etworker fleet instead of locally")
+		dataDir      = flag.String("data", "", "persist jobs, leases and shard results under this directory (empty = in-memory)")
+		maxQueued    = flag.Int("max-queued", 0, "reject submissions (429) beyond this many queued jobs (0 = unbounded)")
 	)
 	flag.Parse()
 
-	srv := NewServerWithOptions(*maxJobs, *history, *leaseTTL)
-	srv.FleetBatches = *fleetBatches
+	srv, err := server.New(server.Config{
+		MaxConcurrent: *maxJobs,
+		MaxHistory:    *history,
+		LeaseTTL:      *leaseTTL,
+		MaxQueued:     *maxQueued,
+		DataDir:       *dataDir,
+		FleetBatches:  *fleetBatches,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("etserver: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("etserver: listening on %s (max %d concurrent jobs)\n", *addr, *maxJobs)
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = "persistent data in " + *dataDir
+	}
+	fmt.Printf("etserver: listening on %s (max %d concurrent jobs, %s)\n", *addr, *maxJobs, durability)
 	log.Fatal(httpSrv.ListenAndServe())
 }

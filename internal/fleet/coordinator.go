@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"etherm/internal/jobstore"
 	"etherm/internal/scenario"
 	"etherm/internal/uq"
 )
@@ -137,8 +138,17 @@ type Coordinator struct {
 	// (default DefaultMaxHistory; running jobs are never evicted).
 	MaxHistory int
 
+	// OnLeaseExpiry, when set before serving, observes every lease the
+	// coordinator reclaims from a silent worker (metrics hook).
+	OnLeaseExpiry func()
+
 	cache *scenario.AssemblyCache
 	ttl   time.Duration
+
+	// store mirrors every transition when attached via SetStore (see
+	// persist.go); logf receives recovery notes and store-write failures.
+	store jobstore.Store
+	logf  func(format string, args ...any)
 
 	mu    sync.Mutex
 	seq   int
@@ -197,6 +207,7 @@ func (c *Coordinator) Submit(s scenario.Scenario) (*JobView, error) {
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
 	c.evictLocked()
+	c.persistLocked(j)
 	return c.viewLocked(j), nil
 }
 
@@ -215,6 +226,7 @@ func (c *Coordinator) evictLocked() {
 	excess := len(c.order) - max
 	for _, id := range c.order {
 		if excess > 0 && terminal(c.jobs[id].status) {
+			c.dropJobLocked(c.jobs[id])
 			delete(c.jobs, id)
 			excess--
 			continue
@@ -231,12 +243,20 @@ func (c *Coordinator) expireLocked(now time.Time) {
 		if j.status != JobRunning {
 			continue
 		}
+		changed := false
 		for _, sh := range j.shards {
 			if sh.status == ShardLeased && now.After(sh.expiry) {
 				sh.status = ShardPending
 				sh.worker = ""
 				sh.leaseID = ""
+				changed = true
+				if c.OnLeaseExpiry != nil {
+					c.OnLeaseExpiry()
+				}
 			}
+		}
+		if changed {
+			c.persistLocked(j)
 		}
 	}
 }
@@ -269,6 +289,7 @@ func (c *Coordinator) Lease(workerID string) (*Assignment, bool) {
 			sh.leaseID = fmt.Sprintf("lease-%06d", c.lseq)
 			sh.expiry = now.Add(c.ttl)
 			sh.attempts++
+			c.persistLocked(j)
 			return &Assignment{
 				JobID: j.id, LeaseID: sh.leaseID, Shard: sh.shard,
 				LeaseTTL: c.ttl, Plan: j.plan, Scenario: j.scen,
@@ -298,11 +319,12 @@ func (c *Coordinator) Heartbeat(leaseID string) error {
 	defer c.mu.Unlock()
 	now := c.Now()
 	c.expireLocked(now)
-	_, sh := c.findLeaseLocked(leaseID)
+	j, sh := c.findLeaseLocked(leaseID)
 	if sh == nil {
 		return ErrLeaseLost
 	}
 	sh.expiry = now.Add(c.ttl)
+	c.persistLocked(j)
 	return nil
 }
 
@@ -329,6 +351,10 @@ func (c *Coordinator) Complete(leaseID string, res *uq.ShardResult) error {
 	sh.status = ShardDone
 	sh.result = res
 	sh.leaseID = ""
+	// Payload first, then the job record marking the shard done: a crash
+	// between the two recovers a done shard whose payload exists.
+	c.persistShardLocked(j, sh)
+	c.persistLocked(j)
 	remaining := 0
 	for _, s := range j.shards {
 		if s.status != ShardDone {
@@ -357,6 +383,8 @@ func (c *Coordinator) Fail(leaseID, msg string) error {
 	sh.leaseID = ""
 	if sh.attempts >= c.MaxAttempts {
 		c.failLocked(j, fmt.Sprintf("shard %d failed %d times; last error: %s", sh.shard, sh.attempts, msg))
+	} else {
+		c.persistLocked(j)
 	}
 	return nil
 }
@@ -368,6 +396,8 @@ func (c *Coordinator) failLocked(j *job, msg string) {
 	}
 	j.status = JobFailed
 	j.err = msg
+	c.persistLocked(j)
+	c.dropShardsLocked(j)
 	close(j.done)
 }
 
@@ -399,6 +429,11 @@ func (c *Coordinator) finalize(j *job) error {
 	for _, sh := range j.shards {
 		sh.result = nil
 	}
+	// Terminal record first, shard-payload deletes after: a crash between
+	// the two leaves orphan payloads that the next eviction sweeps, never a
+	// done job without its result.
+	c.persistLocked(j)
+	c.dropShardsLocked(j)
 	close(j.done)
 	return nil
 }
@@ -427,6 +462,8 @@ func (c *Coordinator) Cancel(id string) error {
 	}
 	j.status = JobCanceled
 	j.err = "canceled by client"
+	c.persistLocked(j)
+	c.dropShardsLocked(j)
 	close(j.done)
 	return nil
 }

@@ -1,0 +1,487 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// File layout of a store directory. State lives in exactly one generation
+// G at a time: snapshot-G (the compacted base, absent for generation 1)
+// plus wal-G (the live log of everything since). Compaction moves to
+// generation G+1 with a crash-safe handover:
+//
+//  1. write snapshot-(G+1).tmp with the full current state, fsync it
+//  2. create an empty wal-(G+1), fsync the directory
+//  3. rename snapshot-(G+1).tmp → snapshot-(G+1), fsync the directory
+//  4. switch appends to wal-(G+1), delete generation G
+//
+// The rename in step 3 is the commit point. A crash before it leaves
+// generation G fully intact (the .tmp and a possibly-present empty
+// wal-(G+1) are ignored and removed on the next Open); a crash after it
+// recovers from snapshot-(G+1) plus an empty or missing wal-(G+1). Open
+// picks the highest generation with a readable snapshot, falls back to
+// older generations when a snapshot is unreadable, and deletes every
+// file outside the chosen generation.
+
+const (
+	snapshotPrefix = "snapshot-"
+	walPrefix      = "wal-"
+	tmpSuffix      = ".tmp"
+)
+
+// Compaction thresholds of Options.
+const (
+	// DefaultCompactBytes triggers compaction once the WAL grows past it.
+	DefaultCompactBytes = 8 << 20
+	// DefaultCompactRecords triggers compaction on record count (protects
+	// against many tiny records never reaching the byte threshold).
+	DefaultCompactRecords = 50_000
+)
+
+// Options tune a FileStore.
+type Options struct {
+	// CompactBytes triggers compaction when the live WAL exceeds it
+	// (0 = DefaultCompactBytes, negative disables size-triggered
+	// compaction).
+	CompactBytes int64
+	// CompactRecords triggers compaction on WAL record count
+	// (0 = DefaultCompactRecords, negative disables).
+	CompactRecords int
+	// NoSync skips fsync on appends (tests only: a crash may then lose
+	// acknowledged writes, exactly the failure mode the defaults prevent).
+	NoSync bool
+	// OnFsync, when non-nil, observes the latency of every WAL fsync —
+	// the hook the server's metrics histogram plugs into.
+	OnFsync func(time.Duration)
+	// Logf, when non-nil, receives recovery notes (truncated tails,
+	// discarded stale generations).
+	Logf func(format string, args ...any)
+}
+
+// Stats describe a FileStore for monitoring.
+type Stats struct {
+	// Gen is the live generation number.
+	Gen uint64
+	// WALRecords / WALBytes describe the live log.
+	WALRecords int
+	WALBytes   int64
+	// Appends counts records written since Open.
+	Appends int64
+	// Compactions counts snapshot handovers since Open.
+	Compactions int64
+	// RecoveredRecords counts records replayed by Open (snapshot + WAL).
+	RecoveredRecords int
+	// TruncatedBytes counts WAL bytes discarded by Open as a torn tail.
+	TruncatedBytes int64
+}
+
+// FileStore is the durable Store implementation. All methods are safe for
+// concurrent use; Put/Delete return after their record is written and
+// (unless Options.NoSync) fsync'd.
+type FileStore struct {
+	dir  string
+	opt  Options
+	lock *os.File // flock on dir/lock (nil where unsupported)
+
+	mu         sync.Mutex
+	state      *State
+	wal        *os.File
+	gen        uint64
+	walBytes   int64
+	walRecords int
+	buf        []byte // frame encode scratch
+	closed     bool
+
+	appends     int64
+	compactions int64
+	recovered   int
+	truncated   int64
+}
+
+// Open opens (creating if needed) the store in dir and replays its state.
+func Open(dir string, opt Options) (*FileStore, error) {
+	if opt.CompactBytes == 0 {
+		opt.CompactBytes = DefaultCompactBytes
+	}
+	if opt.CompactRecords == 0 {
+		opt.CompactRecords = DefaultCompactRecords
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileStore{dir: dir, opt: opt, lock: lock}
+	if err := s.recover(); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FileStore) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}
+
+// genFiles lists the snapshot and WAL generations present in the
+// directory, plus any stray .tmp files.
+func (s *FileStore) genFiles() (snaps, wals []uint64, tmps []string, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("jobstore: %w", err)
+	}
+	parse := func(name, prefix string) (uint64, bool) {
+		num, ok := strings.CutPrefix(name, prefix)
+		if !ok {
+			return 0, false
+		}
+		g, err := strconv.ParseUint(num, 10, 64)
+		return g, err == nil
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, tmpSuffix) {
+			tmps = append(tmps, name)
+			continue
+		}
+		if g, ok := parse(name, snapshotPrefix); ok {
+			snaps = append(snaps, g)
+		} else if g, ok := parse(name, walPrefix); ok {
+			wals = append(wals, g)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, tmps, nil
+}
+
+func (s *FileStore) snapshotPath(g uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d", snapshotPrefix, g))
+}
+
+func (s *FileStore) walPath(g uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%08d", walPrefix, g))
+}
+
+// readSnapshot loads and validates one snapshot file.
+func readSnapshot(path string) (*State, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	payload, err := readFrame(f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("jobstore: snapshot %s: %w", filepath.Base(path), err)
+	}
+	// A snapshot is exactly one frame; trailing bytes mean a corrupt write.
+	if _, err := f.Read(make([]byte, 1)); err != io.EOF {
+		return nil, 0, fmt.Errorf("jobstore: snapshot %s has trailing bytes", filepath.Base(path))
+	}
+	st, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	for _, m := range st.Kinds {
+		n += len(m)
+	}
+	return st, n, nil
+}
+
+// recover rebuilds state from disk, chooses the live generation, cleans
+// stray files and opens the WAL for appending.
+func (s *FileStore) recover() error {
+	snaps, wals, tmps, err := s.genFiles()
+	if err != nil {
+		return err
+	}
+	for _, name := range tmps {
+		s.logf("jobstore: removing stray %s", name)
+		_ = os.Remove(filepath.Join(s.dir, name))
+	}
+
+	// Choose the generation: the highest readable snapshot wins; with no
+	// readable snapshot the state starts empty at the lowest WAL present
+	// (an interrupted compaction may have left a newer, empty WAL — the
+	// old generation's log is the truth), or a fresh generation 1.
+	var st *State
+	var gen uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		g := snaps[i]
+		loaded, n, rerr := readSnapshot(s.snapshotPath(g))
+		if rerr != nil {
+			s.logf("jobstore: ignoring unreadable snapshot generation %d: %v", g, rerr)
+			continue
+		}
+		st, gen = loaded, g
+		s.recovered += n
+		break
+	}
+	if st == nil {
+		st = NewState()
+		if len(wals) > 0 {
+			gen = wals[0]
+		} else {
+			gen = 1
+		}
+	}
+
+	// Replay the chosen generation's WAL, truncating a torn tail.
+	walPath := s.walPath(gen)
+	if f, oerr := os.Open(walPath); oerr == nil {
+		validOffset, applied, rerr := replayWAL(f, st)
+		size, _ := f.Seek(0, io.SeekEnd)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("jobstore: replay %s: %w", filepath.Base(walPath), rerr)
+		}
+		if size > validOffset {
+			s.truncated = size - validOffset
+			s.logf("jobstore: truncating %d torn byte(s) at the tail of %s", s.truncated, filepath.Base(walPath))
+			if terr := os.Truncate(walPath, validOffset); terr != nil {
+				return fmt.Errorf("jobstore: %w", terr)
+			}
+		}
+		s.recovered += applied
+		s.walBytes = validOffset
+		s.walRecords = applied
+	} else if !os.IsNotExist(oerr) {
+		return fmt.Errorf("jobstore: %w", oerr)
+	}
+
+	// Drop every file outside the chosen generation: older generations are
+	// superseded, newer ones are debris of an interrupted compaction whose
+	// commit rename never happened.
+	for _, g := range snaps {
+		if g != gen {
+			_ = os.Remove(s.snapshotPath(g))
+		}
+	}
+	for _, g := range wals {
+		if g != gen {
+			s.logf("jobstore: removing stale WAL generation %d", g)
+			_ = os.Remove(s.walPath(g))
+		}
+	}
+
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	s.state = st
+	s.wal = wal
+	s.gen = gen
+	return s.syncDir()
+}
+
+// syncDir fsyncs the store directory (making renames and creates durable).
+func (s *FileStore) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// append writes one WAL record, fsyncs and updates the in-memory mirror.
+func (s *FileStore) append(rec walRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode record: %w", err)
+	}
+	s.buf = appendFrame(s.buf[:0], payload)
+	if _, err := s.wal.Write(s.buf); err != nil {
+		return fmt.Errorf("jobstore: append: %w", err)
+	}
+	if !s.opt.NoSync {
+		start := time.Now()
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("jobstore: fsync: %w", err)
+		}
+		if s.opt.OnFsync != nil {
+			s.opt.OnFsync(time.Since(start))
+		}
+	}
+	switch rec.Op {
+	case opPut:
+		s.state.put(rec.Kind, rec.ID, rec.Data)
+	case opDelete:
+		s.state.del(rec.Kind, rec.ID)
+	}
+	s.state.Counters = s.state.Counters.Max(rec.C)
+	s.walBytes += int64(len(s.buf))
+	s.walRecords++
+	s.appends++
+	return s.maybeCompactLocked()
+}
+
+// Put implements Store.
+func (s *FileStore) Put(kind, id string, data []byte, c Counters) error {
+	if kind == "" || id == "" {
+		return fmt.Errorf("jobstore: record needs kind and id")
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("jobstore: put without data")
+	}
+	return s.append(walRecord{Op: opPut, Kind: kind, ID: id, C: c, Data: data})
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(kind, id string, c Counters) error {
+	if kind == "" || id == "" {
+		return fmt.Errorf("jobstore: record needs kind and id")
+	}
+	return s.append(walRecord{Op: opDelete, Kind: kind, ID: id, C: c})
+}
+
+// State implements Store.
+func (s *FileStore) State() *State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state.clone()
+}
+
+// Stats returns a monitoring snapshot.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Gen:              s.gen,
+		WALRecords:       s.walRecords,
+		WALBytes:         s.walBytes,
+		Appends:          s.appends,
+		Compactions:      s.compactions,
+		RecoveredRecords: s.recovered,
+		TruncatedBytes:   s.truncated,
+	}
+}
+
+// maybeCompactLocked compacts when the WAL outgrows the thresholds and a
+// compaction would actually shrink it (a WAL whose live state is the WAL —
+// no deletes, no overwrites — is left alone until it doubles the snapshot
+// size bound). Caller holds s.mu.
+func (s *FileStore) maybeCompactLocked() error {
+	byBytes := s.opt.CompactBytes > 0 && s.walBytes >= s.opt.CompactBytes
+	byRecords := s.opt.CompactRecords > 0 && s.walRecords >= s.opt.CompactRecords
+	if !byBytes && !byRecords {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact forces a snapshot handover (exposed for tests and shutdown
+// hooks; normal operation compacts automatically).
+func (s *FileStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked performs the generation handover described at the top of
+// the file. Caller holds s.mu.
+func (s *FileStore) compactLocked() error {
+	next := s.gen + 1
+	payload, err := encodeSnapshot(s.state)
+	if err != nil {
+		return fmt.Errorf("jobstore: encode snapshot: %w", err)
+	}
+
+	// 1. Snapshot to a temp file, fsync'd.
+	tmpPath := s.snapshotPath(next) + tmpSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	frame := appendFrame(nil, payload)
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("jobstore: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+
+	// 2. Fresh WAL for the next generation.
+	newWAL, err := os.OpenFile(s.walPath(next), os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobstore: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		newWAL.Close()
+		return err
+	}
+
+	// 3. Commit: rename the snapshot into place.
+	if err := os.Rename(tmpPath, s.snapshotPath(next)); err != nil {
+		newWAL.Close()
+		return fmt.Errorf("jobstore: commit snapshot: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		newWAL.Close()
+		return err
+	}
+
+	// 4. Switch generations and drop the old one.
+	old := s.gen
+	_ = s.wal.Close()
+	s.wal = newWAL
+	s.gen = next
+	s.walBytes = 0
+	s.walRecords = 0
+	s.compactions++
+	_ = os.Remove(s.snapshotPath(old))
+	_ = os.Remove(s.walPath(old))
+	return nil
+}
+
+// Close flushes and releases the WAL.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if !s.opt.NoSync {
+		err = s.wal.Sync()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	if s.lock != nil {
+		// Releases the flock with it; the lock file stays behind.
+		if cerr := s.lock.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

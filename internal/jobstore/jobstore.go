@@ -1,0 +1,186 @@
+// Package jobstore is the pluggable persistence layer of the control
+// plane: a Store absorbs every job, lease and shard-result transition of
+// cmd/etserver and the fleet coordinator as opaque (kind, id) → JSON
+// records, and hands the surviving state back after a restart.
+//
+// Two implementations exist. Mem is the historical in-memory behaviour (a
+// restart loses everything — every write is a no-op). FileStore is an
+// append-only log-structured store: each mutation is one fsync'd,
+// CRC-framed WAL record, the log is periodically compacted into a
+// snapshot with a crash-safe generation handover, and Open replays
+// snapshot + WAL so the server recovers jobs, leases and fleet shard
+// payloads bit-identically after kill -9 (a torn tail record — the write
+// the crash interrupted — is detected by its checksum and truncated).
+//
+// The store is deliberately dumb: payloads are opaque JSON owned by the
+// callers, and the only structured state is the Counters triple — the
+// ID-sequence high-water marks that must survive restarts so job, fleet
+// and lease IDs are never reused (cursor pagination and stale-lease
+// rejection both depend on that).
+package jobstore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record kinds written by the control plane.
+const (
+	// KindJob records one batch job (cmd/etserver's store).
+	KindJob = "job"
+	// KindFleet records one fleet job's metadata: scenario, plan, shard
+	// lease states, status — everything but the shard result payloads.
+	KindFleet = "fleet"
+	// KindShard records one posted shard result payload, keyed
+	// "<fleet-id>/<shard>"; deleted after the job's merge completes.
+	KindShard = "shard"
+)
+
+// ShardID keys a shard-result record.
+func ShardID(jobID string, shard int) string {
+	return fmt.Sprintf("%s/%d", jobID, shard)
+}
+
+// ParseShardID splits a shard-result record key.
+func ParseShardID(id string) (jobID string, shard int, ok bool) {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(id[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return id[:i], n, true
+}
+
+// Counters are the ID-sequence high-water marks of the control plane.
+// Writers pass the counters they own (zeroes elsewhere); the store keeps
+// the elementwise maximum, so the server and the fleet coordinator can
+// share one store without coordinating counter writes.
+type Counters struct {
+	Job   int `json:"job,omitempty"`
+	Fleet int `json:"fleet,omitempty"`
+	Lease int `json:"lease,omitempty"`
+}
+
+// Max returns the elementwise maximum of two counter sets.
+func (c Counters) Max(o Counters) Counters {
+	return Counters{
+		Job:   max(c.Job, o.Job),
+		Fleet: max(c.Fleet, o.Fleet),
+		Lease: max(c.Lease, o.Lease),
+	}
+}
+
+// State is the recovered content of a store: current payload per live
+// (kind, id) record plus the counter high-water marks.
+type State struct {
+	Counters Counters
+	// Kinds maps kind → id → latest payload.
+	Kinds map[string]map[string][]byte
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{Kinds: make(map[string]map[string][]byte)}
+}
+
+// Get returns the payload of one record.
+func (s *State) Get(kind, id string) ([]byte, bool) {
+	b, ok := s.Kinds[kind][id]
+	return b, ok
+}
+
+// put upserts one record (copying the payload).
+func (s *State) put(kind, id string, data []byte) {
+	m := s.Kinds[kind]
+	if m == nil {
+		m = make(map[string][]byte)
+		s.Kinds[kind] = m
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m[id] = cp
+}
+
+// del removes one record.
+func (s *State) del(kind, id string) {
+	if m := s.Kinds[kind]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(s.Kinds, kind)
+		}
+	}
+}
+
+// clone deep-copies the state.
+func (s *State) clone() *State {
+	out := NewState()
+	out.Counters = s.Counters
+	for kind, m := range s.Kinds {
+		for id, data := range m {
+			out.put(kind, id, data)
+		}
+	}
+	return out
+}
+
+// Store persists control-plane records. Implementations are safe for
+// concurrent use. Put and Delete must be durable when they return (for
+// persistent stores); c carries the writer's current counter values and
+// is folded into the store's high-water marks.
+type Store interface {
+	// Put upserts one record.
+	Put(kind, id string, data []byte, c Counters) error
+	// Delete removes one record (deleting a missing record is not an error).
+	Delete(kind, id string, c Counters) error
+	// State returns a copy of the current store content. For a FileStore
+	// this is the replayed state right after Open — the recovery input.
+	State() *State
+	// Close releases resources; the store must not be used afterwards.
+	Close() error
+}
+
+// Mem is the non-durable Store: state is mirrored in memory (so State
+// works symmetrically in tests) but nothing survives Close or a process
+// death. It is the default store of a server started without -data.
+type Mem struct {
+	mu    sync.Mutex
+	state *State
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{state: NewState()}
+}
+
+// Put implements Store.
+func (m *Mem) Put(kind, id string, data []byte, c Counters) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state.put(kind, id, data)
+	m.state.Counters = m.state.Counters.Max(c)
+	return nil
+}
+
+// Delete implements Store.
+func (m *Mem) Delete(kind, id string, c Counters) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state.del(kind, id)
+	m.state.Counters = m.state.Counters.Max(c)
+	return nil
+}
+
+// State implements Store.
+func (m *Mem) State() *State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.clone()
+}
+
+// Close implements Store.
+func (m *Mem) Close() error { return nil }

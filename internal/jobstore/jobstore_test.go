@@ -1,0 +1,420 @@
+package jobstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opt Options) *FileStore {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// stateEqual compares two states including counters.
+func stateEqual(a, b *State) bool {
+	return a.Counters == b.Counters && reflect.DeepEqual(a.Kinds, b.Kinds)
+}
+
+func TestShardID(t *testing.T) {
+	id := ShardID("fleet-000001", 3)
+	if id != "fleet-000001/3" {
+		t.Fatalf("ShardID = %q", id)
+	}
+	job, shard, ok := ParseShardID(id)
+	if !ok || job != "fleet-000001" || shard != 3 {
+		t.Fatalf("ParseShardID = %q %d %v", job, shard, ok)
+	}
+	for _, bad := range []string{"", "noslash", "x/-1", "x/abc"} {
+		if _, _, ok := ParseShardID(bad); ok {
+			t.Errorf("ParseShardID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	m := NewMem()
+	if err := m.Put(KindJob, "job-1", []byte(`{"a":1}`), Counters{Job: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Put(KindJob, "job-2", []byte(`{"a":2}`), Counters{Job: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(KindJob, "job-1", Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	st := m.State()
+	if _, ok := st.Get(KindJob, "job-1"); ok {
+		t.Error("deleted record still present")
+	}
+	if b, ok := st.Get(KindJob, "job-2"); !ok || string(b) != `{"a":2}` {
+		t.Errorf("job-2 = %q %v", b, ok)
+	}
+	if st.Counters != (Counters{Job: 2}) {
+		t.Errorf("counters = %+v", st.Counters)
+	}
+}
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	writes := map[string]string{
+		"job-000001":   `{"id":"job-000001","status":"done"}`,
+		"job-000002":   `{"id":"job-000002","status":"running"}`,
+		"fleet-000001": `{"id":"fleet-000001"}`,
+	}
+	if err := s.Put(KindJob, "job-000001", []byte(writes["job-000001"]), Counters{Job: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindJob, "job-000002", []byte(writes["job-000002"]), Counters{Job: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindFleet, "fleet-000001", []byte(writes["fleet-000001"]), Counters{Fleet: 1, Lease: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite then delete exercise replay ordering.
+	if err := s.Put(KindJob, "job-000001", []byte(`{"id":"job-000001","status":"failed"}`), Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(KindJob, "job-000002", Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.State()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openT(t, dir, Options{})
+	got := re.State()
+	if !stateEqual(want, got) {
+		t.Fatalf("replayed state differs:\n want %+v\n got  %+v", want, got)
+	}
+	if got.Counters != (Counters{Job: 2, Fleet: 1, Lease: 4}) {
+		t.Errorf("counters = %+v", got.Counters)
+	}
+	if b, _ := got.Get(KindJob, "job-000001"); string(b) != `{"id":"job-000001","status":"failed"}` {
+		t.Errorf("overwrite lost: %s", b)
+	}
+}
+
+func TestFileStoreRejectsEmptyKeys(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{NoSync: true})
+	if err := s.Put("", "id", nil, Counters{}); err == nil {
+		t.Error("Put with empty kind accepted")
+	}
+	if err := s.Delete(KindJob, "", Counters{}); err == nil {
+		t.Error("Delete with empty id accepted")
+	}
+}
+
+// fillStore writes n records and returns the expected final state.
+func fillStore(t *testing.T, s *FileStore, n int) *State {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("job-%06d", i+1)
+		data := fmt.Sprintf(`{"id":%q,"n":%d}`, id, i)
+		if err := s.Put(KindJob, id, []byte(data), Counters{Job: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.State()
+}
+
+// TestTornTailEveryOffset truncates the WAL at every byte length and
+// verifies recovery always lands on a valid record-boundary prefix.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	const n = 5
+	fillStore(t, s, n)
+	walPath := s.walPath(s.gen)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the valid boundary offsets frame by frame.
+	boundaries := []int64{0}
+	off := int64(0)
+	r := bytes.NewReader(full)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			break
+		}
+		off += int64(frameHeaderSize + len(payload))
+		boundaries = append(boundaries, off)
+	}
+	if len(boundaries) != n+1 {
+		t.Fatalf("expected %d boundaries, got %d", n+1, len(boundaries))
+	}
+
+	isBoundary := func(x int64) bool {
+		for _, b := range boundaries {
+			if b == x {
+				return true
+			}
+		}
+		return false
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(walPath)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Open(sub, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		st := rs.State()
+		// Number of recovered records must match the boundary prefix.
+		wantRecords := 0
+		for _, b := range boundaries[1:] {
+			if b <= int64(cut) {
+				wantRecords++
+			}
+		}
+		if got := len(st.Kinds[KindJob]); got != wantRecords {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, got, wantRecords)
+		}
+		if st.Counters.Job != wantRecords {
+			t.Fatalf("cut=%d: counter %d, want %d", cut, st.Counters.Job, wantRecords)
+		}
+		// The torn tail must have been truncated on disk...
+		fi, err := os.Stat(filepath.Join(sub, filepath.Base(walPath)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isBoundary(fi.Size()) {
+			t.Fatalf("cut=%d: truncated to %d, not a record boundary", cut, fi.Size())
+		}
+		// ...and appending must work afterwards.
+		if err := rs.Put(KindJob, "job-999999", []byte(`{}`), Counters{}); err != nil {
+			t.Fatalf("cut=%d: append after truncate: %v", cut, err)
+		}
+		rs.Close()
+		rs2, err := Open(sub, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut=%d: reopen: %v", cut, err)
+		}
+		if _, ok := rs2.State().Get(KindJob, "job-999999"); !ok {
+			t.Fatalf("cut=%d: post-truncate append lost", cut)
+		}
+		rs2.Close()
+	}
+}
+
+// TestCorruptMiddleByte flips one byte inside the first record's payload:
+// replay must stop before it (the CRC catches it) and keep nothing after.
+func TestCorruptMiddleByte(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	fillStore(t, s, 3)
+	walPath := s.walPath(s.gen)
+	s.Close()
+
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+2] ^= 0xFF // inside record 1's payload
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs := openT(t, dir, Options{NoSync: true})
+	st := rs.State()
+	if len(st.Kinds) != 0 {
+		t.Fatalf("recovered %d kinds after leading corruption, want 0", len(st.Kinds))
+	}
+	if rs.Stats().TruncatedBytes != int64(len(data)) {
+		t.Errorf("truncated %d bytes, want %d", rs.Stats().TruncatedBytes, len(data))
+	}
+}
+
+func TestCompactionPreservesState(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+	fillStore(t, s, 10)
+	if err := s.Delete(KindJob, "job-000003", Counters{}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.State()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.State(); !stateEqual(want, got) {
+		t.Fatal("state changed across Compact")
+	}
+	stats := s.Stats()
+	if stats.Compactions != 1 || stats.Gen != 2 || stats.WALRecords != 0 {
+		t.Fatalf("stats after compact: %+v", stats)
+	}
+	// Old generation files must be gone.
+	if _, err := os.Stat(s.walPath(1)); !os.IsNotExist(err) {
+		t.Error("old WAL survived compaction")
+	}
+	// Post-compaction appends + reopen.
+	if err := s.Put(KindJob, "job-000011", []byte(`{}`), Counters{Job: 11}); err != nil {
+		t.Fatal(err)
+	}
+	want = s.State()
+	s.Close()
+	re := openT(t, dir, Options{})
+	if got := re.State(); !stateEqual(want, got) {
+		t.Fatal("state differs after reopen over snapshot+WAL")
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{NoSync: true, CompactRecords: 8, CompactBytes: -1})
+	fillStore(t, s, 30)
+	want := s.State()
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no automatic compaction after 30 records with threshold 8")
+	}
+	s.Close()
+	re := openT(t, dir, Options{})
+	if got := re.State(); !stateEqual(want, got) {
+		t.Fatal("state differs after auto-compaction + reopen")
+	}
+}
+
+// TestCrashMidCompaction exercises the interrupted-compaction layouts the
+// handover can leave on disk; each must recover the pre-compaction state.
+func TestCrashMidCompaction(t *testing.T) {
+	build := func(t *testing.T) (dir string, want *State) {
+		dir = t.TempDir()
+		s := openT(t, dir, Options{})
+		fillStore(t, s, 4)
+		want = s.State()
+		s.Close()
+		return dir, want
+	}
+	snapshotBytes := func(t *testing.T, st *State) []byte {
+		payload, err := encodeSnapshot(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return appendFrame(nil, payload)
+	}
+
+	t.Run("tmp_snapshot_left", func(t *testing.T) {
+		// Crash after step 1: snapshot-2.tmp exists, rename never happened.
+		dir, want := build(t)
+		if err := os.WriteFile(filepath.Join(dir, "snapshot-00000002.tmp"), snapshotBytes(t, want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, dir, Options{NoSync: true})
+		if !stateEqual(want, s.State()) {
+			t.Fatal("state differs with stray .tmp present")
+		}
+		if _, err := os.Stat(filepath.Join(dir, "snapshot-00000002.tmp")); !os.IsNotExist(err) {
+			t.Error(".tmp not cleaned up")
+		}
+	})
+
+	t.Run("new_wal_no_snapshot", func(t *testing.T) {
+		// Crash after step 2: empty wal-2 exists but snapshot-2 does not.
+		// Generation 1's WAL is still the truth.
+		dir, want := build(t)
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000002"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, dir, Options{NoSync: true})
+		if !stateEqual(want, s.State()) {
+			t.Fatal("state differs with orphan new-generation WAL")
+		}
+		if s.Stats().Gen != 1 {
+			t.Errorf("gen = %d, want 1", s.Stats().Gen)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "wal-00000002")); !os.IsNotExist(err) {
+			t.Error("orphan WAL not cleaned up")
+		}
+	})
+
+	t.Run("snapshot_committed_old_gen_left", func(t *testing.T) {
+		// Crash after step 3: snapshot-2 and wal-2 committed, generation 1
+		// not yet deleted. Recovery must prefer generation 2.
+		dir, want := build(t)
+		if err := os.WriteFile(filepath.Join(dir, "snapshot-00000002"), snapshotBytes(t, want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "wal-00000002"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, dir, Options{NoSync: true})
+		if !stateEqual(want, s.State()) {
+			t.Fatal("state differs after committed snapshot")
+		}
+		if s.Stats().Gen != 2 {
+			t.Errorf("gen = %d, want 2", s.Stats().Gen)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "wal-00000001")); !os.IsNotExist(err) {
+			t.Error("old generation not cleaned up")
+		}
+	})
+
+	t.Run("corrupt_snapshot_falls_back", func(t *testing.T) {
+		// A corrupt snapshot-2 (torn write) plus intact generation 1 must
+		// fall back to generation 1.
+		dir, want := build(t)
+		good := snapshotBytes(t, want)
+		if err := os.WriteFile(filepath.Join(dir, "snapshot-00000002"), good[:len(good)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := openT(t, dir, Options{NoSync: true})
+		if !stateEqual(want, s.State()) {
+			t.Fatal("state differs after corrupt-snapshot fallback")
+		}
+		if s.Stats().Gen != 1 {
+			t.Errorf("gen = %d, want 1", s.Stats().Gen)
+		}
+	})
+}
+
+func TestFsyncHook(t *testing.T) {
+	var calls int
+	var total time.Duration
+	s := openT(t, t.TempDir(), Options{OnFsync: func(d time.Duration) {
+		calls++
+		total += d
+	}})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(KindJob, fmt.Sprintf("j%d", i), []byte(`{}`), Counters{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("OnFsync called %d times, want 3", calls)
+	}
+	if total < 0 {
+		t.Fatal("negative fsync latency")
+	}
+}
+
+func TestClosedStoreRefusesWrites(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{NoSync: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(KindJob, "x", nil, Counters{}); err == nil {
+		t.Error("Put after Close accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}

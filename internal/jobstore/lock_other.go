@@ -1,0 +1,9 @@
+//go:build !unix
+
+package jobstore
+
+import "os"
+
+// lockDir is a no-op where flock is unavailable: the single-writer rule
+// is documented but not enforced.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

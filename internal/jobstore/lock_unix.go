@@ -1,0 +1,26 @@
+//go:build unix
+
+package jobstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on dir/lock, refusing to open
+// a store another live process owns — two writers on one WAL would corrupt
+// it silently. The lock dies with the process (kill -9 included), so crash
+// recovery never meets a stale lock; the file itself is left in place.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("jobstore: data directory %s is owned by another process: %w", dir, err)
+	}
+	return f, nil
+}

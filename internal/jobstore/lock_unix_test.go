@@ -1,0 +1,35 @@
+//go:build unix
+
+package jobstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpenRefusesLockedDir(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("first Open: %v", err)
+	}
+
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open on a live data dir succeeded; want refusal")
+	} else if !strings.Contains(err.Error(), "another process") {
+		t.Fatalf("second Open error = %v; want mention of another process", err)
+	}
+
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close reopened store: %v", err)
+	}
+}

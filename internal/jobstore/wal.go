@@ -1,0 +1,187 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
+)
+
+// Every WAL record and every snapshot body is one frame on disk:
+//
+//	[4B little-endian payload length][4B IEEE CRC32 of payload][payload]
+//
+// The checksum is what makes kill -9 recoverable: the record a crash
+// interrupts is left torn on disk, its CRC cannot match, and replay stops
+// exactly at the last record that was fully written and fsync'd. A frame
+// claiming more than maxFrameBytes is treated as torn too, so a corrupted
+// length field cannot make replay allocate unbounded memory.
+
+// maxFrameBytes bounds one frame's payload (shard results carry
+// O(blocks × outputs) accumulator state, far below this).
+const maxFrameBytes = 64 << 20
+
+// frameHeaderSize is the fixed prefix of every frame.
+const frameHeaderSize = 8
+
+// errTornFrame marks a frame that ends mid-write or fails its checksum —
+// the expected state of a WAL tail after a crash, not an I/O error.
+var errTornFrame = errors.New("jobstore: torn or corrupt frame")
+
+// appendFrame encodes one frame into buf (reused across calls).
+func appendFrame(buf []byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame reads one frame from r. It returns io.EOF at a clean end,
+// errTornFrame when the stream ends mid-frame or the checksum fails.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTornFrame // ErrUnexpectedEOF or worse: a torn header
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n > maxFrameBytes {
+		return nil, errTornFrame
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTornFrame
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return nil, errTornFrame
+	}
+	return payload, nil
+}
+
+// WAL record operations.
+const (
+	opPut    = "put"
+	opDelete = "del"
+)
+
+// walRecord is the JSON payload of one WAL frame.
+type walRecord struct {
+	Op   string          `json:"op"`
+	Kind string          `json:"kind"`
+	ID   string          `json:"id"`
+	C    Counters        `json:"c,omitzero"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// validate rejects records that could not have been written by this
+// package (fuzzed or hand-edited logs).
+func (r *walRecord) validate() error {
+	if r.Op != opPut && r.Op != opDelete {
+		return fmt.Errorf("jobstore: unknown WAL op %q", r.Op)
+	}
+	if r.Kind == "" || r.ID == "" {
+		return fmt.Errorf("jobstore: WAL record without kind/id")
+	}
+	if r.Op == opPut && len(r.Data) == 0 {
+		return fmt.Errorf("jobstore: put record without data")
+	}
+	return nil
+}
+
+// snapshotRecord is one live record inside a snapshot payload.
+type snapshotRecord struct {
+	Kind string          `json:"kind"`
+	ID   string          `json:"id"`
+	Data json.RawMessage `json:"data"`
+}
+
+// snapshotPayload is the JSON payload of a snapshot frame: the full store
+// content at compaction time.
+type snapshotPayload struct {
+	Counters Counters         `json:"counters,omitzero"`
+	Records  []snapshotRecord `json:"records"`
+}
+
+// decodeSnapshot parses a snapshot frame payload into a State.
+func decodeSnapshot(payload []byte) (*State, error) {
+	var snap snapshotPayload
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("jobstore: snapshot does not parse: %w", err)
+	}
+	st := NewState()
+	st.Counters = snap.Counters
+	for _, rec := range snap.Records {
+		if rec.Kind == "" || rec.ID == "" || len(rec.Data) == 0 {
+			return nil, fmt.Errorf("jobstore: snapshot record without kind/id/data")
+		}
+		st.put(rec.Kind, rec.ID, rec.Data)
+	}
+	return st, nil
+}
+
+// encodeSnapshot renders the state as a snapshot frame payload. Records
+// are emitted in sorted (kind, id) order so identical states produce
+// identical snapshots.
+func encodeSnapshot(st *State) ([]byte, error) {
+	snap := snapshotPayload{Counters: st.Counters, Records: []snapshotRecord{}}
+	for _, kind := range sortedKeys(st.Kinds) {
+		m := st.Kinds[kind]
+		for _, id := range sortedKeys(m) {
+			snap.Records = append(snap.Records, snapshotRecord{Kind: kind, ID: id, Data: m[id]})
+		}
+	}
+	return json.Marshal(&snap)
+}
+
+// sortedKeys returns the sorted keys of a map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// replayWAL applies the records of one WAL stream to st. It returns the
+// byte offset of the first torn/corrupt frame (== the stream length when
+// the log is clean) so the caller can truncate the tail, plus the number
+// of applied records. Corruption after a valid prefix is expected after a
+// crash and is not an error; a record that parses but fails validation
+// stops replay the same way (the bytes cannot be trusted beyond it).
+func replayWAL(r io.Reader, st *State) (validOffset int64, applied int, err error) {
+	for {
+		payload, ferr := readFrame(r)
+		if ferr == io.EOF {
+			return validOffset, applied, nil
+		}
+		if ferr != nil {
+			if errors.Is(ferr, errTornFrame) {
+				return validOffset, applied, nil
+			}
+			return validOffset, applied, ferr
+		}
+		var rec walRecord
+		if jerr := json.Unmarshal(payload, &rec); jerr != nil {
+			return validOffset, applied, nil
+		}
+		if rec.validate() != nil {
+			return validOffset, applied, nil
+		}
+		switch rec.Op {
+		case opPut:
+			st.put(rec.Kind, rec.ID, rec.Data)
+		case opDelete:
+			st.del(rec.Kind, rec.ID)
+		}
+		st.Counters = st.Counters.Max(rec.C)
+		validOffset += int64(frameHeaderSize + len(payload))
+		applied++
+	}
+}

@@ -1,0 +1,331 @@
+// Package metrics is a minimal, dependency-free instrumentation library
+// exposing counters, gauges and histograms in the Prometheus text
+// exposition format (version 0.0.4). It exists so the control plane can
+// serve GET /metrics without pulling the Prometheus client library into a
+// module that is otherwise stdlib-only.
+//
+// A Registry owns a set of named metric families; families render in
+// registration order, series within a family in label order. Counter,
+// Gauge and Histogram are safe for concurrent use (atomics under the
+// hood); GaugeFunc samples a callback at scrape time, which is how cheap
+// "current state" gauges (jobs by state, queue depth, watcher counts)
+// avoid double bookkeeping.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one series: a render hook plus its identity within a family.
+type metric interface {
+	// labels returns the series labels ({} rendered empty).
+	labelString() string
+	// write appends the sample lines of the series (histograms emit
+	// several) given the family name and rendered label set.
+	write(b *strings.Builder, name, labels string)
+}
+
+// family groups series sharing one name, help string and type.
+type family struct {
+	name, help, typ string
+	mu              sync.Mutex
+	series          []metric
+}
+
+// Registry holds metric families and renders them as a text exposition.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup returns (creating on first use) the family of a name, verifying
+// the type stays consistent across registrations.
+func (r *Registry) lookup(name, help, typ string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, typ: typ}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func (f *family) add(m metric) {
+	f.mu.Lock()
+	f.series = append(f.series, m)
+	f.mu.Unlock()
+}
+
+// Labels is one series' label set.
+type Labels map[string]string
+
+// render formats a label set deterministically ({a="x",b="y"}).
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels renders base labels plus one extra pair (for histogram "le").
+func mergeLabels(labels string, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(labels, "}") + "," + extra + "}"
+}
+
+// formatFloat renders a sample value (Prometheus uses Go's shortest form;
+// +Inf appears in histogram bucket labels).
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// ---------------------------------------------------------------------------
+// Counter.
+// ---------------------------------------------------------------------------
+
+// Counter is a monotonically increasing sample.
+type Counter struct {
+	labels string
+	bits   atomic.Uint64 // float64 bits
+}
+
+// NewCounter registers a counter series (empty Labels allowed).
+func (r *Registry) NewCounter(name, help string, l Labels) *Counter {
+	c := &Counter{labels: l.render()}
+	r.lookup(name, help, "counter").add(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v (v < 0 is ignored).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) labelString() string { return c.labels }
+func (c *Counter) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(c.Value()))
+}
+
+// ---------------------------------------------------------------------------
+// Gauge.
+// ---------------------------------------------------------------------------
+
+// Gauge is a sample that can go up and down.
+type Gauge struct {
+	labels string
+	bits   atomic.Uint64
+}
+
+// NewGauge registers a gauge series.
+func (r *Registry) NewGauge(name, help string, l Labels) *Gauge {
+	g := &Gauge{labels: l.render()}
+	r.lookup(name, help, "gauge").add(g)
+	return g
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) labelString() string { return g.labels }
+func (g *Gauge) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.Value()))
+}
+
+// ---------------------------------------------------------------------------
+// GaugeFunc.
+// ---------------------------------------------------------------------------
+
+// gaugeFunc samples a callback at scrape time.
+type gaugeFunc struct {
+	labels string
+	fn     func() float64
+}
+
+// NewGaugeFunc registers a gauge whose value is fn() at scrape time. fn
+// must be safe for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, l Labels, fn func() float64) {
+	r.lookup(name, help, "gauge").add(&gaugeFunc{labels: l.render(), fn: fn})
+}
+
+func (g *gaugeFunc) labelString() string { return g.labels }
+func (g *gaugeFunc) write(b *strings.Builder, name, labels string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+// Histogram counts observations into cumulative buckets. Buckets are fixed
+// at registration; observations above the last bound land only in +Inf.
+type Histogram struct {
+	labels  string
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, cumulative rendered at scrape
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are latency-flavoured default bounds in seconds, spanning
+// 50µs (a warm fsync) to 10s.
+var DefBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3,
+	25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
+}
+
+// NewHistogram registers a histogram series with the given bucket upper
+// bounds (nil takes DefBuckets). Bounds must be sorted ascending.
+func (r *Registry) NewHistogram(name, help string, l Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets not sorted", name))
+		}
+	}
+	h := &Histogram{labels: l.render(), bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	r.lookup(name, help, "histogram").add(h)
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	for i, bound := range h.bounds {
+		if v <= bound {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) labelString() string { return h.labels }
+func (h *Histogram) write(b *strings.Builder, name, labels string) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", formatFloat(bound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", "+Inf"), h.count.Load())
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.count.Load())
+}
+
+// ---------------------------------------------------------------------------
+// Exposition.
+// ---------------------------------------------------------------------------
+
+// Render writes the full exposition of the registry.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		f.mu.Lock()
+		series := make([]metric, len(f.series))
+		copy(series, f.series)
+		f.mu.Unlock()
+		sort.SliceStable(series, func(i, j int) bool {
+			return series[i].labelString() < series[j].labelString()
+		})
+		for _, m := range series {
+			m.write(&b, f.name, m.labelString())
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}

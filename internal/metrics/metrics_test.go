@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Total jobs.", nil)
+	cq := r.NewCounter("jobs_by_state", "Jobs by state.", Labels{"state": "queued"})
+	cr := r.NewCounter("jobs_by_state", "Jobs by state.", Labels{"state": "running"})
+	g := r.NewGauge("depth", "Queue depth.", nil)
+	r.NewGaugeFunc("watchers", "Watchers.", nil, func() float64 { return 7 })
+
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	cq.Add(3)
+	cr.Inc()
+	g.Set(4)
+	g.Add(-1.5)
+
+	out := r.Render()
+	for _, want := range []string{
+		"# TYPE jobs_total counter",
+		"jobs_total 3\n",
+		`jobs_by_state{state="queued"} 3`,
+		`jobs_by_state{state="running"} 1`,
+		"# TYPE depth gauge",
+		"depth 2.5\n",
+		"watchers 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family even with several series.
+	if n := strings.Count(out, "# TYPE jobs_by_state"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "Latency.", nil, []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum %g, want %g", got, want)
+	}
+	out := r.Render()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramWithLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("op_seconds", "Op latency.", Labels{"op": "fsync"}, []float64{1})
+	h.Observe(0.5)
+	out := r.Render()
+	if !strings.Contains(out, `op_seconds_bucket{op="fsync",le="1"} 1`) {
+		t.Errorf("labelled bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, `op_seconds_sum{op="fsync"} 0.5`) {
+		t.Errorf("labelled sum missing:\n%s", out)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "c", nil)
+	g := r.NewGauge("g", "g", nil)
+	h := r.NewHistogram("h", "h", nil, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%g g=%g h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.", nil).Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "x_total 1") {
+		t.Errorf("body misses counter: %s", buf[:n])
+	}
+}

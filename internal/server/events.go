@@ -1,10 +1,11 @@
-package main
+package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etherm/api"
@@ -19,7 +20,13 @@ import (
 type eventHub struct {
 	mu   sync.Mutex
 	subs map[string]map[*eventSub]struct{}
+	// watchers counts open SSE streams (batch and fleet watchers both),
+	// exposed via /metrics and /healthz.
+	watchers atomic.Int64
 }
+
+// watcherCount returns the number of open SSE streams.
+func (h *eventHub) watcherCount() int64 { return h.watchers.Load() }
 
 // eventSub is one watcher's queue.
 type eventSub struct {
@@ -166,6 +173,8 @@ func writeEvent(w http.ResponseWriter, flusher http.Flusher, ev api.JobEvent) er
 // closes the race with a job finishing in between: the terminal transition
 // is then either in the snapshot or in the queue.
 func (s *Server) watchBatchJob(w http.ResponseWriter, r *http.Request, flusher http.Flusher, id string) {
+	s.hub.watchers.Add(1)
+	defer s.hub.watchers.Add(-1)
 	sub := s.hub.subscribe(id)
 	defer s.hub.unsubscribe(id, sub)
 
@@ -211,6 +220,8 @@ func (s *Server) watchBatchJob(w http.ResponseWriter, r *http.Request, flusher h
 // on the poll path; idle stretches carry keepalive comments like the
 // batch stream.
 func (s *Server) watchFleetJob(w http.ResponseWriter, r *http.Request, flusher http.Flusher, id string) {
+	s.hub.watchers.Add(1)
+	defer s.hub.watchers.Add(-1)
 	sseHeaders(w)
 	lastDone := -1
 	first := true

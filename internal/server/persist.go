@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"time"
+
+	"etherm/api"
+	"etherm/internal/jobstore"
+	"etherm/internal/metrics"
+	"etherm/internal/scenario"
+)
+
+// Durability of batch jobs. Every transition of an api.Job is mirrored
+// into the job store as one storedJob record; the raw batch JSON rides
+// along while the job is non-terminal, so recovery can requeue an
+// interrupted job and re-run it from scratch — the engine is
+// deterministic, so the re-run converges on the result the crash stole.
+// Terminal records drop the batch payload and keep the result.
+
+// storedJob is the persisted form of one batch job.
+type storedJob struct {
+	Job *api.Job `json:"job"`
+	// Batch is the submitted batch document, present only while the job
+	// can still be (re)run.
+	Batch json.RawMessage `json:"batch,omitempty"`
+}
+
+func (s *Server) logErr(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// persistJobLocked writes the current record of one job. Store failures
+// are logged, not fatal: the server stays available on its in-memory
+// state and the next transition retries. Caller holds s.mu.
+func (s *Server) persistJobLocked(id string) {
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	data, err := json.Marshal(&storedJob{Job: j, Batch: s.batches[id]})
+	if err != nil {
+		s.logErr("server: persist %s: %v", id, err)
+		return
+	}
+	if err := s.store.Put(jobstore.KindJob, id, data, jobstore.Counters{Job: s.seq}); err != nil {
+		s.logErr("server: persist %s: %v", id, err)
+	}
+}
+
+// persistJob is persistJobLocked taking the lock.
+func (s *Server) persistJob(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persistJobLocked(id)
+}
+
+// recover rebuilds the job table from the store and requeues every job
+// the previous process died with: non-terminal recovered jobs reset to
+// queued (progress zeroed) and re-enter the runner queue, terminal ones
+// come back with their results.
+func (s *Server) recover() error {
+	st := s.store.State()
+	s.seq = max(s.seq, st.Counters.Job)
+
+	type requeue struct {
+		id    string
+		batch *scenario.Batch
+	}
+	var pending []requeue
+	recovered := 0
+	for id, data := range st.Kinds[jobstore.KindJob] {
+		var sj storedJob
+		if err := json.Unmarshal(data, &sj); err != nil || sj.Job == nil {
+			s.logErr("server: dropping unreadable job record %s: %v", id, err)
+			_ = s.store.Delete(jobstore.KindJob, id, jobstore.Counters{})
+			continue
+		}
+		j := sj.Job
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		recovered++
+		if j.Status.Finished() {
+			continue
+		}
+		// Interrupted mid-flight: requeue from the retained batch document.
+		j.Status = api.JobQueued
+		j.StartedAt = nil
+		j.FinishedAt = nil
+		j.Error = ""
+		j.Progress = api.JobProgress{ScenariosTotal: j.Progress.ScenariosTotal}
+		batch, err := scenario.ParseBatch(sj.Batch)
+		if err != nil {
+			now := time.Now().UTC()
+			j.Status = api.JobFailed
+			j.FinishedAt = &now
+			j.Error = "lost across restart: batch document unrecoverable: " + err.Error()
+			s.persistJobLocked(id)
+			continue
+		}
+		s.batches[id] = sj.Batch
+		pending = append(pending, requeue{id: id, batch: batch})
+	}
+	// The store is a map; submission order lives in the sequence-numbered
+	// IDs ("job-%06d" sorts lexically in submission order).
+	sort.Strings(s.order)
+	sort.Slice(pending, func(i, k int) bool { return pending[i].id < pending[k].id })
+	if recovered > 0 {
+		s.logErr("server: recovered %d job(s) (%d requeued), sequence job=%d", recovered, len(pending), s.seq)
+	}
+	for _, rq := range pending {
+		s.persistJobLocked(rq.id)
+		ctx, cancel := context.WithCancel(context.Background())
+		s.cancels[rq.id] = cancel
+		go s.runJob(ctx, rq.id, rq.batch)
+	}
+	return nil
+}
+
+// queuedLocked counts jobs waiting for a runner slot. Caller holds s.mu.
+func (s *Server) queuedLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if j.Status == api.JobQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// jobStates are the dimension values of the jobs-by-state gauges.
+var jobStates = []api.JobStatus{api.JobQueued, api.JobRunning, api.JobDone, api.JobFailed, api.JobCanceled}
+
+// initMetrics registers the server's metric families. GaugeFuncs sample
+// live state at scrape time; counters and the fsync histogram are bumped
+// on the hot paths they describe.
+func (s *Server) initMetrics() {
+	for _, state := range jobStates {
+		state := state
+		s.reg.NewGaugeFunc("etserver_jobs", "Batch jobs by state.",
+			metrics.Labels{"state": string(state)}, func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				n := 0
+				for _, j := range s.jobs {
+					if j.Status == state {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	s.reg.NewGaugeFunc("etserver_fleet_jobs", "Fleet jobs currently known to the coordinator.",
+		nil, func() float64 { return float64(len(s.coord.Jobs())) })
+	s.reg.NewGaugeFunc("etserver_sse_watchers", "Open SSE event streams.",
+		nil, func() float64 { return float64(s.hub.watcherCount()) })
+	s.reg.NewGaugeFunc("etserver_queue_depth", "Jobs waiting for a runner slot.",
+		nil, func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queuedLocked())
+		})
+	s.reg.NewGaugeFunc("etserver_queue_capacity", "Backpressure bound on waiting jobs (0 = unbounded).",
+		nil, func() float64 { return float64(s.maxQueued) })
+	s.reg.NewGaugeFunc("etserver_runners_busy", "Occupied batch runner slots.",
+		nil, func() float64 { return float64(len(s.sem)) })
+	s.reg.NewGaugeFunc("etserver_runner_capacity", "Total batch runner slots.",
+		nil, func() float64 { return float64(cap(s.sem)) })
+	s.reg.NewGaugeFunc("etserver_cache_hits_total", "Assembly cache hits.",
+		nil, func() float64 { return float64(s.cache.Hits()) })
+	s.reg.NewGaugeFunc("etserver_cache_misses_total", "Assembly cache misses.",
+		nil, func() float64 { return float64(s.cache.Misses()) })
+	s.mSubmitted = s.reg.NewCounter("etserver_submissions_total", "Accepted job submissions.", nil)
+	s.mRejected = s.reg.NewCounter("etserver_submissions_rejected_total",
+		"Submissions rejected by backpressure (429).", nil)
+	s.mExpiries = s.reg.NewCounter("etserver_lease_expiries_total",
+		"Fleet shard leases reclaimed from silent workers.", nil)
+	s.mFsync = s.reg.NewHistogram("etserver_wal_fsync_seconds",
+		"WAL fsync latency of the durable job store.", nil, nil)
+}
+
+// initStoreMetrics registers gauges over a FileStore's Stats.
+func (s *Server) initStoreMetrics(fs *jobstore.FileStore) {
+	s.reg.NewGaugeFunc("etserver_wal_bytes", "Live WAL size of the job store.",
+		nil, func() float64 { return float64(fs.Stats().WALBytes) })
+	s.reg.NewGaugeFunc("etserver_wal_records", "Records in the live WAL.",
+		nil, func() float64 { return float64(fs.Stats().WALRecords) })
+	s.reg.NewGaugeFunc("etserver_store_generation", "Snapshot generation of the job store.",
+		nil, func() float64 { return float64(fs.Stats().Gen) })
+	s.reg.NewGaugeFunc("etserver_store_compactions_total", "Snapshot compactions since start.",
+		nil, func() float64 { return float64(fs.Stats().Compactions) })
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"etherm/api"
+	"etherm/client"
+)
+
+// openPersistent opens a persistent server on dir behind an httptest
+// listener, returning a closer that tears the incarnation down in order.
+func openPersistent(t *testing.T, dir string, history int) (*client.Client, func()) {
+	t.Helper()
+	srv, err := New(Config{MaxConcurrent: 1, MaxHistory: history, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	closed := false
+	closer := func() {
+		if closed {
+			return
+		}
+		closed = true
+		ts.Close()
+		if err := srv.Close(); err != nil {
+			t.Errorf("close store: %v", err)
+		}
+	}
+	t.Cleanup(closer)
+	return client.New(ts.URL), closer
+}
+
+// submitCanceled submits a tiny job and cancels it straight away — the
+// cheapest way to mint terminal history entries — then waits for the
+// terminal state so ordering and timestamps are settled.
+func submitCanceled(t *testing.T, cl *client.Client) *api.Job {
+	t.Helper()
+	ctx := context.Background()
+	job := submitBatch(t, cl, &api.Batch{Scenarios: []api.Scenario{{
+		Name: "pair", Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}}, Sim: tinySim(),
+	}}})
+	if _, err := cl.CancelJob(ctx, job.ID); err != nil && !api.IsConflict(err) {
+		t.Fatalf("cancel %s: %v", job.ID, err)
+	}
+	return waitDone(t, cl, job.ID, time.Minute)
+}
+
+// walkJobs pages through GET /v1/jobs with the given limit and returns the
+// concatenated ID sequence.
+func walkJobs(t *testing.T, cl *client.Client, limit int, cursor string) []string {
+	t.Helper()
+	var ids []string
+	for pages := 0; ; pages++ {
+		if pages > 50 {
+			t.Fatal("cursor walk does not terminate")
+		}
+		list, err := cl.ListJobs(context.Background(), client.ListJobsOptions{Limit: limit, Cursor: cursor})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range list.Jobs {
+			ids = append(ids, j.ID)
+		}
+		if list.NextCursor == "" {
+			return ids
+		}
+		cursor = list.NextCursor
+	}
+}
+
+func equalIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRestartSurvivesPaginationAndEviction proves the listing contract
+// holds across a process restart on a persistent store: the cursor walk
+// reproduces the exact pre-restart order, a cursor handed out before the
+// restart stays valid after it, MaxHistory eviction keeps biting on
+// recovered history, and job IDs never regress — even when the jobs that
+// once held the high IDs were evicted long ago.
+func TestRestartSurvivesPaginationAndEviction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("starts coupled-field jobs")
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+	const history = 6
+
+	cl1, close1 := openPersistent(t, dir, history)
+	var ids []string
+	for i := 0; i < 9; i++ {
+		ids = append(ids, submitCanceled(t, cl1).ID)
+	}
+
+	// Nine terminal jobs against a retention cap of six: the oldest three
+	// are already gone before the restart.
+	before := walkJobs(t, cl1, 2, "")
+	if len(before) != history {
+		t.Fatalf("pre-restart walk holds %d jobs, retention cap is %d", len(before), history)
+	}
+	// Keep a live cursor across the restart boundary: first page of three,
+	// remember where it stopped.
+	firstPage, err := cl1.ListJobs(ctx, client.ListJobsOptions{Limit: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(firstPage.Jobs) != 3 || firstPage.NextCursor == "" {
+		t.Fatalf("short first page: %d jobs, cursor %q", len(firstPage.Jobs), firstPage.NextCursor)
+	}
+	restBefore := walkJobs(t, cl1, 3, firstPage.NextCursor)
+	close1()
+
+	cl2, _ := openPersistent(t, dir, history)
+
+	// The full walk reproduces the pre-restart order exactly.
+	after := walkJobs(t, cl2, 2, "")
+	if !equalIDs(after, before) {
+		t.Errorf("walk changed across restart:\n %v\nvs\n %v", after, before)
+	}
+	// The cursor minted by the previous incarnation resumes cleanly.
+	restAfter := walkJobs(t, cl2, 3, firstPage.NextCursor)
+	if !equalIDs(restAfter, restBefore) {
+		t.Errorf("pre-restart cursor walks differently:\n %v\nvs\n %v", restAfter, restBefore)
+	}
+	// Terminal details survived: the newest job is still canceled, with
+	// its finish timestamp.
+	last, err := cl2.GetJob(ctx, ids[len(ids)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Status != api.JobCanceled || last.FinishedAt == nil {
+		t.Errorf("recovered job %s: status %s, finishedAt %v", last.ID, last.Status, last.FinishedAt)
+	}
+	// Evicted jobs stayed evicted.
+	if _, err := cl2.GetJob(ctx, ids[0]); !api.IsNotFound(err) {
+		t.Errorf("evicted job %s resurrected by restart (err %v)", ids[0], err)
+	}
+
+	// New work continues the ID sequence — the persisted counter, not the
+	// surviving records, is the source of truth, so no recovered or future
+	// job can collide with an evicted ID.
+	next := submitCanceled(t, cl2)
+	if next.ID <= ids[len(ids)-1] {
+		t.Errorf("job ID regressed after restart: %s after %s", next.ID, ids[len(ids)-1])
+	}
+	// And eviction keeps rolling on the recovered history: the oldest
+	// recovered entry falls out once newer terminals push past the cap.
+	evictee := before[len(before)-1]
+	for i := 0; i < history; i++ {
+		submitCanceled(t, cl2)
+	}
+	if _, err := cl2.GetJob(ctx, evictee); !api.IsNotFound(err) {
+		t.Errorf("recovered job %s not evicted by post-restart history (err %v)", evictee, err)
+	}
+	if got := walkJobs(t, cl2, 4, ""); len(got) > history+1 {
+		t.Errorf("post-restart walk holds %d jobs, cap is %d", len(got), history)
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -14,6 +14,8 @@ import (
 	"etherm/api"
 	"etherm/internal/apiconv"
 	"etherm/internal/fleet"
+	"etherm/internal/jobstore"
+	"etherm/internal/metrics"
 	"etherm/internal/scenario"
 )
 
@@ -36,6 +38,13 @@ type Server struct {
 	sem        chan struct{}
 	maxBody    int64
 	maxHistory int
+	maxQueued  int
+
+	// store absorbs every job transition; jobstore.Mem by default, a
+	// durable FileStore when the server runs with a data directory.
+	store      jobstore.Store
+	persistent bool
+	logf       func(format string, args ...any)
 
 	// FleetBatches, when set before serving, routes the sharded scenarios
 	// of batch jobs through the fleet coordinator instead of running them
@@ -44,12 +53,19 @@ type Server struct {
 
 	mu      sync.Mutex
 	jobs    map[string]*api.Job
+	batches map[string][]byte             // raw batch JSON of non-terminal jobs (requeued on recovery)
 	cancels map[string]context.CancelFunc // pending/running jobs only
 	order   []string                      // job IDs in submission order
 	seq     int
 
 	hub *eventHub
 	mux *http.ServeMux
+
+	reg        *metrics.Registry
+	mSubmitted *metrics.Counter
+	mRejected  *metrics.Counter
+	mExpiries  *metrics.Counter
+	mFsync     *metrics.Histogram
 }
 
 // DefaultMaxHistory is the default finished-job retention cap.
@@ -63,6 +79,31 @@ const (
 	MaxListLimit = 500
 )
 
+// Config declares a server. The zero value is a usable in-memory server
+// with one runner slot and default caps.
+type Config struct {
+	// MaxConcurrent bounds parallel batch runners (minimum 1).
+	MaxConcurrent int
+	// MaxHistory caps retained finished jobs (0 = DefaultMaxHistory).
+	MaxHistory int
+	// LeaseTTL is the fleet shard-lease TTL (0 = fleet.DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxQueued bounds jobs waiting for a runner slot; submissions beyond
+	// it are rejected with 429 + Retry-After (0 = unbounded).
+	MaxQueued int
+	// DataDir, when set, opens a durable jobstore.FileStore there: jobs,
+	// leases and fleet shard payloads survive restarts (and kill -9).
+	DataDir string
+	// Store overrides the job store directly (tests); ignored when
+	// DataDir is set.
+	Store jobstore.Store
+	// FleetBatches routes sharded scenarios of batch jobs through the
+	// fleet coordinator.
+	FleetBatches bool
+	// Logf receives recovery and persistence notes (nil = silent).
+	Logf func(format string, args ...any)
+}
+
 // NewServer returns a server allowing maxConcurrent batch jobs to run in
 // parallel (minimum 1), retaining at most DefaultMaxHistory finished jobs.
 func NewServer(maxConcurrent int) *Server {
@@ -75,28 +116,72 @@ func NewServerWithHistory(maxConcurrent, maxHistory int) *Server {
 	return NewServerWithOptions(maxConcurrent, maxHistory, fleet.DefaultLeaseTTL)
 }
 
-// NewServerWithOptions is the full constructor: concurrency cap, retention
-// cap and the fleet shard-lease TTL (how long an etworker may go silent
-// before its shard is re-leased).
+// NewServerWithOptions is a convenience constructor for in-memory servers:
+// concurrency cap, retention cap and the fleet shard-lease TTL (how long
+// an etworker may go silent before its shard is re-leased).
 func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration) *Server {
-	if maxConcurrent < 1 {
-		maxConcurrent = 1
+	s, err := New(Config{MaxConcurrent: maxConcurrent, MaxHistory: maxHistory, LeaseTTL: leaseTTL})
+	if err != nil {
+		// Unreachable: only store recovery can fail, and the in-memory
+		// store has nothing to recover.
+		panic(err)
 	}
-	if maxHistory < 1 {
-		maxHistory = 1
+	return s
+}
+
+// New builds a server from a Config, recovering persisted state (and
+// requeueing interrupted jobs) when the store holds any.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = DefaultMaxHistory
+	}
+	if cfg.MaxHistory < 1 {
+		cfg.MaxHistory = 1
 	}
 	cache := scenario.NewCache()
 	s := &Server{
-		cache:      cache,
-		coord:      fleet.NewCoordinator(cache, leaseTTL),
-		sem:        make(chan struct{}, maxConcurrent),
-		maxBody:    4 << 20,
-		maxHistory: maxHistory,
-		jobs:       make(map[string]*api.Job),
-		cancels:    make(map[string]context.CancelFunc),
-		hub:        newEventHub(),
-		mux:        http.NewServeMux(),
+		cache:        cache,
+		coord:        fleet.NewCoordinator(cache, cfg.LeaseTTL),
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		maxBody:      4 << 20,
+		maxHistory:   cfg.MaxHistory,
+		maxQueued:    cfg.MaxQueued,
+		logf:         cfg.Logf,
+		FleetBatches: cfg.FleetBatches,
+		jobs:         make(map[string]*api.Job),
+		batches:      make(map[string][]byte),
+		cancels:      make(map[string]context.CancelFunc),
+		hub:          newEventHub(),
+		mux:          http.NewServeMux(),
+		reg:          metrics.NewRegistry(),
 	}
+	s.initMetrics()
+
+	switch {
+	case cfg.DataDir != "":
+		fs, err := jobstore.Open(cfg.DataDir, jobstore.Options{
+			OnFsync: func(d time.Duration) { s.mFsync.Observe(d.Seconds()) },
+			Logf:    cfg.Logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = fs
+		s.persistent = true
+		s.initStoreMetrics(fs)
+	case cfg.Store != nil:
+		s.store = cfg.Store
+		s.persistent = true
+		if fs, ok := cfg.Store.(*jobstore.FileStore); ok {
+			s.initStoreMetrics(fs)
+		}
+	default:
+		s.store = jobstore.NewMem()
+	}
+
 	// One handler per route of the public contract. A test asserts this
 	// map covers api.Routes exactly, so the registered surface, the SDK
 	// and openapi.yaml cannot drift apart.
@@ -108,6 +193,7 @@ func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration)
 		"GET /v1/jobs/{id}/events":  s.handleEvents,
 		"GET /v1/scenarios/presets": s.handlePresets,
 		"GET /healthz":              s.handleHealth,
+		"GET /metrics":              s.reg.Handler().ServeHTTP,
 	}
 	for pattern, h := range handlers {
 		s.mux.HandleFunc(pattern, h)
@@ -117,8 +203,27 @@ func NewServerWithOptions(maxConcurrent, maxHistory int, leaseTTL time.Duration)
 	// POST /v1/fleet/jobs and read shard progress from GET /v1/jobs/{id}
 	// (which falls through to fleet jobs) or GET /v1/fleet/jobs/{id}.
 	s.coord.Register(s.mux, api.FleetPrefix)
-	return s
+	s.coord.OnLeaseExpiry = s.mExpiries.Inc
+
+	// Recovery: replay the store into the job table (requeueing jobs the
+	// last process died with) and the fleet coordinator.
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.coord.SetStore(s.store, cfg.Logf); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
+
+// Close releases the job store (a durable store flushes its WAL). In-flight
+// runner goroutines are not awaited: every transition they still make is
+// persisted, which is exactly the crash-consistency path recovery handles.
+func (s *Server) Close() error { return s.store.Close() }
+
+// Registry exposes the server's metrics registry (load harnesses register
+// their own series on it when embedding the server in-process).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Coordinator exposes the fleet coordinator (batch jobs whose sharded
 // scenarios should run on the fleet plug it into their engine).
@@ -204,6 +309,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	// Backpressure: a full waiting queue rejects the submission before any
+	// state is created, so a 429 is always safe to retry.
+	if s.maxQueued > 0 && s.queuedLocked() >= s.maxQueued {
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		e := api.Errorf(http.StatusTooManyRequests, api.CodeOverloaded,
+			"job queue is full (%d waiting); retry shortly", s.maxQueued)
+		e.RetryAfterS = 1
+		api.WriteError(w, r, e)
+		return
+	}
 	s.seq++
 	job := &api.Job{
 		ID:          fmt.Sprintf("job-%06d", s.seq),
@@ -214,10 +330,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.jobs[job.ID] = job
+	s.batches[job.ID] = body
 	s.cancels[job.ID] = cancel
 	s.order = append(s.order, job.ID)
 	s.evictLocked()
+	s.persistJobLocked(job.ID)
 	s.mu.Unlock()
+	s.mSubmitted.Inc()
 
 	go s.runJob(ctx, job.ID, batch)
 
@@ -249,6 +368,7 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 		j.Status = api.JobRunning
 		j.StartedAt = &now
 	})
+	s.persistJob(id)
 	s.publishStatus(id)
 
 	eng := scenario.NewEngineWithCache(s.cache)
@@ -264,6 +384,7 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 					j.Progress.ScenariosFailed++
 				}
 			})
+			s.persistJob(id)
 			if j := s.snapshot(id); j != nil {
 				s.hub.publish(id, api.JobEvent{
 					Type: api.EventScenario, JobID: id,
@@ -303,14 +424,19 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 	})
 }
 
-// finish stamps the completion time, applies the terminal transition and
+// finish stamps the completion time, applies the terminal transition,
+// persists the terminal record (dropping the requeue batch payload) and
 // publishes the terminal status event (closing watcher streams).
 func (s *Server) finish(id string, f func(*api.Job)) {
 	done := time.Now().UTC()
-	s.update(id, func(j *api.Job) {
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
 		j.FinishedAt = &done
 		f(j)
-	})
+		delete(s.batches, id)
+		s.persistJobLocked(id)
+	}
+	s.mu.Unlock()
 	s.publishStatus(id)
 }
 
@@ -404,6 +530,10 @@ func (s *Server) evictLocked() {
 		j := s.jobs[id]
 		if excess > 0 && j.Status.Finished() {
 			delete(s.jobs, id)
+			delete(s.batches, id)
+			if err := s.store.Delete(jobstore.KindJob, id, jobstore.Counters{}); err != nil {
+				s.logErr("server: evict %s: %v", id, err)
+			}
 			excess--
 			continue
 		}
@@ -527,6 +657,7 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.jobs)
+	queued := s.queuedLocked()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, api.Health{
 		Status: "ok", Jobs: n,
@@ -534,5 +665,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: s.cache.Len(),
 		CacheHits:    s.cache.Hits(),
 		CacheMisses:  s.cache.Misses(),
+		QueuedJobs:   queued,
+		MaxQueued:    s.maxQueued,
+		Watchers:     int(s.hub.watcherCount()),
+		Persistent:   s.persistent,
 	})
 }
