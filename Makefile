@@ -23,7 +23,7 @@ BENCH_TOLERANCE ?= 0.25
 BENCH_TIME_TOLERANCE ?= 0
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate fuzz-smoke load-smoke demo clean
+.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate fuzz-smoke load-smoke chaos-smoke govulncheck demo clean
 
 all: build
 
@@ -114,6 +114,37 @@ load-smoke:
 		-min-peak-watchers 100 -out $(LOAD_SMOKE_OUT)
 	$(GO) run ./cmd/etload -self -jobs 20 -watchers 1000 -anchors 8 \
 		-min-peak-watchers 1000 -out $(LOAD_SMOKE_FANOUT_OUT)
+
+# chaos-smoke is the robustness gate: the etload run repeated under
+# deterministic fault injection with a pinned seed (any failure replays
+# from the spec recorded in the report) — the process must survive, no
+# watcher may lose its terminal event, and the sharded fleet merge must
+# stay bit-identical to a clean run through the injected re-lease storm.
+# Then a real etserver process is drained with SIGTERM and must exit 0.
+CHAOS_SEED ?= 20160607
+CHAOS_SMOKE_OUT ?= out/etload_chaos.json
+CHAOS_ADDR ?= 127.0.0.1:18766
+chaos-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/etload -self -chaos -chaos-seed $(CHAOS_SEED) \
+		-jobs 30 -watchers 40 -anchors 3 -concurrency 8 \
+		-timeout 5m -out $(CHAOS_SMOKE_OUT)
+	$(GO) build -o out/etserver ./cmd/etserver
+	@out/etserver -addr $(CHAOS_ADDR) -drain-timeout 20s & pid=$$!; \
+	up=0; for i in $$(seq 1 50); do \
+		if curl -fsS http://$(CHAOS_ADDR)/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	if [ "$$up" != 1 ]; then echo "etserver never became healthy"; kill $$pid; exit 1; fi; \
+	kill -TERM $$pid; \
+	if wait $$pid; then echo "SIGTERM drain: clean exit"; else \
+		echo "SIGTERM drain: etserver exited nonzero"; exit 1; fi
+
+# govulncheck scans the module against the Go vulnerability database.
+# Installs on demand when the binary is missing (requires network once).
+govulncheck:
+	@command -v govulncheck >/dev/null || $(GO) install golang.org/x/vuln/cmd/govulncheck@latest
+	govulncheck ./...
 
 # demo runs the bundled batch scenario suite.
 demo:

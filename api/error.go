@@ -40,6 +40,18 @@ const (
 	// Retry-After header (mirrored in RetryAfterS) and the request was NOT
 	// processed, so retrying it is always safe.
 	CodeOverloaded = "overloaded"
+	// CodeDraining marks a submission rejected because the server is
+	// shutting down gracefully: it no longer accepts work but keeps
+	// serving reads and running jobs until its drain timeout. The response
+	// carries a Retry-After hint and the request was NOT processed, so
+	// retrying (ideally against another replica) is always safe.
+	CodeDraining = "draining"
+	// CodeDegraded marks a submission shed because the server's job store
+	// is failing writes: accepting work it cannot persist would break the
+	// durability contract. The request was NOT processed; retry after the
+	// Retry-After hint — the server recovers as soon as a store write
+	// succeeds again.
+	CodeDegraded = "degraded"
 	// CodeUnsupportedVersion marks a request demanding an API version the
 	// server does not speak.
 	CodeUnsupportedVersion = "unsupported-version"
@@ -210,4 +222,30 @@ func IsConflict(err error) bool {
 func IsOverloaded(err error) bool {
 	e, ok := AsError(err)
 	return ok && (e.Code == CodeOverloaded || e.Status == http.StatusTooManyRequests)
+}
+
+// IsDraining reports whether err is the graceful-shutdown rejection
+// (HTTP 503 / CodeDraining): the server is draining and no longer accepts
+// submissions. The request was not processed.
+func IsDraining(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Code == CodeDraining
+}
+
+// IsDegraded reports whether err is the degraded-store rejection
+// (HTTP 503 / CodeDegraded): the server is shedding submissions because
+// job-store writes are failing. The request was not processed.
+func IsDegraded(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Code == CodeDegraded
+}
+
+// IsShedding reports whether err is any server-side load-shedding
+// rejection — backpressure (429 overloaded), graceful drain or degraded
+// store (503) — all of which guarantee the request was NOT processed.
+// Because of that guarantee, even non-idempotent calls (submissions) are
+// always safe to retry on a shedding rejection, and the SDK does so
+// automatically.
+func IsShedding(err error) bool {
+	return IsOverloaded(err) || IsDraining(err) || IsDegraded(err)
 }

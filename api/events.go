@@ -24,6 +24,13 @@ const (
 	// EventShards reports shard progress of a fleet job (ShardsDone of
 	// ShardsTotal accepted by the coordinator).
 	EventShards EventType = "shards"
+	// EventShutdown announces a graceful server drain: the stream ends
+	// after this event even though the job is NOT terminal. Consumers
+	// should reconnect (to a replica, or to the same server if it is
+	// merely restarting) or fall back to polling; the SDK's Wait helpers
+	// do the latter automatically. Terminal() is false for this event —
+	// it ends the stream, not the job.
+	EventShutdown EventType = "shutdown"
 )
 
 // JobEvent is the JSON payload of one progress event. Fields beyond Type

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffCeilingDoublesAndSaturates(t *testing.T) {
+	const initial = 250 * time.Millisecond
+	const max = 10 * time.Second
+	want := []time.Duration{
+		250 * time.Millisecond, 500 * time.Millisecond, time.Second,
+		2 * time.Second, 4 * time.Second, 8 * time.Second,
+		10 * time.Second, 10 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := backoffCeiling(initial, max, attempt); got != w {
+			t.Errorf("ceiling(attempt %d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// Deep attempt counts must saturate at the cap, not wrap negative
+	// through duration overflow.
+	for _, attempt := range []int{40, 63, 64, 1000} {
+		if got := backoffCeiling(initial, max, attempt); got != max {
+			t.Errorf("ceiling(attempt %d) = %v, want cap %v", attempt, got, max)
+		}
+	}
+}
+
+func TestFullJitterBoundsAndDesync(t *testing.T) {
+	const initial = 250 * time.Millisecond
+	const max = 10 * time.Second
+	// Every draw must land in (0, ceiling].
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := backoffCeiling(initial, max, attempt)
+		for i := 0; i < 200; i++ {
+			d := fullJitter(initial, max, attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Desynchronization: a cohort of clients retrying the same attempt
+	// must NOT sleep in lockstep. With full jitter over a 2s window, 32
+	// identical draws are impossible in practice (P ≈ (1ns/2s)³¹).
+	const attempt = 3
+	first := fullJitter(initial, max, attempt)
+	same := true
+	for i := 0; i < 31; i++ {
+		if fullJitter(initial, max, attempt) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("32 cohort clients drew the identical delay %v — backoff is lockstep, not jittered", first)
+	}
+}

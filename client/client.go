@@ -3,10 +3,12 @@
 // coordinator, speaking the versioned wire contract of package api.
 //
 // A Client is safe for concurrent use. Idempotent calls (GETs and fleet
-// heartbeats) are retried with exponential backoff on transport errors and
-// 5xx/429 responses; submissions additionally retry the server's 429
-// backpressure rejection (which guarantees the request was not processed),
-// honoring its Retry-After hint as the backoff. All other errors surface
+// heartbeats) are retried with capped full-jitter exponential backoff on
+// transport errors and 5xx/429 responses; submissions additionally retry
+// the server's shedding rejections — 429 backpressure and the 503s of a
+// draining or degraded server — all of which guarantee the request was
+// not processed, honoring their Retry-After hint as the backoff. All
+// other errors surface
 // as *api.Error so callers can switch on status and condition code.
 // WatchJob consumes the server's SSE progress stream, replacing poll
 // loops.
@@ -25,6 +27,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -39,8 +42,11 @@ const (
 	// DefaultMaxAttempts bounds tries of one idempotent call (1 initial +
 	// retries).
 	DefaultMaxAttempts = 3
-	// DefaultRetryBackoff is the first retry delay; it doubles per retry.
+	// DefaultRetryBackoff is the first retry ceiling; it doubles per retry.
 	DefaultRetryBackoff = 250 * time.Millisecond
+	// DefaultMaxRetryBackoff caps the exponential ceiling: no single retry
+	// sleeps longer than this, however many attempts came before.
+	DefaultMaxRetryBackoff = 10 * time.Second
 )
 
 // Client talks to one etserver. Construct with New; the zero value is not
@@ -93,6 +99,29 @@ func New(baseURL string, opts ...Option) *Client {
 // BaseURL returns the server root the client talks to.
 func (c *Client) BaseURL() string { return c.base }
 
+// backoffCeiling returns the exponential ceiling of one retry attempt:
+// initial doubled attempt times, saturating at max (shift overflow
+// included — after ~40 doublings the duration wraps negative).
+func backoffCeiling(initial, max time.Duration, attempt int) time.Duration {
+	d := initial
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d <= 0 || d > max {
+		return max
+	}
+	return d
+}
+
+// fullJitter draws the actual retry delay: uniform in (0, ceiling]. Full
+// jitter (rather than a ±few-percent wiggle) is what breaks retry
+// synchronization — clients rejected in the same instant spread across
+// the whole window instead of colliding again at its edge.
+func fullJitter(initial, max time.Duration, attempt int) time.Duration {
+	c := backoffCeiling(initial, max, attempt)
+	return time.Duration(1 + rand.Int64N(int64(c)))
+}
+
 // retryable reports whether a response status is worth retrying on an
 // idempotent call.
 func retryable(status int) bool {
@@ -129,18 +158,22 @@ func (c *Client) doStatus(ctx context.Context, method, path string, in, out any,
 			return status, err
 		}
 		// Non-idempotent calls must not be replayed after an ambiguous
-		// failure (the server may have processed them) — except the 429
-		// backpressure rejection, which guarantees the request was NOT
-		// processed and is therefore always safe to retry.
-		if !idempotent && !api.IsOverloaded(err) {
+		// failure (the server may have processed them) — except the
+		// shedding rejections (429 backpressure, 503 draining/degraded),
+		// which guarantee the request was NOT processed and are therefore
+		// always safe to retry.
+		if !idempotent && !api.IsShedding(err) {
 			return status, err
 		}
 		if attempt+1 >= c.maxAttempts || ctx.Err() != nil {
 			return status, err
 		}
-		// Exponential backoff, overridden by the server's Retry-After hint
-		// when the rejection carried one.
-		delay := c.backoff << attempt
+		// Full-jitter exponential backoff, overridden by the server's
+		// Retry-After hint when the rejection carried one. The jitter
+		// desynchronizes a cohort of clients rejected together (a drain, a
+		// restart, a backpressure spike): lockstep 250·2ⁿ ms delays would
+		// re-arrive as the same thundering herd every round.
+		delay := fullJitter(c.backoff, DefaultMaxRetryBackoff, attempt)
 		if e, ok := api.AsError(err); ok && e.RetryAfterS > 0 {
 			delay = time.Duration(e.RetryAfterS) * time.Second
 		}

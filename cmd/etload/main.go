@@ -18,9 +18,23 @@
 // management. With -duration the throughput phase loops until the
 // deadline (soak mode).
 //
+// With -chaos the same run executes under deterministic fault injection
+// (package faultinject): store writes fail and tear, HTTP calls are
+// delayed, dropped and answered with synthetic 5xx, SSE streams are cut
+// mid-event, and the solver is forced into NaN, divergence and panic —
+// all drawn from one seeded stream (-chaos-seed, recorded in the report,
+// so any failure replays exactly). Chaos adds a fleet phase: a sharded
+// campaign is merged through a deliberate re-lease storm (worker result
+// posts dropped without retry, leases expiring and re-leasing) and the
+// merged result must be bit-identical to a clean single-process run. The
+// run fails unless faults actually fired, every watcher still saw its
+// terminal event (reconnecting through cut streams), and the merge is
+// bit-identical.
+//
 // Usage:
 //
 //	etload -self -jobs 200 -watchers 100 -out load.json
+//	etload -self -chaos -chaos-seed 20160607 -out chaos.json
 //	etload -server http://etserver:8080 -jobs 1000 -watchers 1000 \
 //	       -duration 10m -min-peak-watchers 1000
 //
@@ -46,6 +60,8 @@ import (
 
 	"etherm/api"
 	"etherm/client"
+	"etherm/internal/faultinject"
+	"etherm/internal/jobstore"
 	"etherm/internal/server"
 )
 
@@ -65,6 +81,10 @@ func main() {
 		selfMaxJobs   = flag.Int("self-max-jobs", 2, "-self: concurrent batch runners")
 		selfMaxQueued = flag.Int("self-max-queued", 64, "-self: backpressure queue bound (0 = unbounded)")
 		selfData      = flag.String("self-data", "", "-self: persist to this data directory (empty = in-memory)")
+
+		chaos     = flag.Bool("chaos", false, "inject deterministic faults (store, transport, SSE, solver) and assert the robustness contract")
+		chaosSeed = flag.Uint64("chaos-seed", faultinject.DefaultSeed, "chaos: seed of the fault stream (recorded in the report; replays the run)")
+		chaosSpec = flag.String("chaos-spec", "", "chaos: override the built-in fault mix with a faultinject spec (\"store-fail=0.05,http-drop=0.1,…\")")
 	)
 	flag.Parse()
 
@@ -72,17 +92,50 @@ func main() {
 		log.Fatal("etload: pass exactly one of -server URL or -self")
 	}
 
+	var ch *chaosRun
+	if *chaos {
+		cfg := chaosConfig(*chaosSeed)
+		if *chaosSpec != "" {
+			parsed, err := faultinject.ParseSpec(*chaosSpec)
+			if err != nil {
+				log.Fatalf("etload: %v", err)
+			}
+			if parsed.Seed == 0 {
+				parsed.Seed = *chaosSeed
+			}
+			cfg = parsed
+		}
+		ch = &chaosRun{inj: faultinject.New(cfg)}
+		log.Printf("etload: CHAOS mode, %s", ch.inj.Spec())
+	}
+
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	base := *serverURL
 	if *self {
-		srv, err := server.New(server.Config{
+		cfg := server.Config{
 			MaxConcurrent: *selfMaxJobs,
 			MaxHistory:    2 * (*jobs + *anchors),
 			MaxQueued:     *selfMaxQueued,
 			DataDir:       *selfData,
-		})
+		}
+		if ch != nil {
+			// Interpose the fault-injecting store and shorten the lease TTL
+			// so chaos-induced re-leases cycle in seconds, not minutes.
+			var store jobstore.Store = jobstore.NewMem()
+			if *selfData != "" {
+				fs, err := jobstore.Open(*selfData, jobstore.Options{})
+				if err != nil {
+					log.Fatalf("etload: open store: %v", err)
+				}
+				store = fs
+			}
+			cfg.DataDir = ""
+			cfg.Store = ch.inj.WrapStore(store)
+			cfg.LeaseTTL = 2 * time.Second
+		}
+		srv, err := server.New(cfg)
 		if err != nil {
 			log.Fatalf("etload: start server: %v", err)
 		}
@@ -101,7 +154,13 @@ func main() {
 			base, *selfMaxJobs, *selfMaxQueued)
 	}
 
-	counter := &countingTransport{base: http.DefaultTransport}
+	wire := http.DefaultTransport
+	if ch != nil {
+		wire = ch.inj.Transport(wire)
+	}
+	// The 429 counter sits OUTERMOST so it counts real server rejections,
+	// not synthetic chaos 5xx (which the injector never renders as 429).
+	counter := &countingTransport{base: wire}
 	cl := client.New(base,
 		client.WithHTTPClient(&http.Client{Transport: counter}),
 		client.WithRetry(5, 100*time.Millisecond))
@@ -111,11 +170,28 @@ func main() {
 		Concurrency: *conc, DurationS: duration.Seconds(),
 	}}
 
-	if err := runWatcherFanout(ctx, cl, *watchers, *anchors, &rep); err != nil {
+	if ch != nil {
+		// Solver faults stay on through the load phases: scenarios fail as
+		// typed solver errors (or recovered panics), never a dead process.
+		ch.inj.EnableSolverFaults()
+	}
+	if err := runWatcherFanout(ctx, cl, *watchers, *anchors, &rep, ch); err != nil {
 		log.Fatalf("etload: watcher phase: %v", err)
 	}
 	if err := runThroughput(ctx, cl, *jobs, *conc, *duration, &rep); err != nil {
 		log.Fatalf("etload: throughput phase: %v", err)
+	}
+	if ch != nil {
+		// The fleet phase compares merged bits against a clean reference —
+		// both sides must solve faithfully.
+		faultinject.DisableSolverFaults()
+		rep.Chaos = &chaosStats{Seed: ch.inj.Seed(), Spec: ch.inj.Spec()}
+		if err := runChaosFleet(ctx, cl, base, ch, &rep); err != nil {
+			log.Printf("etload: chaos fleet phase: %v", err)
+		}
+		rep.Chaos.Faults = ch.inj.Counts()
+		rep.Chaos.FaultsTotal = ch.inj.Total()
+		rep.Chaos.WatchResumes = ch.watchResumes.Load()
 	}
 	rep.Rejected429 = counter.n429.Load()
 
@@ -123,14 +199,24 @@ func main() {
 		rep.WatcherStats.WatchErrors == 0 &&
 		rep.Throughput.FailedJobs == 0 &&
 		rep.WatcherStats.PeakConcurrent >= int64(*minPeak)
+	if rep.Chaos != nil {
+		// The chaos contract: faults actually fired, and the campaign
+		// merged through the re-lease storm bit-identical to a clean run.
+		rep.OK = rep.OK && rep.Chaos.FaultsTotal > 0 &&
+			rep.Chaos.Fleet != nil && rep.Chaos.Fleet.BitIdentical
+	}
 
 	if err := writeReport(*out, &rep); err != nil {
 		log.Fatalf("etload: %v", err)
 	}
 	if !rep.OK {
-		log.Fatalf("etload: FAILED (dropped=%d watchErrs=%d failedJobs=%d peak=%d/%d)",
+		log.Fatalf("etload: FAILED (dropped=%d watchErrs=%d failedJobs=%d peak=%d/%d chaos=%+v)",
 			rep.WatcherStats.DroppedTerminal, rep.WatcherStats.WatchErrors,
-			rep.Throughput.FailedJobs, rep.WatcherStats.PeakConcurrent, *minPeak)
+			rep.Throughput.FailedJobs, rep.WatcherStats.PeakConcurrent, *minPeak, rep.Chaos)
+	}
+	if rep.Chaos != nil {
+		log.Printf("etload: chaos OK — %d faults injected (seed %d), %d watch resumes, fleet merge bit-identical over %.0f lease expiries",
+			rep.Chaos.FaultsTotal, rep.Chaos.Seed, rep.Chaos.WatchResumes, rep.Chaos.Fleet.LeaseExpiries)
 	}
 	log.Printf("etload: OK — %d jobs (%.1f/s), peak %d watchers, %d backpressure rejections retried",
 		rep.Throughput.Jobs, rep.Throughput.JobsPerS, rep.WatcherStats.PeakConcurrent, rep.Rejected429)
@@ -167,8 +253,12 @@ func tinyBatch(name string) *api.Batch {
 
 // runWatcherFanout submits anchor jobs, attaches the full watcher pool
 // across them, waits for every stream to be connected, then cancels the
-// anchors. Every watcher must observe a terminal event.
-func runWatcherFanout(ctx context.Context, cl *client.Client, watchers, anchors int, rep *report) error {
+// anchors. Every watcher must observe a terminal event. Under chaos
+// (ch != nil) injected stream failures — truncated SSE bodies, dropped
+// GETs — are answered by reconnecting, exactly as a resilient consumer
+// would; only a CLEAN stream close without a terminal event counts as a
+// dropped terminal.
+func runWatcherFanout(ctx context.Context, cl *client.Client, watchers, anchors int, rep *report, ch *chaosRun) error {
 	if watchers <= 0 {
 		return nil
 	}
@@ -201,35 +291,51 @@ func runWatcherFanout(ctx context.Context, cl *client.Client, watchers, anchors 
 		go func(w int) {
 			defer finished.Done()
 			start := time.Now()
-			events, errc := cl.WatchJob(ctx, ids[w%len(ids)])
-			n := current.Add(1)
+			id := ids[w%len(ids)]
+			first, counted := true, false
 			for {
-				old := peak.Load()
-				if n <= old || peak.CompareAndSwap(old, n) {
-					break
+				events, errc := cl.WatchJob(ctx, id)
+				if !counted {
+					n := current.Add(1)
+					for {
+						old := peak.Load()
+						if n <= old || peak.CompareAndSwap(old, n) {
+							break
+						}
+					}
+					connected.Done()
+					defer current.Add(-1)
+					counted = true
 				}
-			}
-			connected.Done()
-			defer current.Add(-1)
 
-			first, terminal := true, false
-			for ev := range events {
-				if first {
-					firstEvent.add(time.Since(start))
-					first = false
+				terminal := false
+				for ev := range events {
+					if first {
+						firstEvent.add(time.Since(start))
+						first = false
+					}
+					if ev.Terminal() {
+						terminal = true
+					}
 				}
-				if ev.Terminal() {
-					terminal = true
+				err := <-errc
+				if terminal {
+					gotTerminal.Add(1)
+					return
 				}
-			}
-			if err := <-errc; err != nil {
-				watchErrs.Add(1)
-				return
-			}
-			if terminal {
-				gotTerminal.Add(1)
-			} else {
+				if err != nil {
+					// An injected failure (cut stream, dropped GET) is the
+					// chaos the consumer is expected to ride out: reconnect.
+					// Without chaos, any stream error is a harness failure.
+					if ch != nil && ctx.Err() == nil {
+						ch.watchResumes.Add(1)
+						continue
+					}
+					watchErrs.Add(1)
+					return
+				}
 				dropped.Add(1)
+				return
 			}
 		}(w)
 	}
@@ -410,6 +516,7 @@ type report struct {
 	WatcherStats watcherStats    `json:"watchers"`
 	Throughput   throughputStats `json:"throughput"`
 	Rejected429  int64           `json:"rejected_429"`
+	Chaos        *chaosStats     `json:"chaos,omitempty"`
 	OK           bool            `json:"ok"`
 }
 

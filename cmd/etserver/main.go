@@ -40,7 +40,7 @@
 //
 //	etserver [-addr :8080] [-max-jobs 2] [-history 128]
 //	         [-lease-ttl 30s] [-fleet-batches]
-//	         [-data DIR] [-max-queued 0]
+//	         [-data DIR] [-max-queued 0] [-drain-timeout 30s]
 //
 // With -data DIR the server persists every job, lease and fleet shard
 // transition to an fsync'd write-ahead log under DIR and recovers the
@@ -49,6 +49,17 @@
 // fleet campaigns resume from their completed shards. -max-queued bounds
 // the submission queue; beyond it, POST /v1/jobs returns 429 with a
 // Retry-After hint (the SDK retries automatically).
+//
+// SIGTERM or SIGINT triggers a graceful drain instead of an abrupt exit:
+// new submissions are rejected with 503 + Retry-After (the SDK retries
+// them, ideally against another replica), queued and running jobs get up
+// to -drain-timeout to finish (after which they are canceled with their
+// terminal records persisted), every SSE watcher receives an explicit
+// "shutdown" event before its stream closes, the store flushes, and the
+// process exits 0. A second signal during the drain forces immediate
+// exit. Chaos fault injection (package faultinject) is enabled by the
+// ETHERM_CHAOS environment variable, e.g.
+// ETHERM_CHAOS="seed=42,store-fail=0.05" — off by default.
 //
 // Quickstart against a running server:
 //
@@ -60,13 +71,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"etherm/internal/faultinject"
 	"etherm/internal/fleet"
+	"etherm/internal/jobstore"
 	"etherm/internal/server"
 )
 
@@ -79,10 +97,18 @@ func main() {
 		fleetBatches = flag.Bool("fleet-batches", false, "run sharded scenarios of batch jobs on the etworker fleet instead of locally")
 		dataDir      = flag.String("data", "", "persist jobs, leases and shard results under this directory (empty = in-memory)")
 		maxQueued    = flag.Int("max-queued", 0, "reject submissions (429) beyond this many queued jobs (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long running jobs may finish before being canceled")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
+	// Chaos fault injection, off unless ETHERM_CHAOS is set (replayable
+	// from the seed it names; see internal/faultinject).
+	inj, err := faultinject.FromEnv(os.Getenv)
+	if err != nil {
+		log.Fatalf("etserver: %v", err)
+	}
+
+	cfg := server.Config{
 		MaxConcurrent: *maxJobs,
 		MaxHistory:    *history,
 		LeaseTTL:      *leaseTTL,
@@ -90,7 +116,24 @@ func main() {
 		DataDir:       *dataDir,
 		FleetBatches:  *fleetBatches,
 		Logf:          log.Printf,
-	})
+	}
+	if inj != nil {
+		// Interpose the fault-injecting store wrapper between the server
+		// and whichever store the flags select.
+		var base jobstore.Store = jobstore.NewMem()
+		if *dataDir != "" {
+			fs, err := jobstore.Open(*dataDir, jobstore.Options{Logf: log.Printf})
+			if err != nil {
+				log.Fatalf("etserver: %v", err)
+			}
+			base = fs
+		}
+		cfg.DataDir = ""
+		cfg.Store = inj.WrapStore(base)
+		log.Printf("etserver: CHAOS fault injection active (%s)", inj.Spec())
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("etserver: %v", err)
 	}
@@ -104,5 +147,35 @@ func main() {
 		durability = "persistent data in " + *dataDir
 	}
 	fmt.Printf("etserver: listening on %s (max %d concurrent jobs, %s)\n", *addr, *maxJobs, durability)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Serve until a shutdown signal, then drain instead of dying mid-job:
+	// stop accepting submissions, let runners finish (bounded by
+	// -drain-timeout), end every SSE stream with an explicit shutdown
+	// event, close the listener, flush the store, exit clean.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("etserver: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // a second signal now kills the process the default way
+		log.Printf("etserver: shutdown signal; draining (timeout %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("etserver: %v", err)
+		}
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			log.Printf("etserver: listener shutdown: %v", err)
+		}
+		cancel()
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatalf("etserver: store close: %v", err)
+	}
+	log.Printf("etserver: drained, exiting clean")
 }

@@ -1,0 +1,507 @@
+// Package faultinject is the deterministic, seed-driven chaos layer of
+// the control plane: it injects faults at the three seams where real
+// deployments fail — the job store (failed, torn and delayed writes), the
+// HTTP transport (latency, connection drops, synthesized 5xx bursts,
+// truncated SSE streams) and the linear solver (NaN poisoning, forced
+// divergence, panics) — so the hardening around those seams can be
+// exercised on demand and every chaos run replayed from its seed.
+//
+// Everything is off by default: a zero Config injects nothing, and the
+// solver hook is only installed by an explicit EnableSolverFaults call.
+// The injector draws from one seeded PRNG under a lock, so a given
+// (seed, workload) pair replays the same fault schedule up to goroutine
+// interleaving; per-fault counters record what actually fired, and chaos
+// harnesses assert the counts are non-zero so a "green" run cannot mean
+// "the faults never happened".
+//
+// Transport faults respect the API's retry contract: only requests that
+// are safe to lose — GETs and the fleet worker protocol POSTs
+// (lease/heartbeat/result/fail) — are dropped or answered with
+// synthesized 5xx. Submissions and cancels pass through untouched, so an
+// injected fault can never forge the "request was not processed"
+// guarantee that makes shed submissions retryable.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etherm/internal/jobstore"
+	"etherm/internal/solver"
+)
+
+// ErrInjected is the sentinel wrapped by every injected failure, so tests
+// and harnesses can separate chaos from genuine faults with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config declares the fault schedule. The zero value injects nothing.
+// Probabilities are per operation in [0, 1]; durations are the maximum of
+// a uniform injected delay.
+type Config struct {
+	// Seed drives the PRNG; a run is replayable from its seed. Zero picks
+	// the fixed default seed (the package never reads a clock), so a
+	// recorded config always names its seed.
+	Seed uint64
+
+	// Store faults (jobstore.Store wrapper).
+	StoreFailP  float64       // Put/Delete returns an injected error, nothing written
+	StoreTornP  float64       // Put writes a truncated record, then reports failure
+	StoreDelay  time.Duration // max injected latency per store operation
+	StoreDelayP float64       // probability of injecting that latency
+
+	// Transport faults (http.RoundTripper wrapper).
+	HTTPLatency  time.Duration // max injected latency per request
+	HTTPLatencyP float64       // probability of injecting that latency
+	HTTPDropP    float64       // safe request fails with a connection error
+	HTTP5xxP     float64       // safe request answered with a synthesized 502
+	SSETruncP    float64       // SSE response body truncated mid-stream
+
+	// Solver faults (consulted per CGWith solve via EnableSolverFaults).
+	SolverNaNP     float64
+	SolverDivergeP float64
+	SolverPanicP   float64
+}
+
+// DefaultSeed is used when Config.Seed is zero, so every chaos run has a
+// concrete, reportable seed.
+const DefaultSeed = 20160607 // the paper's publication date
+
+// Fault kind labels, the keys of Injector.Counts.
+const (
+	KindStoreFail   = "store-fail"
+	KindStoreTorn   = "store-torn"
+	KindStoreDelay  = "store-delay"
+	KindHTTPLatency = "http-latency"
+	KindHTTPDrop    = "http-drop"
+	KindHTTP5xx     = "http-5xx"
+	KindSSETrunc    = "sse-trunc"
+	KindSolverNaN   = "solver-nan"
+	KindSolverDiv   = "solver-diverge"
+	KindSolverPanic = "solver-panic"
+)
+
+var kinds = []string{
+	KindStoreFail, KindStoreTorn, KindStoreDelay,
+	KindHTTPLatency, KindHTTPDrop, KindHTTP5xx, KindSSETrunc,
+	KindSolverNaN, KindSolverDiv, KindSolverPanic,
+}
+
+// Injector draws faults from one seeded PRNG and counts what fired.
+// Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	counts map[string]*atomic.Int64
+}
+
+// New builds an injector for cfg, defaulting a zero seed to DefaultSeed.
+func New(cfg Config) *Injector {
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	in := &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x9e3779b97f4a7c15)),
+		counts: make(map[string]*atomic.Int64, len(kinds)),
+	}
+	for _, k := range kinds {
+		in.counts[k] = &atomic.Int64{}
+	}
+	return in
+}
+
+// Seed returns the effective seed, for recording in chaos reports.
+func (in *Injector) Seed() uint64 { return in.cfg.Seed }
+
+// Counts snapshots how many faults of each kind fired (zero entries
+// omitted). Chaos harnesses assert the total is non-zero.
+func (in *Injector) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for k, c := range in.counts {
+		if n := c.Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	var n int64
+	for _, c := range in.counts {
+		n += c.Load()
+	}
+	return n
+}
+
+// hit draws one Bernoulli trial.
+func (in *Injector) hit(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}
+
+// span draws a uniform duration in (0, max].
+func (in *Injector) span(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	in.mu.Lock()
+	d := time.Duration(in.rng.Int64N(int64(max))) + 1
+	in.mu.Unlock()
+	return d
+}
+
+func (in *Injector) fired(kind string) { in.counts[kind].Add(1) }
+
+// ---------------------------------------------------------------------------
+// Store faults.
+// ---------------------------------------------------------------------------
+
+// faultyStore wraps a jobstore.Store with injected write failures. Reads
+// (State) pass through untouched: recovery correctness under corrupted
+// bytes is the WAL fuzzers' job; this seam models the write path failing
+// mid-flight.
+type faultyStore struct {
+	in *Injector
+	s  jobstore.Store
+}
+
+// WrapStore returns s with injected Put/Delete faults: fail-stop errors
+// (nothing written), torn writes (a truncated record is written, then the
+// error surfaces — what a crash mid-fsync leaves behind) and delays.
+func (in *Injector) WrapStore(s jobstore.Store) jobstore.Store {
+	return &faultyStore{in: in, s: s}
+}
+
+func (fs *faultyStore) Put(kind, id string, data []byte, c jobstore.Counters) error {
+	if fs.in.cfg.StoreDelay > 0 && fs.in.hit(fs.in.cfg.StoreDelayP) {
+		fs.in.fired(KindStoreDelay)
+		time.Sleep(fs.in.span(fs.in.cfg.StoreDelay))
+	}
+	if fs.in.hit(fs.in.cfg.StoreFailP) {
+		fs.in.fired(KindStoreFail)
+		return fmt.Errorf("store put %s/%s failed (injected fsync error): %w", kind, id, ErrInjected)
+	}
+	if len(data) > 1 && fs.in.hit(fs.in.cfg.StoreTornP) {
+		fs.in.fired(KindStoreTorn)
+		// A torn write lands half a record AND reports failure — the
+		// caller must treat the record as unwritten, and recovery must
+		// shrug off the garbage (the WAL's CRC framing drops it).
+		_ = fs.s.Put(kind, id, data[:len(data)/2], c)
+		return fmt.Errorf("store put %s/%s torn mid-write (injected): %w", kind, id, ErrInjected)
+	}
+	return fs.s.Put(kind, id, data, c)
+}
+
+func (fs *faultyStore) Delete(kind, id string, c jobstore.Counters) error {
+	if fs.in.hit(fs.in.cfg.StoreFailP) {
+		fs.in.fired(KindStoreFail)
+		return fmt.Errorf("store delete %s/%s failed (injected): %w", kind, id, ErrInjected)
+	}
+	return fs.s.Delete(kind, id, c)
+}
+
+func (fs *faultyStore) State() *jobstore.State { return fs.s.State() }
+func (fs *faultyStore) Close() error           { return fs.s.Close() }
+
+// ---------------------------------------------------------------------------
+// Transport faults.
+// ---------------------------------------------------------------------------
+
+// transport wraps an http.RoundTripper with injected network faults.
+type transport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// Transport returns base (nil = http.DefaultTransport) wrapped with
+// injected latency on every request, drops and synthesized 502s on safe
+// requests, and mid-stream truncation of SSE response bodies.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{in: in, base: base}
+}
+
+// safeToDisrupt reports whether losing req before it reaches the server
+// preserves the system's invariants: GETs are idempotent, and the fleet
+// worker protocol tolerates every lost call (a lost lease is re-polled, a
+// lost heartbeat retried, a lost result re-leased after TTL expiry — the
+// re-run is bit-identical, and the coordinator's stale-lease rejection
+// keeps the merge exactly-once). Submissions and cancels are never
+// disrupted: the SDK must not see a synthetic failure on a call the
+// server may otherwise have processed.
+func safeToDisrupt(req *http.Request) bool {
+	if req.Method == http.MethodGet {
+		return true
+	}
+	if req.Method != http.MethodPost {
+		return false
+	}
+	p := req.URL.Path
+	for _, suffix := range []string{"/lease", "/heartbeat", "/result", "/fail"} {
+		if strings.HasSuffix(p, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.in.cfg.HTTPLatency > 0 && t.in.hit(t.in.cfg.HTTPLatencyP) {
+		t.in.fired(KindHTTPLatency)
+		select {
+		case <-time.After(t.in.span(t.in.cfg.HTTPLatency)):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if safeToDisrupt(req) {
+		if t.in.hit(t.in.cfg.HTTPDropP) {
+			t.in.fired(KindHTTPDrop)
+			return nil, fmt.Errorf("%s %s connection dropped: %w", req.Method, req.URL.Path, ErrInjected)
+		}
+		if t.in.hit(t.in.cfg.HTTP5xxP) {
+			t.in.fired(KindHTTP5xx)
+			return synthesized5xx(req), nil
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") &&
+		t.in.hit(t.in.cfg.SSETruncP) {
+		t.in.fired(KindSSETrunc)
+		// Truncate after a random early slice of the stream: the watcher
+		// sees a connection reset mid-stream and must re-subscribe.
+		resp.Body = &truncatedBody{rc: resp.Body, remain: 64 + int64(t.in.span(4096))}
+	}
+	return resp, nil
+}
+
+// synthesized5xx fabricates the 502 an upstream proxy would return when
+// the backend connection fails.
+func synthesized5xx(req *http.Request) *http.Response {
+	body := "injected bad gateway (chaos)"
+	return &http.Response{
+		Status:        strconv.Itoa(http.StatusBadGateway) + " " + http.StatusText(http.StatusBadGateway),
+		StatusCode:    http.StatusBadGateway,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncatedBody yields remain bytes of the stream, then fails like a
+// reset connection.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("stream truncated: %w", ErrInjected)
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// ---------------------------------------------------------------------------
+// Solver faults.
+// ---------------------------------------------------------------------------
+
+// SolverFault draws at most one injected solver failure mode; it is the
+// function EnableSolverFaults installs as the solver's chaos hook.
+func (in *Injector) SolverFault() solver.Fault {
+	switch {
+	case in.hit(in.cfg.SolverPanicP):
+		in.fired(KindSolverPanic)
+		return solver.FaultPanic
+	case in.hit(in.cfg.SolverNaNP):
+		in.fired(KindSolverNaN)
+		return solver.FaultNaN
+	case in.hit(in.cfg.SolverDivergeP):
+		in.fired(KindSolverDiv)
+		return solver.FaultDiverge
+	}
+	return solver.FaultNone
+}
+
+// EnableSolverFaults installs the injector as the process-wide solver
+// fault source. Call DisableSolverFaults before any phase that asserts
+// bit-identical results — solver faults are drawn per solve, so they are
+// not deterministic across scheduling orders.
+func (in *Injector) EnableSolverFaults() { solver.SetFaultHook(in.SolverFault) }
+
+// DisableSolverFaults removes the process-wide solver fault source.
+func DisableSolverFaults() { solver.SetFaultHook(nil) }
+
+// ---------------------------------------------------------------------------
+// Spec parsing (flags/env).
+// ---------------------------------------------------------------------------
+
+// EnvVar is the environment variable FromEnv reads a chaos spec from.
+const EnvVar = "ETHERM_CHAOS"
+
+// ParseSpec builds a Config from a compact "key=value,key=value" spec:
+//
+//	seed=42,store-fail=0.05,http-drop=0.03,sse-trunc=0.1,latency=5ms
+//
+// Keys: seed, store-fail, store-torn, store-delay (duration),
+// store-delay-p, latency (duration), latency-p, http-drop, http-5xx,
+// sse-trunc, solver-nan, solver-diverge, solver-panic. Unknown keys are
+// an error, so a typo cannot silently disable a fault.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "store-fail":
+			cfg.StoreFailP, err = parseProb(val)
+		case "store-torn":
+			cfg.StoreTornP, err = parseProb(val)
+		case "store-delay":
+			cfg.StoreDelay, err = time.ParseDuration(val)
+		case "store-delay-p":
+			cfg.StoreDelayP, err = parseProb(val)
+		case "latency":
+			cfg.HTTPLatency, err = time.ParseDuration(val)
+		case "latency-p":
+			cfg.HTTPLatencyP, err = parseProb(val)
+		case "http-drop":
+			cfg.HTTPDropP, err = parseProb(val)
+		case "http-5xx":
+			cfg.HTTP5xxP, err = parseProb(val)
+		case "sse-trunc":
+			cfg.SSETruncP, err = parseProb(val)
+		case "solver-nan":
+			cfg.SolverNaNP, err = parseProb(val)
+		case "solver-diverge":
+			cfg.SolverDivergeP, err = parseProb(val)
+		case "solver-panic":
+			cfg.SolverPanicP, err = parseProb(val)
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faultinject: spec %s=%s: %w", key, val, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// Spec renders the configuration as a ParseSpec-compatible string — the
+// replay recipe a chaos report records: feeding it back (via flag or
+// ETHERM_CHAOS) reproduces the identical fault stream.
+func (c Config) Spec() string {
+	parts := []string{fmt.Sprintf("seed=%d", c.Seed)}
+	prob := func(k string, p float64) {
+		if p > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, p))
+		}
+	}
+	dur := func(k string, d time.Duration) {
+		if d > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s", k, d))
+		}
+	}
+	prob("store-fail", c.StoreFailP)
+	prob("store-torn", c.StoreTornP)
+	dur("store-delay", c.StoreDelay)
+	prob("store-delay-p", c.StoreDelayP)
+	dur("latency", c.HTTPLatency)
+	prob("latency-p", c.HTTPLatencyP)
+	prob("http-drop", c.HTTPDropP)
+	prob("http-5xx", c.HTTP5xxP)
+	prob("sse-trunc", c.SSETruncP)
+	prob("solver-nan", c.SolverNaNP)
+	prob("solver-diverge", c.SolverDivergeP)
+	prob("solver-panic", c.SolverPanicP)
+	return strings.Join(parts, ",")
+}
+
+// Spec returns the injector's configuration as a replayable spec string.
+func (in *Injector) Spec() string { return in.cfg.Spec() }
+
+// FromEnv builds an injector from the ETHERM_CHAOS spec, or nil when the
+// variable is unset/empty — the off-by-default path of every binary.
+func FromEnv(getenv func(string) string) (*Injector, error) {
+	spec := getenv(EnvVar)
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return New(cfg), nil
+}
+
+// Describe renders the fired counters as a stable one-line summary for
+// logs ("http-drop=12 sse-trunc=3 …").
+func (in *Injector) Describe() string {
+	counts := in.Counts()
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}

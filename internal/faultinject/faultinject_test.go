@@ -1,0 +1,212 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"etherm/internal/jobstore"
+)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{})
+	store := in.WrapStore(jobstore.NewMem())
+	for i := 0; i < 200; i++ {
+		if err := store.Put(jobstore.KindJob, "id", []byte("payload"), jobstore.Counters{}); err != nil {
+			t.Fatalf("zero config injected a store fault: %v", err)
+		}
+	}
+	if in.Total() != 0 {
+		t.Errorf("zero config fired %d faults: %s", in.Total(), in.Describe())
+	}
+	if in.Seed() != DefaultSeed {
+		t.Errorf("zero seed not defaulted: %d", in.Seed())
+	}
+}
+
+func TestStoreFaultsAreDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		in := New(Config{Seed: seed, StoreFailP: 0.3})
+		store := in.WrapStore(jobstore.NewMem())
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = store.Put(jobstore.KindJob, "id", []byte("x"), jobstore.Counters{}) != nil
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 100-op schedule")
+	}
+}
+
+func TestInjectedStoreErrorsWrapSentinel(t *testing.T) {
+	in := New(Config{StoreFailP: 1})
+	store := in.WrapStore(jobstore.NewMem())
+	err := store.Put(jobstore.KindJob, "id", []byte("x"), jobstore.Counters{})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error does not wrap ErrInjected: %v", err)
+	}
+	if got := in.Counts()[KindStoreFail]; got != 1 {
+		t.Errorf("store-fail count = %d, want 1", got)
+	}
+}
+
+func TestTornWriteLeavesTruncatedRecord(t *testing.T) {
+	in := New(Config{StoreTornP: 1})
+	mem := jobstore.NewMem()
+	store := in.WrapStore(mem)
+	err := store.Put(jobstore.KindJob, "id", []byte("0123456789"), jobstore.Counters{})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write did not surface an error: %v", err)
+	}
+	got := mem.State().Kinds[jobstore.KindJob]["id"]
+	if string(got) != "01234" {
+		t.Errorf("torn record = %q, want the truncated half %q", got, "01234")
+	}
+}
+
+func TestTransportNeverDisruptsSubmissions(t *testing.T) {
+	in := New(Config{HTTPDropP: 1, HTTP5xxP: 1})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	defer srv.Close()
+	cl := &http.Client{Transport: in.Transport(nil)}
+
+	// POST /v1/jobs (a submission) must pass through untouched.
+	resp, err := cl.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("submission disrupted by injected transport fault: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submission got synthesized status %d", resp.StatusCode)
+	}
+
+	// A fleet heartbeat is safe to lose and must be disrupted at p=1.
+	if _, err := cl.Post(srv.URL+"/v1/fleet/heartbeat", "application/json", strings.NewReader("{}")); err == nil {
+		t.Fatal("heartbeat not dropped at http-drop=1")
+	}
+	if in.Counts()[KindHTTPDrop] == 0 {
+		t.Error("drop counter did not move")
+	}
+}
+
+func TestTransportSynthesizes5xxOnGets(t *testing.T) {
+	in := New(Config{HTTP5xxP: 1})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("request reached the server despite http-5xx=1")
+	}))
+	defer srv.Close()
+	cl := &http.Client{Transport: in.Transport(nil)}
+	resp, err := cl.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("synthesized status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestSSETruncation(t *testing.T) {
+	in := New(Config{SSETruncP: 1})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 1000; i++ {
+			if _, err := io.WriteString(w, "data: {\"type\":\"sample\"}\n\n"); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+	cl := &http.Client{Transport: in.Transport(nil)}
+	resp, err := cl.Get(srv.URL + "/v1/jobs/job-000001/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("stream not truncated: %v", err)
+	}
+	if in.Counts()[KindSSETrunc] == 0 {
+		t.Error("sse-trunc counter did not move")
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,store-fail=0.05,store-torn=0.01,latency=5ms,latency-p=0.5,http-drop=0.03,sse-trunc=0.1,solver-nan=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 || cfg.StoreFailP != 0.05 || cfg.HTTPLatency != 5*time.Millisecond ||
+		cfg.SSETruncP != 0.1 || cfg.SolverNaNP != 0.02 {
+		t.Errorf("parsed config wrong: %+v", cfg)
+	}
+	if _, err := ParseSpec("store-fial=0.1"); err == nil {
+		t.Error("typo key accepted silently")
+	}
+	if _, err := ParseSpec("store-fail=1.5"); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := Config{
+		Seed: 99, StoreFailP: 0.05, StoreTornP: 0.02,
+		StoreDelay: 2 * time.Millisecond, StoreDelayP: 0.1,
+		HTTPLatency: 5 * time.Millisecond, HTTPLatencyP: 0.15,
+		HTTPDropP: 0.1, HTTP5xxP: 0.05, SSETruncP: 0.2,
+		SolverNaNP: 0.02, SolverDivergeP: 0.02, SolverPanicP: 0.01,
+	}
+	back, err := ParseSpec(cfg.Spec())
+	if err != nil {
+		t.Fatalf("Spec() output rejected by ParseSpec: %v\nspec: %s", err, cfg.Spec())
+	}
+	if back != cfg {
+		t.Errorf("spec round trip changed the config:\n got %+v\nwant %+v", back, cfg)
+	}
+	// A zero-seed injector always reports a concrete, replayable seed.
+	in := New(Config{HTTPDropP: 0.5})
+	re, err := ParseSpec(in.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Seed != DefaultSeed {
+		t.Errorf("injector spec seed = %d, want the defaulted %d", re.Seed, DefaultSeed)
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	if in, err := FromEnv(func(string) string { return "" }); err != nil || in != nil {
+		t.Fatalf("empty env: in=%v err=%v, want nil/nil", in, err)
+	}
+	in, err := FromEnv(func(k string) string {
+		if k != EnvVar {
+			t.Errorf("read unexpected env var %q", k)
+		}
+		return "seed=9,http-drop=0.2"
+	})
+	if err != nil || in == nil || in.Seed() != 9 {
+		t.Fatalf("env spec not parsed: in=%v err=%v", in, err)
+	}
+}

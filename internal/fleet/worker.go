@@ -9,8 +9,19 @@ import (
 	"etherm/api"
 	"etherm/client"
 	"etherm/internal/apiconv"
+	"etherm/internal/panicsafe"
 	"etherm/internal/scenario"
+	"etherm/internal/uq"
 )
+
+// runShardSafe isolates a panicking shard run: the panic becomes a
+// failed-shard report (with the captured stack in the failure reason)
+// instead of killing the worker process, so the fleet loses one attempt,
+// not one member — the coordinator re-leases the shard elsewhere.
+func runShardSafe(ctx context.Context, cache *scenario.AssemblyCache, s scenario.Scenario, shard, workers int) (res *uq.ShardResult, err error) {
+	defer panicsafe.Recover(fmt.Sprintf("fleet: shard %d run", shard), &err)
+	return scenario.RunShard(ctx, cache, s, shard, workers)
+}
 
 // Worker is the pull loop of an etworker process: lease a shard from the
 // coordinator, run it through the scenario engine's shard entry point while
@@ -97,7 +108,7 @@ func (w *Worker) RunOnce(ctx context.Context) (worked bool, err error) {
 		cache = scenario.NewCache()
 		w.Cache = cache
 	}
-	res, runErr := scenario.RunShard(shardCtx, cache, scen, a.Shard, w.SampleWorkers)
+	res, runErr := runShardSafe(shardCtx, cache, scen, a.Shard, w.SampleWorkers)
 	cancel(nil)
 	<-hbDone
 	if errors.Is(context.Cause(shardCtx), ErrLeaseLost) {

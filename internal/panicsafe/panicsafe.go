@@ -1,0 +1,69 @@
+// Package panicsafe converts panics into structured errors with stack
+// capture, so one malformed scenario or poisoned solve can never kill a
+// server, worker or campaign process. Every recovery is counted; the
+// server exposes the counter on /metrics as
+// etherm_panics_recovered_total.
+//
+// The internal/sparse kernels (and any model evaluation behind them)
+// panic on malformed inputs by design — the isolation boundary is the
+// unit of work that contains them: a scenario, a shard, a sample
+// evaluation. Wrap exactly those boundaries:
+//
+//	func safeEval(m Model, params, out []float64) (err error) {
+//		defer panicsafe.Recover("uq: model evaluation", &err)
+//		return m.Eval(params, out)
+//	}
+package panicsafe
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// maxStack bounds the captured stack per recovered panic so failure
+// messages stay loggable (the full trace of a deep solver stack can run
+// to tens of KB).
+const maxStack = 4 << 10
+
+var recovered atomic.Int64
+
+// Count returns the number of panics recovered process-wide.
+func Count() int64 { return recovered.Load() }
+
+// Error is a recovered panic as a structured failure: where it was
+// contained, the panic value, and the captured stack.
+type Error struct {
+	Where string
+	Value any
+	Stack []byte
+}
+
+// Error renders the panic with its (bounded) stack so the failure message
+// that lands in a job record or shard-fail report pinpoints the origin.
+func (e *Error) Error() string {
+	return fmt.Sprintf("panic in %s: %v\n%s", e.Where, e.Value, e.Stack)
+}
+
+// New records one recovered panic: bumps the process counter and captures
+// the stack of the calling goroutine. Call it from inside a deferred
+// recover branch with the recovered value.
+func New(where string, value any) *Error {
+	recovered.Add(1)
+	stack := debug.Stack()
+	if len(stack) > maxStack {
+		stack = stack[:maxStack]
+	}
+	return &Error{Where: where, Value: value, Stack: stack}
+}
+
+// Recover is a deferred one-liner that converts a panic into *Error
+// through errp, leaving an existing error untouched when no panic is in
+// flight:
+//
+//	defer panicsafe.Recover("fleet: shard run", &err)
+func Recover(where string, errp *error) {
+	if r := recover(); r != nil {
+		*errp = New(where, r)
+	}
+}

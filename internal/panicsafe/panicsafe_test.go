@@ -1,0 +1,58 @@
+package panicsafe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func boom() (err error) {
+	defer Recover("test: boom", &err)
+	panic("kaboom")
+}
+
+func calm() (err error) {
+	defer Recover("test: calm", &err)
+	return errors.New("ordinary failure")
+}
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	before := Count()
+	err := boom()
+	if err == nil {
+		t.Fatal("panic was not converted into an error")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *panicsafe.Error", err)
+	}
+	if pe.Where != "test: boom" || pe.Value != "kaboom" {
+		t.Errorf("captured Where=%q Value=%v", pe.Where, pe.Value)
+	}
+	if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "panicsafe") {
+		t.Errorf("message lacks panic value or stack: %q", err.Error())
+	}
+	if Count() != before+1 {
+		t.Errorf("counter moved %d → %d, want +1", before, Count())
+	}
+}
+
+func TestRecoverLeavesErrorsAlone(t *testing.T) {
+	before := Count()
+	err := calm()
+	if err == nil || err.Error() != "ordinary failure" {
+		t.Fatalf("plain error mangled: %v", err)
+	}
+	if Count() != before {
+		t.Errorf("counter bumped without a panic")
+	}
+}
+
+func TestStackIsBounded(t *testing.T) {
+	err := boom()
+	var pe *Error
+	errors.As(err, &pe)
+	if len(pe.Stack) > maxStack {
+		t.Errorf("stack capture %d bytes exceeds bound %d", len(pe.Stack), maxStack)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"etherm/internal/panicsafe"
 )
 
 // EventPhase labels engine progress events.
@@ -216,7 +218,7 @@ func (e *Engine) runScenario(ctx context.Context, i int, s Scenario, sampleWorke
 	t0 := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
-			res = failedResult(i, s, fmt.Errorf("panic: %v", r))
+			res = failedResult(i, s, panicsafe.New("scenario "+s.Name, r))
 		}
 		res.ElapsedS = time.Since(t0).Seconds()
 		if res.OK {

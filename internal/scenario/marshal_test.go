@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+
+	"etherm/internal/stats"
+	"etherm/internal/uq"
+)
+
+// A streaming campaign that folded zero samples (every evaluation failed,
+// or the budget was zero) leaves its accumulators at their NaN identities:
+// FailProb is 0/0 and the extrema tracker has no observations. Those NaNs
+// must never reach encoding/json — it refuses to marshal them, which would
+// turn a degraded-but-reportable scenario into an unserializable result.
+func TestZeroSampleScenarioResultMarshals(t *testing.T) {
+	st, err := stats.NewStreamStats(2, 400.0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := &uq.CampaignResult{
+		NumOutputs: 2,
+		Requested:  8,
+		Evaluated:  8,
+		Failures:   8, // every sample failed; nothing was folded
+		StopReason: "samples",
+		Stats:      st,
+	}
+
+	res := &ScenarioResult{Name: "all-failed", Error: "every sample failed"}
+	applyCampaign(res, camp, 3)
+
+	if res.FailProbEmp != nil {
+		t.Errorf("FailProbEmp = %v, want nil (absent) at zero folded samples", *res.FailProbEmp)
+	}
+	if res.TObsMaxK != 0 {
+		t.Errorf("TObsMaxK = %v, want 0 (omitted) at zero folded samples", res.TObsMaxK)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatalf("zero-sample ScenarioResult does not marshal: %v", err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	for _, k := range []string{"fail_prob_emp", "t_obs_max_k"} {
+		if _, present := round[k]; present {
+			t.Errorf("field %q should be omitted from the zero-sample result, got %s", k, data)
+		}
+	}
+}

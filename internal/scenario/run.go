@@ -251,9 +251,13 @@ func applyCampaign(res *ScenarioResult, camp *uq.CampaignResult, shards int) {
 	res.StopReason = camp.StopReason
 	res.RequestedSamples = camp.Requested
 	res.Shards = shards
-	fp := camp.Stats.FailProb()
-	res.FailProbEmp = &fp
-	res.TObsMaxK = camp.Stats.Ext.GlobalMax()
+	// Zero-sample campaigns (every sample failed, or a zero-sample plan)
+	// leave the streaming statistics at their NaN/−Inf identities, which
+	// encoding/json refuses to marshal — map them to absent fields.
+	res.FailProbEmp = finiteOrNil(camp.Stats.FailProb())
+	if m := camp.Stats.Ext.GlobalMax(); !math.IsNaN(m) && !math.IsInf(m, 0) {
+		res.TObsMaxK = m
+	}
 }
 
 // fillFromFig7 fills the hottest-wire summary, failure diagnostics and

@@ -23,6 +23,10 @@ type eventHub struct {
 	// watchers counts open SSE streams (batch and fleet watchers both),
 	// exposed via /metrics and /healthz.
 	watchers atomic.Int64
+	// draining flips when the server drains: fleet watch loops end their
+	// streams with a shutdown event at the next poll tick (batch watchers
+	// get theirs pushed through their queues).
+	draining atomic.Bool
 }
 
 // watcherCount returns the number of open SSE streams.
@@ -59,6 +63,22 @@ func (h *eventHub) unsubscribe(jobID string, sub *eventSub) {
 		delete(set, sub)
 		if len(set) == 0 {
 			delete(h.subs, jobID)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// shutdown broadcasts the graceful-drain event to every open stream: each
+// batch subscriber gets an EventShutdown queued (the watch loop writes it
+// and ends the stream), and the draining flag makes fleet watch loops do
+// the same at their next poll. After shutdown, no SSE stream dangles into
+// the listener teardown — every watcher sees an explicit final frame.
+func (h *eventHub) shutdown() {
+	h.draining.Store(true)
+	h.mu.Lock()
+	for id, set := range h.subs {
+		for sub := range set {
+			sub.push(api.JobEvent{Type: api.EventShutdown, JobID: id})
 		}
 	}
 	h.mu.Unlock()
@@ -188,6 +208,13 @@ func (s *Server) watchBatchJob(w http.ResponseWriter, r *http.Request, flusher h
 	if err := writeEvent(w, flusher, snap); err != nil || snap.Terminal() {
 		return
 	}
+	// A watcher arriving after the drain broadcast would miss it (the
+	// broadcast only reaches subscribers that existed then): close the
+	// race by ending the fresh stream with its own shutdown event.
+	if s.hub.draining.Load() {
+		_ = writeEvent(w, flusher, api.JobEvent{Type: api.EventShutdown, JobID: id})
+		return
+	}
 
 	keepalive := time.NewTicker(sseKeepalive)
 	defer keepalive.Stop()
@@ -205,7 +232,9 @@ func (s *Server) watchBatchJob(w http.ResponseWriter, r *http.Request, flusher h
 				if err := writeEvent(w, flusher, ev); err != nil {
 					return
 				}
-				if ev.Terminal() {
+				// Terminal status and drain shutdown both end the stream;
+				// only the former means the job is done.
+				if ev.Terminal() || ev.Type == api.EventShutdown {
 					return
 				}
 			}
@@ -229,6 +258,13 @@ func (s *Server) watchFleetJob(w http.ResponseWriter, r *http.Request, flusher h
 	ticker := time.NewTicker(fleetPollInterval)
 	defer ticker.Stop()
 	for {
+		// The fleet stream is poll-driven, so the drain broadcast cannot
+		// reach it through a queue; the flag check at each tick ends the
+		// stream with the same explicit shutdown frame batch watchers get.
+		if s.hub.draining.Load() {
+			_ = writeEvent(w, flusher, api.JobEvent{Type: api.EventShutdown, JobID: id})
+			return
+		}
 		fv, ok := s.coord.Job(id)
 		if !ok {
 			// Evicted mid-watch: nothing more will happen; end the stream.

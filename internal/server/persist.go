@@ -9,6 +9,7 @@ import (
 	"etherm/api"
 	"etherm/internal/jobstore"
 	"etherm/internal/metrics"
+	"etherm/internal/panicsafe"
 	"etherm/internal/scenario"
 )
 
@@ -33,21 +34,42 @@ func (s *Server) logErr(format string, args ...any) {
 	}
 }
 
-// persistJobLocked writes the current record of one job. Store failures
-// are logged, not fatal: the server stays available on its in-memory
-// state and the next transition retries. Caller holds s.mu.
-func (s *Server) persistJobLocked(id string) {
+// persistJobLocked writes the current record of one job and returns the
+// store error, if any. Mid-flight callers treat failures as non-fatal
+// (logged; the next transition retries on the in-memory state), but every
+// outcome feeds the degraded latch: a failed write latches degraded mode
+// (submissions are shed with 503 until the store recovers), a successful
+// one clears it. Caller holds s.mu.
+func (s *Server) persistJobLocked(id string) error {
 	j, ok := s.jobs[id]
 	if !ok {
-		return
+		return nil
 	}
 	data, err := json.Marshal(&storedJob{Job: j, Batch: s.batches[id]})
 	if err != nil {
 		s.logErr("server: persist %s: %v", id, err)
+		return err
+	}
+	err = s.store.Put(jobstore.KindJob, id, data, jobstore.Counters{Job: s.seq})
+	s.notePersist(err)
+	if err != nil {
+		s.logErr("server: persist %s: %v", id, err)
+	}
+	return err
+}
+
+// notePersist drives the degraded latch and the write-failure counter
+// from one store-write outcome.
+func (s *Server) notePersist(err error) {
+	if err != nil {
+		s.mStoreErrs.Inc()
+		if s.degraded.CompareAndSwap(false, true) {
+			s.logErr("server: job store failing writes; shedding new submissions until a write succeeds")
+		}
 		return
 	}
-	if err := s.store.Put(jobstore.KindJob, id, data, jobstore.Counters{Job: s.seq}); err != nil {
-		s.logErr("server: persist %s: %v", id, err)
+	if s.degraded.CompareAndSwap(true, false) {
+		s.logErr("server: job store recovered; accepting submissions again")
 	}
 }
 
@@ -55,7 +77,7 @@ func (s *Server) persistJobLocked(id string) {
 func (s *Server) persistJob(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.persistJobLocked(id)
+	_ = s.persistJobLocked(id)
 }
 
 // recover rebuilds the job table from the store and requeues every job
@@ -115,6 +137,7 @@ func (s *Server) recover() error {
 		s.persistJobLocked(rq.id)
 		ctx, cancel := context.WithCancel(context.Background())
 		s.cancels[rq.id] = cancel
+		s.runners.Add(1)
 		go s.runJob(ctx, rq.id, rq.batch)
 	}
 	return nil
@@ -173,13 +196,32 @@ func (s *Server) initMetrics() {
 		nil, func() float64 { return float64(s.cache.Hits()) })
 	s.reg.NewGaugeFunc("etserver_cache_misses_total", "Assembly cache misses.",
 		nil, func() float64 { return float64(s.cache.Misses()) })
+	s.reg.NewGaugeFunc("etserver_draining", "1 while the server drains for graceful shutdown.",
+		nil, func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("etserver_degraded", "1 while job-store writes are failing and submissions are shed.",
+		nil, func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.NewGaugeFunc("etherm_panics_recovered_total",
+		"Panics recovered into structured failures (process-wide).",
+		nil, func() float64 { return float64(panicsafe.Count()) })
 	s.mSubmitted = s.reg.NewCounter("etserver_submissions_total", "Accepted job submissions.", nil)
 	s.mRejected = s.reg.NewCounter("etserver_submissions_rejected_total",
-		"Submissions rejected by backpressure (429).", nil)
+		"Submissions rejected by backpressure (429) or shed while degraded (503).", nil)
 	s.mExpiries = s.reg.NewCounter("etserver_lease_expiries_total",
 		"Fleet shard leases reclaimed from silent workers.", nil)
 	s.mFsync = s.reg.NewHistogram("etserver_wal_fsync_seconds",
 		"WAL fsync latency of the durable job store.", nil, nil)
+	s.mStoreErrs = s.reg.NewCounter("etserver_store_write_failures_total",
+		"Failed job-store writes (each one latches degraded mode until a write succeeds).", nil)
 }
 
 // initStoreMetrics registers gauges over a FileStore's Stats.

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"etherm/api"
@@ -16,6 +17,7 @@ import (
 	"etherm/internal/fleet"
 	"etherm/internal/jobstore"
 	"etherm/internal/metrics"
+	"etherm/internal/panicsafe"
 	"etherm/internal/scenario"
 )
 
@@ -58,6 +60,16 @@ type Server struct {
 	order   []string                      // job IDs in submission order
 	seq     int
 
+	// draining flips on Drain: submissions are rejected with 503 +
+	// Retry-After while reads and running jobs continue to completion.
+	draining atomic.Bool
+	// degraded latches on a failed store write and clears on the next
+	// successful one; while set, /metrics exposes it and submissions are
+	// shed by their own failed persist (persist-before-ack).
+	degraded atomic.Bool
+	// runners tracks live runJob goroutines so Drain can await them.
+	runners sync.WaitGroup
+
 	hub *eventHub
 	mux *http.ServeMux
 
@@ -66,6 +78,7 @@ type Server struct {
 	mRejected  *metrics.Counter
 	mExpiries  *metrics.Counter
 	mFsync     *metrics.Histogram
+	mStoreErrs *metrics.Counter
 }
 
 // DefaultMaxHistory is the default finished-job retention cap.
@@ -240,6 +253,17 @@ func (s *Server) Handler() http.Handler {
 			api.WriteError(w, r, api.NewError(http.StatusBadRequest, api.CodeUnsupportedVersion, err.Error()))
 			return
 		}
+		// A draining server sheds every submission — batch and fleet — at
+		// the front door, before any handler state is touched, so the 503
+		// carries the not-processed guarantee that makes it retryable.
+		if s.draining.Load() && r.Method == http.MethodPost &&
+			(r.URL.Path == "/v1/jobs" || r.URL.Path == api.FleetPrefix+"/jobs") {
+			e := api.NewError(http.StatusServiceUnavailable, api.CodeDraining,
+				"server is draining for shutdown; resubmit to another replica or retry shortly")
+			e.RetryAfterS = 2
+			api.WriteError(w, r, e)
+			return
+		}
 		// Probe the route table first: Handler only reports the match, the
 		// dispatch below goes through ServeHTTP so path values are bound.
 		_, pattern := s.mux.Handler(r)
@@ -334,7 +358,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.cancels[job.ID] = cancel
 	s.order = append(s.order, job.ID)
 	s.evictLocked()
-	s.persistJobLocked(job.ID)
+	// Persist before acking: a 202 promises the job survives a crash, so a
+	// failed store write must shed the submission, not accept it on
+	// best-effort durability. The submission doubles as the store probe —
+	// degraded mode self-heals on the first write that succeeds again.
+	if err := s.persistJobLocked(job.ID); err != nil {
+		delete(s.jobs, job.ID)
+		delete(s.batches, job.ID)
+		delete(s.cancels, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.seq--
+		s.mu.Unlock()
+		cancel()
+		s.mRejected.Inc()
+		e := api.Errorf(http.StatusServiceUnavailable, api.CodeDegraded,
+			"job store is failing writes (%v); submission shed, retry shortly", err)
+		e.RetryAfterS = 2
+		api.WriteError(w, r, e)
+		return
+	}
+	s.runners.Add(1)
 	s.mu.Unlock()
 	s.mSubmitted.Inc()
 
@@ -350,6 +393,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // before acquiring a runner slot, a running one aborts mid-batch
 // (streaming scenarios stop mid-ensemble).
 func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
+	defer s.runners.Done()
 	defer s.release(id)
 
 	select {
@@ -399,7 +443,7 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 			})
 		}
 	}
-	res, err := eng.Run(ctx, batch)
+	res, err := s.runEngine(ctx, eng, batch)
 	var apiRes *api.BatchResult
 	var convErr error
 	if res != nil {
@@ -423,6 +467,59 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 		}
 	})
 }
+
+// runEngine runs the batch with the panic-isolation boundary of the job:
+// the engine already contains per-scenario panics, so this catches only
+// batch-level ones (assembly of shared state, result aggregation) —
+// either way a panic fails the job, never the process.
+func (s *Server) runEngine(ctx context.Context, eng *scenario.Engine, batch *scenario.Batch) (res *scenario.BatchResult, err error) {
+	defer panicsafe.Recover("server: batch run", &err)
+	return eng.Run(ctx, batch)
+}
+
+// Drain begins a graceful shutdown: submissions are rejected (503 +
+// Retry-After) while queued and running jobs continue. When ctx expires
+// before the runners finish, the remaining jobs are canceled (their
+// terminal "canceled" records persist, so nothing is lost — a restarted
+// server requeues nothing and clients see a clean terminal state). After
+// the runners settle, every SSE watcher receives a terminal shutdown
+// event so no stream is left dangling. Close (the store flush) remains
+// the caller's last step.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.runners.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain timeout: %w", ctx.Err())
+		s.mu.Lock()
+		cancels := make([]context.CancelFunc, 0, len(s.cancels))
+		for _, c := range s.cancels {
+			cancels = append(cancels, c)
+		}
+		s.mu.Unlock()
+		for _, c := range cancels {
+			c()
+		}
+		// Canceled runners unwind promptly (the engine checks its context
+		// between scenarios and samples); bound the wait regardless.
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			err = fmt.Errorf("server: drain gave up on stuck runners: %w", ctx.Err())
+		}
+	}
+	s.hub.shutdown()
+	return err
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // finish stamps the completion time, applies the terminal transition,
 // persists the terminal record (dropping the requeue batch payload) and

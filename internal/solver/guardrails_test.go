@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"etherm/internal/sparse"
+)
+
+// guardSystem is a well-conditioned SPD system large enough that CG needs
+// several iterations — room for an injected fault at iteration 2.
+func guardSystem(t *testing.T) (*sparse.CSR, []float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(3, 3))
+	a := randomSPD(rng, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return a, b, make([]float64, 40)
+}
+
+func TestCGNaNDetection(t *testing.T) {
+	a, b, x := guardSystem(t)
+	b[0] = math.NaN()
+	_, err := CG(a, b, x, nil, Options{MaxIter: 500})
+	var se *SolveError
+	if !errors.As(err, &se) {
+		t.Fatalf("NaN input not reported as *SolveError: %v", err)
+	}
+	if se.Reason != ReasonNaN {
+		t.Errorf("reason = %q, want %q", se.Reason, ReasonNaN)
+	}
+	if se.Iteration <= 0 || se.Iteration > 3 {
+		t.Errorf("NaN detected at iteration %d — should fail fast, not burn the budget", se.Iteration)
+	}
+}
+
+func TestCGIndefiniteIsTyped(t *testing.T) {
+	bld := sparse.NewBuilder(2, 2)
+	bld.Add(0, 0, -1)
+	bld.Add(1, 1, 1)
+	a := bld.ToCSR()
+	x := make([]float64, 2)
+	_, err := CG(a, []float64{1, 1}, x, nil, Options{MaxIter: 10})
+	var se *SolveError
+	if !errors.As(err, &se) || se.Reason != ReasonIndefinite {
+		t.Fatalf("indefinite operator not reported as SolveError/indefinite: %v", err)
+	}
+}
+
+func TestFaultHookNaN(t *testing.T) {
+	SetFaultHook(func() Fault { return FaultNaN })
+	defer SetFaultHook(nil)
+	a, b, x := guardSystem(t)
+	_, err := CG(a, b, x, nil, Options{MaxIter: 500})
+	var se *SolveError
+	if !errors.As(err, &se) || se.Reason != ReasonNaN {
+		t.Fatalf("injected NaN not detected as SolveError/nan: %v", err)
+	}
+	if se.Iteration > 5 {
+		t.Errorf("injected NaN burned %d iterations before detection", se.Iteration)
+	}
+}
+
+func TestFaultHookDiverge(t *testing.T) {
+	SetFaultHook(func() Fault { return FaultDiverge })
+	defer SetFaultHook(nil)
+	a, b, x := guardSystem(t)
+	_, err := CG(a, b, x, nil, Options{MaxIter: 500})
+	var se *SolveError
+	if !errors.As(err, &se) || se.Reason != ReasonDiverged {
+		t.Fatalf("injected divergence not detected as SolveError/diverged: %v", err)
+	}
+	if se.BestIteration <= 0 || math.IsInf(se.BestResidual, 0) {
+		t.Errorf("diagnostics missing best residual: %+v", se)
+	}
+}
+
+func TestFaultHookPanic(t *testing.T) {
+	SetFaultHook(func() Fault { return FaultPanic })
+	defer SetFaultHook(nil)
+	a, b, x := guardSystem(t)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected panic did not fire")
+		}
+		if !strings.Contains(r.(string), "injected") {
+			t.Errorf("panic value %v does not name the injection", r)
+		}
+	}()
+	_, _ = CG(a, b, x, nil, Options{MaxIter: 500})
+}
+
+func TestHookOffIsClean(t *testing.T) {
+	SetFaultHook(nil)
+	a, b, x := guardSystem(t)
+	stats, err := CG(a, b, x, nil, Options{})
+	if err != nil || !stats.Converged {
+		t.Fatalf("clean solve failed with hook off: %v (%+v)", err, stats)
+	}
+}
+
+func TestSolveErrorMessage(t *testing.T) {
+	se := &SolveError{Method: "cg", Reason: ReasonDiverged, Iteration: 17,
+		Residual: 2.5e9, BestIteration: 9, BestResidual: 3.1e-4}
+	msg := se.Error()
+	for _, want := range []string{"cg", "diverged", "17", "9"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q lacks %q", msg, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"etherm/internal/sparse"
 )
@@ -15,6 +16,95 @@ import (
 // ErrMaxIterations is returned when an iterative method exhausts its
 // iteration budget without meeting the requested tolerance.
 var ErrMaxIterations = errors.New("solver: maximum iterations reached")
+
+// SolveError reasons (see SolveError.Reason).
+const (
+	// ReasonNaN: the residual (or a curvature term) became NaN or Inf —
+	// the iterate is poisoned and no further iteration can recover it.
+	ReasonNaN = "nan"
+	// ReasonDiverged: the residual grew far beyond its best value instead
+	// of contracting; continuing would only burn the iteration budget.
+	ReasonDiverged = "diverged"
+	// ReasonIndefinite: CG detected non-positive curvature (pᵀAp ≤ 0);
+	// the operator is not SPD as required.
+	ReasonIndefinite = "indefinite"
+)
+
+// SolveError is a structured iterative-solve failure: instead of silently
+// burning max iterations on a poisoned or diverging iterate, the solver
+// stops as soon as the failure is detectable and reports where the solve
+// stood. Callers match it with errors.As to distinguish numerical
+// breakdown (retry with a different preconditioner, report the scenario
+// failed) from a mere budget exhaustion (ErrMaxIterations).
+type SolveError struct {
+	Method string // "cg"
+	Reason string // ReasonNaN, ReasonDiverged or ReasonIndefinite
+	// Iteration is where the failure was detected; Residual the relative
+	// residual there (NaN/Inf for ReasonNaN).
+	Iteration int
+	Residual  float64
+	// BestIteration/BestResidual locate the closest approach to
+	// convergence before the breakdown — the diagnostic that separates
+	// "never converging" from "diverged after nearly converging".
+	BestIteration int
+	BestResidual  float64
+}
+
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("solver: %s %s at iteration %d (residual %.3g, best %.3g at iteration %d)",
+		e.Method, e.Reason, e.Iteration, e.Residual, e.BestResidual, e.BestIteration)
+}
+
+// divergenceFactor and divergenceFloor gate ReasonDiverged: the residual
+// must exceed divergenceFactor × its best value AND divergenceFloor in
+// absolute (relative-residual) terms. CG's 2-norm residual may oscillate
+// by O(cond) on ill-conditioned systems while the A-norm error still
+// contracts, so both thresholds are set far outside that envelope.
+const (
+	divergenceFactor = 1e8
+	divergenceFloor  = 1e4
+)
+
+// Fault is an injected solver failure mode, consumed by the chaos hook
+// (see SetFaultHook). Faults corrupt the iterate so the guardrails — not
+// a bypass — detect and report them, exercising the production error
+// path end to end.
+type Fault int
+
+// Injected failure modes.
+const (
+	// FaultNone injects nothing.
+	FaultNone Fault = iota
+	// FaultNaN poisons the search direction with a NaN; the solve must
+	// fail with a SolveError of ReasonNaN.
+	FaultNaN
+	// FaultDiverge scales the residual catastrophically; the solve must
+	// fail with a SolveError of ReasonDiverged.
+	FaultDiverge
+	// FaultPanic panics inside the iteration loop, exercising the
+	// panic-isolation boundaries above the solver.
+	FaultPanic
+)
+
+// faultHook, when set, is consulted once per CGWith call for a fault to
+// inject. Nil (the default) costs one atomic load per solve.
+var faultHook atomic.Pointer[func() Fault]
+
+// SetFaultHook installs (or, with nil, removes) the process-wide chaos
+// fault source. Testing and chaos harnesses only — never set in
+// production serving paths.
+func SetFaultHook(h func() Fault) {
+	if h == nil {
+		faultHook.Store(nil)
+		return
+	}
+	faultHook.Store(&h)
+}
+
+// faultInjectionIteration is where an injected fault corrupts the solve:
+// late enough that the loop is in steady state, early enough that every
+// budget reaches it.
+const faultInjectionIteration = 2
 
 // Stats reports the work performed by an iterative solve.
 type Stats struct {
@@ -170,7 +260,26 @@ func CGWith(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt 
 	copy(p, z)
 	rz := sparse.Dot(r, z)
 
+	fault := FaultNone
+	if h := faultHook.Load(); h != nil {
+		fault = (*h)()
+	}
+
+	bestRes := math.Inf(1)
+	bestIt := 0
 	for it := 1; it <= opt.MaxIter; it++ {
+		if fault != FaultNone && it == faultInjectionIteration {
+			switch fault {
+			case FaultPanic:
+				panic("solver: injected fault (chaos)")
+			case FaultNaN:
+				p[0] = math.NaN()
+			case FaultDiverge:
+				for i := range r {
+					r[i] *= 1e140
+				}
+			}
+		}
 		var pap float64
 		if parallel {
 			a.MulVecWorkers(ap, p, opt.Workers)
@@ -178,9 +287,16 @@ func CGWith(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt 
 		} else {
 			pap = mulVecDot(a, ap, p)
 		}
+		if math.IsNaN(pap) || math.IsInf(pap, 0) {
+			return Stats{Iterations: it, Residual: math.NaN()},
+				&SolveError{Method: "cg", Reason: ReasonNaN, Iteration: it,
+					Residual: math.NaN(), BestIteration: bestIt, BestResidual: bestRes}
+		}
 		if pap <= 0 {
-			return Stats{Iterations: it, Residual: sparse.Norm2(r) / normB},
-				fmt.Errorf("solver: CG detected non-positive curvature (pᵀAp=%g); matrix not SPD", pap)
+			res := sparse.Norm2(r) / normB
+			return Stats{Iterations: it, Residual: res},
+				&SolveError{Method: "cg", Reason: ReasonIndefinite, Iteration: it,
+					Residual: res, BestIteration: bestIt, BestResidual: bestRes}
 		}
 		alpha := rz / pap
 
@@ -195,6 +311,21 @@ func CGWith(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt 
 		res := math.Sqrt(rr) / normB
 		if res <= opt.Tol {
 			return Stats{Iterations: it, Residual: res, Converged: true}, nil
+		}
+		// Guardrails: a poisoned iterate (NaN/Inf residual) or a residual
+		// exploding past its best value cannot converge; stop with the
+		// diagnostics instead of burning the remaining budget.
+		if math.IsNaN(res) || math.IsInf(res, 0) {
+			return Stats{Iterations: it, Residual: res},
+				&SolveError{Method: "cg", Reason: ReasonNaN, Iteration: it,
+					Residual: res, BestIteration: bestIt, BestResidual: bestRes}
+		}
+		if res < bestRes {
+			bestRes, bestIt = res, it
+		} else if res > divergenceFactor*bestRes && res > divergenceFloor {
+			return Stats{Iterations: it, Residual: res},
+				&SolveError{Method: "cg", Reason: ReasonDiverged, Iteration: it,
+					Residual: res, BestIteration: bestIt, BestResidual: bestRes}
 		}
 		m.Apply(z, r)
 		rzNew := sparse.Dot(r, z)

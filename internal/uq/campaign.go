@@ -434,7 +434,7 @@ func RunCampaign(ctx context.Context, factory ModelFactory, dists []Dist, s Samp
 				}
 				s.Sample(i, u)
 				TransformPoint(dists, u, params)
-				err := m.Eval(params, out)
+				err := safeEval(m, params, out)
 				if opt.OnSample != nil {
 					opt.OnSample(i, err)
 				}

@@ -1,0 +1,154 @@
+package uq
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Corrupt checkpoint files — a machine dying mid-write before PR 3's
+// atomic rename existed, a half-copied file, disk corruption — must
+// surface as clean errors at load time, never panic or silently resume
+// from garbage; and after the operator deletes the bad file, a fresh
+// start from the same path must work.
+
+func TestLoadCheckpointIfExistsAbsent(t *testing.T) {
+	cp, err := LoadCheckpointIfExists(filepath.Join(t.TempDir(), "nope.ckpt"))
+	if cp != nil || err != nil {
+		t.Fatalf("absent checkpoint: got (%v, %v), want (nil, nil)", cp, err)
+	}
+}
+
+func TestCorruptCampaignCheckpoint(t *testing.T) {
+	dists := normDists(2)
+	path := filepath.Join(t.TempDir(), "camp.ckpt")
+	run := func(resume *Checkpoint) (*CampaignResult, error) {
+		return RunCampaign(context.Background(), SingleFactory(&vecModel{nOut: 4}), dists,
+			PseudoRandom{D: 2, Seed: 6}, CampaignOptions{
+				MaxSamples: 64, Workers: 1, CheckpointPath: path, CheckpointEvery: 16, Resume: resume,
+			})
+	}
+	if _, err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("{{{ not json at all \x00\xff")},
+		{"truncated", good[:len(good)/2]},
+		{"empty", nil},
+		{"wrong shape", []byte(`{"version":1}`)}, // parses, but carries no state
+		{"bad version", []byte(`{"version":99}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cp, err := LoadCheckpointIfExists(path)
+			if err == nil {
+				t.Fatalf("corrupt checkpoint loaded without error: %+v", cp)
+			}
+			if cp != nil {
+				t.Errorf("corrupt load returned state alongside the error")
+			}
+		})
+	}
+
+	// Fresh start after the operator removes the bad file: same path,
+	// no resume — must run and overwrite cleanly.
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	camp, err := run(nil)
+	if err != nil {
+		t.Fatalf("fresh start over a corrupt checkpoint file: %v", err)
+	}
+	if camp.Evaluated != 64 {
+		t.Fatalf("fresh start evaluated %d of 64", camp.Evaluated)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("checkpoint rewritten by the fresh start does not load: %v", err)
+	}
+}
+
+func TestCorruptShardCheckpoint(t *testing.T) {
+	dists := normDists(2)
+	plan, err := PlanShards(64, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(t.TempDir(), "c.ckpt")
+	path := ShardCheckpointPath(base, 0)
+	opt := ShardOptions{Workers: 1, Tag: "m", CheckpointPath: base, CheckpointEvery: 4, Resume: true}
+	run := func(o ShardOptions) (*ShardResult, error) {
+		return RunShard(context.Background(), SingleFactory(&vecModel{nOut: 2}), dists,
+			PseudoRandom{D: 2, Seed: 1}, plan, 0, o)
+	}
+	if _, err := run(opt); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("\x01\x02 definitely not json")},
+		{"truncated", good[:len(good)/2]},
+		{"bad version", []byte(`{"version":7}`)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := run(opt); err == nil {
+				t.Fatal("resume from a corrupt shard checkpoint accepted")
+			}
+		})
+	}
+
+	// Block-count mismatch: a checkpoint whose folded-sample position and
+	// accumulator blocks disagree (torn state) is rejected, not absorbed.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := LoadShardCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Blocks) < 2 {
+		t.Fatalf("test premise: want ≥ 2 blocks in the checkpoint, got %d", len(cp.Blocks))
+	}
+	cp.Blocks = cp.Blocks[:len(cp.Blocks)-1]
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(opt)
+	if err == nil || !strings.Contains(err.Error(), "blocks") {
+		t.Fatalf("block-count-mismatched checkpoint: want a corrupt-state error naming blocks, got %v", err)
+	}
+
+	// Fresh start is usable: Resume=false ignores and overwrites the
+	// torn file, completing the shard in full.
+	fresh := opt
+	fresh.Resume = false
+	res, err := run(fresh)
+	if err != nil {
+		t.Fatalf("fresh shard run over a torn checkpoint: %v", err)
+	}
+	if !res.Complete() {
+		t.Fatalf("fresh shard run incomplete: %d of [%d,%d)", res.Evaluated, res.Start, res.End)
+	}
+}

@@ -63,7 +63,7 @@ func TensorCollocation(factory ModelFactory, dists []Dist, n int) (*CollocationR
 			params[j] = nodes[j][idx[j]]
 			w *= weights[j][idx[j]]
 		}
-		if err := m.Eval(params, out); err != nil {
+		if err := safeEval(m, params, out); err != nil {
 			return nil, fmt.Errorf("uq: collocation evaluation failed: %w", err)
 		}
 		evals++
@@ -160,7 +160,7 @@ func SmolyakCollocation(factory ModelFactory, dists []Dist, level int) (*Colloca
 				params[j] = p[idx[j]]
 				w *= ws[idx[j]]
 			}
-			if err := m.Eval(params, out); err != nil {
+			if err := safeEval(m, params, out); err != nil {
 				return fmt.Errorf("uq: Smolyak evaluation failed: %w", err)
 			}
 			evals++

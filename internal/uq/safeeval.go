@@ -1,0 +1,15 @@
+package uq
+
+import "etherm/internal/panicsafe"
+
+// safeEval runs one model evaluation with panic isolation: a panicking
+// model (a solver bug, an out-of-range index in user geometry code, an
+// injected chaos fault) becomes an error on that sample instead of
+// killing the whole campaign worker pool — the sample counts as a
+// failure, every other sample proceeds, and the captured stack travels
+// in the error for diagnosis. A plain function (not a closure) so the
+// per-sample hot path stays allocation-free.
+func safeEval(m Model, params, out []float64) (err error) {
+	defer panicsafe.Recover("uq: model evaluation", &err)
+	return m.Eval(params, out)
+}

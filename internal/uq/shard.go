@@ -353,7 +353,7 @@ func RunShard(ctx context.Context, factory ModelFactory, dists []Dist, s Sampler
 				out := outPool.Get().([]float64)
 				s.Sample(i, u)
 				TransformPoint(dists, u, params)
-				err := m.Eval(params, out)
+				err := safeEval(m, params, out)
 				if opt.OnSample != nil {
 					opt.OnSample(i, err)
 				}
