@@ -8,13 +8,15 @@ SHELL := /bin/bash
 
 # Benchmarks tracked by bench-json; BENCH_OUT is the trajectory file each PR
 # appends its machine-local baseline to (PR 2 recorded BENCH_PR2.json, PR 4
-# BENCH_PR4.json — the baseline the bench-gate compares against).
-# BenchmarkCampaignStreaming carries the retained-heap metric of the
-# streaming campaign path (the hard memory gate lives in internal/uq tests).
-BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming
-BENCH_OUT ?= BENCH_PR4.json
+# BENCH_PR4.json, PR 8 BENCH_PR8.json — the baseline the bench-gate compares
+# against). BenchmarkCampaignStreaming carries the retained-heap metric of
+# the streaming campaign path (the hard memory gate lives in internal/uq
+# tests); BenchmarkMatvec tracks the CSR kernel variants (scalar reference,
+# cache-blocked, f32, parallel) that carry the CG inner loop.
+BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming|BenchmarkMatvec
+BENCH_OUT ?= BENCH_PR8.json
 BENCH_TIME ?= 3x
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_BASELINE ?= BENCH_PR8.json
 BENCH_TOLERANCE ?= 0.25
 # Wall-time tolerance for the gate (0 = BENCH_TOLERANCE). CI passes a
 # looser value because single-iteration ns/op on shared runners is noisy
@@ -23,7 +25,7 @@ BENCH_TOLERANCE ?= 0.25
 BENCH_TIME_TOLERANCE ?= 0
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate fuzz-smoke load-smoke chaos-smoke govulncheck demo clean
+.PHONY: all build verify test vet fmt-check race staticcheck openapi-check bench bench-json bench-smoke bench-gate profile fuzz-smoke load-smoke chaos-smoke govulncheck demo clean
 
 all: build
 
@@ -92,6 +94,17 @@ bench-gate: $(if $(wildcard $(BENCH_SMOKE_OUT)),,bench-smoke)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) \
 		-in $(BENCH_SMOKE_OUT) -tolerance $(BENCH_TOLERANCE) \
 		-time-tolerance $(BENCH_TIME_TOLERANCE)
+
+# profile captures a CPU profile of the nominal-run benchmark (the hot
+# path: FIT reassembly + preconditioned CG) and prints the top consumers.
+# Inspect interactively with `go tool pprof out/table2.test out/cpu.out`;
+# for a live server use `etserver -pprof 127.0.0.1:6060` instead.
+PROFILE_BENCH ?= BenchmarkTable2NominalRun
+profile:
+	@mkdir -p out
+	$(GO) test -run '^$$' -bench '$(PROFILE_BENCH)' -benchtime 5x \
+		-cpuprofile out/cpu.out -o out/table2.test -timeout 30m
+	$(GO) tool pprof -top -nodecount 15 out/table2.test out/cpu.out
 
 # fuzz-smoke gives each WAL/snapshot fuzzer a short budget on top of the
 # committed corpus (internal/jobstore/testdata/fuzz) — CI runs this on

@@ -100,8 +100,11 @@ type SimSpec struct {
 	Integrator string  `json:"integrator,omitempty"` // implicit-euler|trapezoidal|bdf2
 	Joule      string  `json:"joule,omitempty"`      // edge-split|cell-average
 	LinTol     float64 `json:"lin_tol,omitempty"`
-	// Performance knobs (solver preconditioning and parallelism).
-	Precond        string  `json:"precond,omitempty"` // ic0|jacobi|none
+	// Performance knobs (solver preconditioning, precision and parallelism).
+	Precond        string  `json:"precond,omitempty"`   // ict|ic0|jacobi|none
+	Precision      string  `json:"precision,omitempty"` // float64|mixed
+	Deflation      bool    `json:"deflation,omitempty"`
+	DeflationBlock int     `json:"deflation_block,omitempty"`
 	PrecondOmega   float64 `json:"precond_omega,omitempty"`
 	PrecondRefresh float64 `json:"precond_refresh,omitempty"`
 	SolverWorkers  int     `json:"solver_workers,omitempty"`

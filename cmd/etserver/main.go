@@ -41,6 +41,12 @@
 //	etserver [-addr :8080] [-max-jobs 2] [-history 128]
 //	         [-lease-ttl 30s] [-fleet-batches]
 //	         [-data DIR] [-max-queued 0] [-drain-timeout 30s]
+//	         [-pprof 127.0.0.1:6060]
+//
+// -pprof serves net/http/pprof on a dedicated listener and mux, kept
+// separate from the API address so profiling endpoints are never exposed
+// to API clients; point it at loopback and profile a live server with
+// `go tool pprof http://127.0.0.1:6060/debug/pprof/profile`.
 //
 // With -data DIR the server persists every job, lease and fleet shard
 // transition to an fsync'd write-ahead log under DIR and recovers the
@@ -77,6 +83,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -98,8 +105,29 @@ func main() {
 		dataDir      = flag.String("data", "", "persist jobs, leases and shard results under this directory (empty = in-memory)")
 		maxQueued    = flag.Int("max-queued", 0, "reject submissions (429) beyond this many queued jobs (0 = unbounded)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT: how long running jobs may finish before being canceled")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled); keep it loopback-only")
 	)
 	flag.Parse()
+
+	// The profiler gets its own listener and mux: registering pprof on the
+	// API mux would leak goroutine dumps and CPU profiles to any API client,
+	// and the blank net/http/pprof import only targets http.DefaultServeMux,
+	// which the API server deliberately does not use.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			log.Printf("etserver: pprof listening on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("etserver: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	// Chaos fault injection, off unless ETHERM_CHAOS is set (replayable
 	// from the seed it names; see internal/faultinject).

@@ -46,8 +46,24 @@ type SimConfig struct {
 	LinTol     float64 `json:"lin_tol,omitempty"`
 
 	// Performance knobs (see core.Options for the full semantics).
-	// Precond selects the CG preconditioner: ic0 (default) | jacobi | none.
+	// Precond selects the CG preconditioner: ict | ic0 | jacobi | none.
+	// Empty keeps the mode's default top tier (ICT for ensembles via
+	// FastOptions, the modified-IC0 chain otherwise); ict and ic0 name the
+	// top of the shared degradation chain, which falls through
+	// ICT → MIC0 → IC0 → Jacobi on factorization failure.
 	Precond string `json:"precond,omitempty"`
+	// Precision selects the inner CG arithmetic: float64 (default) | mixed
+	// (float32 Krylov iterations inside a float64 iterative-refinement
+	// loop; solutions still meet lin_tol against the float64 residual).
+	// Mixed needs a factorization preconditioner — it contradicts
+	// precond=jacobi and precond=none.
+	Precision string `json:"precision,omitempty"`
+	// Deflation puts a two-level (aggregation coarse grid) tier on top of
+	// the preconditioner chain; deflation_block sets the target aggregate
+	// size (0 = solver default). Contradicts precond=jacobi/none, which
+	// have no factorization to wrap.
+	Deflation      bool `json:"deflation,omitempty"`
+	DeflationBlock int  `json:"deflation_block,omitempty"`
 	// PrecondOmega is the modified-IC relaxation in [0, 1]; 0 keeps the
 	// default (1, full compensation), negative selects plain IC(0).
 	PrecondOmega float64 `json:"precond_omega,omitempty"`
@@ -214,9 +230,29 @@ func (s SimConfig) Validate() error {
 		return fmt.Errorf("unknown joule scheme %q", s.Joule)
 	}
 	switch s.Precond {
-	case "", "ic0", "jacobi", "none":
+	case "", "ict", "ic0", "jacobi", "none":
 	default:
 		return fmt.Errorf("unknown preconditioner %q", s.Precond)
+	}
+	switch s.Precision {
+	case "", "float64", "mixed":
+	default:
+		return fmt.Errorf("unknown precision %q", s.Precision)
+	}
+	// Contradictory combinations are rejected here instead of being silently
+	// ignored downstream: both features wrap a factorization preconditioner,
+	// which jacobi/none do not build.
+	if s.Precision == "mixed" && (s.Precond == "jacobi" || s.Precond == "none") {
+		return fmt.Errorf("precision=mixed needs a factorization preconditioner; contradicts precond=%s", s.Precond)
+	}
+	if s.Deflation && (s.Precond == "jacobi" || s.Precond == "none") {
+		return fmt.Errorf("deflation wraps a factorization preconditioner; contradicts precond=%s", s.Precond)
+	}
+	if s.DeflationBlock < 0 {
+		return fmt.Errorf("negative deflation_block %d", s.DeflationBlock)
+	}
+	if s.DeflationBlock > 0 && !s.Deflation {
+		return fmt.Errorf("deflation_block set without deflation")
 	}
 	if s.PrecondOmega > 1 {
 		return fmt.Errorf("precond_omega %g above 1", s.PrecondOmega)
@@ -302,12 +338,21 @@ func (s SimConfig) CoreOptions(forEnsemble bool) core.Options {
 		o.LinTol = s.LinTol
 	}
 	switch s.Precond {
+	case "ict":
+		o.Precond = core.PrecondICT
 	case "ic0":
 		o.Precond = core.PrecondIC0
 	case "jacobi":
 		o.Precond = core.PrecondJacobi
 	case "none":
 		o.Precond = core.PrecondNone
+	}
+	if s.Precision == "mixed" {
+		o.Precision = core.PrecisionMixed
+	}
+	if s.Deflation {
+		o.Deflate = true
+		o.DeflateBlock = s.DeflationBlock
 	}
 	if s.PrecondOmega != 0 {
 		o.PrecondOmega = s.PrecondOmega

@@ -200,3 +200,50 @@ func TestSolverKnobsMaterialization(t *testing.T) {
 		}
 	}
 }
+
+func TestPrecisionAndDeflationKnobs(t *testing.T) {
+	// Valid combinations materialize into core options.
+	s := SimConfig{
+		EndTimeS: 10, NumSteps: 5,
+		Precond: "ict", Precision: "mixed",
+		Deflation: true, DeflationBlock: 96,
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	o := s.CoreOptions(false)
+	if o.Precond != core.PrecondICT {
+		t.Error("ict precond selection lost")
+	}
+	if o.Precision != core.PrecisionMixed {
+		t.Error("mixed precision lost")
+	}
+	if !o.Deflate || o.DeflateBlock != 96 {
+		t.Errorf("deflation knobs lost: %+v", o)
+	}
+	// Unset precision stays float64.
+	d := SimConfig{EndTimeS: 10, NumSteps: 5}.CoreOptions(false)
+	if d.Precision != core.PrecisionFloat64 || d.Deflate {
+		t.Errorf("zero-value solver knobs should stay float64/no-deflation: %+v", d)
+	}
+	// Contradictory combinations are rejected up front, not silently
+	// degraded at solve time.
+	for name, bad := range map[string]SimConfig{
+		"unknown precision":            {EndTimeS: 1, NumSteps: 1, Precision: "half"},
+		"mixed with jacobi":            {EndTimeS: 1, NumSteps: 1, Precision: "mixed", Precond: "jacobi"},
+		"mixed with none":              {EndTimeS: 1, NumSteps: 1, Precision: "mixed", Precond: "none"},
+		"deflation with jacobi":        {EndTimeS: 1, NumSteps: 1, Deflation: true, Precond: "jacobi"},
+		"deflation with none":          {EndTimeS: 1, NumSteps: 1, Deflation: true, Precond: "none"},
+		"negative deflation block":     {EndTimeS: 1, NumSteps: 1, Deflation: true, DeflationBlock: -8},
+		"deflation block without defl": {EndTimeS: 1, NumSteps: 1, DeflationBlock: 64},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: expected validation error for %+v", name, bad)
+		}
+	}
+	// Mixed precision rides on the default (factorization) preconditioner.
+	ok := SimConfig{EndTimeS: 1, NumSteps: 1, Precision: "mixed"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("mixed with default precond rejected: %v", err)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"etherm/internal/fit"
-	"etherm/internal/solver"
 )
 
 // RunStats aggregates solver work over a transient run.
@@ -33,6 +32,18 @@ type RunStats struct {
 	PrecondDowngrades     int
 	PrecondFallbacks      int
 	PrecondFallbackReason string `json:",omitempty"`
+
+	// CG iterations split by the preconditioner tier that served each solve
+	// (both operators combined). With a healthy chain all iterations land in
+	// the configured top tier; anything in the lower tiers quantifies what a
+	// downgrade or fallback cost. Fixed fields, not a map, so RunStats stays
+	// comparable with ==.
+	CGItersDeflated int `json:",omitempty"`
+	CGItersICT      int `json:",omitempty"`
+	CGItersMIC0     int `json:",omitempty"`
+	CGItersIC0      int `json:",omitempty"`
+	CGItersJacobi   int `json:",omitempty"`
+	CGItersNone     int `json:",omitempty"`
 }
 
 // Result holds the transient solution history. Index 0 of every time series
@@ -316,9 +327,7 @@ func (s *Simulator) thermalStep(integ Integrator, dt float64, prev2 []float64, r
 			}
 		}
 		s.dirT.Apply(a, s.rhs)
-		st, err := solver.CGWith(s.wsT, a, s.rhs, tNext, s.preconditioner(&s.precT, a),
-			solver.Options{Tol: opt.LinTol, MaxIter: opt.LinMaxIter, Workers: opt.Workers})
-		s.precT.noteIters(st.Iterations, opt.PrecondRefreshRatio)
+		st, err := s.solveCG("thermal", s.wsT, a, s.rhs, tNext, &s.precT)
 		res.Stats.ThermSolves++
 		res.Stats.ThermCGIters += st.Iterations
 		res.Stats.NonlinIters++

@@ -51,20 +51,69 @@ type Simulator struct {
 }
 
 // precState caches the preconditioner of one operator across solves. The
-// (modified) IC0 factorization is built once per operator matrix,
-// numerically refreshed in place only when the lag policy triggers, and
-// degraded — modified IC0 → plain IC0 → Jacobi — at most once per level per
-// operator, with the reason recorded.
+// factorization of the configured top tier is built once per operator
+// matrix, numerically refreshed in place only when the lag policy triggers,
+// and degraded — deflated → ICT → modified IC0 → plain IC0 → Jacobi — at
+// most once per tier per operator, with the reason recorded.
 type precState struct {
 	mat      *sparse.CSR // operator matrix this state is bound to
+	defl     *solver.DeflatedPrec
+	ict      *solver.CholPrec
 	ic0      *solver.IC0Prec
 	jac      *solver.JacobiPrec
 	omega    float64 // current modified-IC relaxation (downgraded on failure)
+	deflDead bool    // deflation tier abandoned for this operator
+	ictDead  bool    // ICT tier abandoned for this operator
 	useJac   bool    // permanent fallback for this operator
-	reason   string  // why IC0 was abandoned or downgraded
+	tier     string  // tier that will serve the upcoming solve
+	reason   string  // why a tier was abandoned or downgraded
 	refIters int     // CG iterations right after the last (re)factorization
 	fresh    bool    // factorization was rebuilt for the upcoming solve
 	pending  bool    // lag policy requested a refresh before the next solve
+}
+
+// current returns the live factorization of the highest surviving tier, or
+// nil when the chain has not been built for this operator yet.
+func (ps *precState) current() solver.Preconditioner {
+	switch {
+	case ps.defl != nil:
+		return ps.defl
+	case ps.ict != nil:
+		return ps.ict
+	case ps.ic0 != nil:
+		return ps.ic0
+	}
+	return nil
+}
+
+// refreshCurrent refactorizes the live tier in place for the drifted values.
+func (ps *precState) refreshCurrent(a *sparse.CSR) error {
+	switch {
+	case ps.defl != nil:
+		return ps.defl.Refresh(a)
+	case ps.ict != nil:
+		return ps.ict.Refresh(a)
+	case ps.ic0 != nil:
+		return ps.ic0.Refresh(a)
+	}
+	return nil
+}
+
+// dropCurrent abandons the live tier after a failed refresh so buildChain
+// rebuilds from the next tier down. (A failed IC0 refresh keeps its omega:
+// buildChain retries the factorization from scratch at the same relaxation
+// before downgrading, matching the build-time chain.)
+func (ps *precState) dropCurrent() {
+	switch {
+	case ps.defl != nil:
+		ps.defl = nil
+		ps.deflDead = true
+	case ps.ict != nil:
+		ps.ict = nil
+		ps.ictDead = true
+	case ps.ic0 != nil:
+		ps.ic0 = nil
+	}
 }
 
 // precondIterSlack is the additive headroom of the lag policy: refresh only
@@ -79,7 +128,7 @@ func (ps *precState) noteIters(iters int, ratio float64) {
 		ps.refIters = iters
 		return
 	}
-	if ps.ic0 == nil || ps.useJac {
+	if ps.current() == nil || ps.useJac {
 		return
 	}
 	if float64(iters) > ratio*float64(ps.refIters)+precondIterSlack {
@@ -265,6 +314,7 @@ func (s *Simulator) Potentials() []float64 { return s.phi }
 func (s *Simulator) preconditioner(ps *precState, a *sparse.CSR) solver.Preconditioner {
 	switch s.opt.Precond {
 	case PrecondNone:
+		ps.tier = tierNone
 		return solver.IdentityPrec{}
 	case PrecondJacobi:
 		if ps.mat != a || ps.jac == nil {
@@ -272,25 +322,28 @@ func (s *Simulator) preconditioner(ps *precState, a *sparse.CSR) solver.Precondi
 		} else {
 			ps.jac.Refresh(a)
 		}
+		ps.tier = tierJacobi
 		return ps.jac
-	default: // (modified) IC0 with lagged in-place refresh
+	default: // incomplete-factorization chain with lagged in-place refresh
 		if ps.mat != a {
 			*ps = precState{mat: a, omega: s.opt.PrecondOmega}
 		}
 		if ps.useJac {
 			ps.jac.Refresh(a)
+			ps.tier = tierJacobi
 			return ps.jac
 		}
-		if ps.ic0 == nil {
-			return s.buildIC0(ps, a)
+		cur := ps.current()
+		if cur == nil {
+			return s.buildChain(ps, a)
 		}
 		if ps.pending {
-			if err := ps.ic0.Refresh(a); err != nil {
-				// The refreshed values broke this relaxation level; rebuild
-				// down the degradation chain.
-				ps.ic0 = nil
+			if err := ps.refreshCurrent(a); err != nil {
+				// The refreshed values broke this tier; rebuild down the
+				// degradation chain.
 				ps.reason = err.Error()
-				return s.buildIC0(ps, a)
+				ps.dropCurrent()
+				return s.buildChain(ps, a)
 			}
 			ps.pending = false
 			ps.fresh = true
@@ -298,27 +351,66 @@ func (s *Simulator) preconditioner(ps *precState, a *sparse.CSR) solver.Precondi
 				s.runStats.PrecondRefreshes++
 			}
 		}
-		return ps.ic0
+		return cur
 	}
 }
 
-// buildIC0 factorizes the operator at the state's current relaxation level,
-// downgrading modified IC0 → plain IC0 → Jacobi on failure.
-func (s *Simulator) buildIC0(ps *precState, a *sparse.CSR) solver.Preconditioner {
+// noteDowngrade records one step down the degradation chain.
+func (s *Simulator) noteDowngrade(ps *precState, err error) {
+	ps.reason = err.Error()
+	if s.runStats != nil {
+		s.runStats.PrecondDowngrades++
+		s.runStats.PrecondFallbackReason = ps.reason
+	}
+}
+
+// buildChain factorizes the operator at the highest tier the options and
+// this operator's earlier failures allow, degrading
+// deflated → ICT → modified IC0 → plain IC0 → Jacobi.
+func (s *Simulator) buildChain(ps *precState, a *sparse.CSR) solver.Preconditioner {
+	if s.opt.Deflate && !ps.deflDead {
+		d, err := s.buildDeflated(a)
+		if err == nil {
+			ps.defl = d
+			ps.tier = tierDeflated
+			ps.pending, ps.fresh = false, true
+			if s.runStats != nil {
+				s.runStats.PrecondBuilds++
+			}
+			return d
+		}
+		ps.deflDead = true
+		s.noteDowngrade(ps, err)
+	}
+	if s.opt.Precond == PrecondICT && !ps.ictDead {
+		ict, err := solver.NewICT(a, 0, 0)
+		if err == nil {
+			ps.ict = ict
+			ps.tier = tierICT
+			ps.pending, ps.fresh = false, true
+			if s.runStats != nil {
+				s.runStats.PrecondBuilds++
+			}
+			return ict
+		}
+		ps.ictDead = true
+		s.noteDowngrade(ps, err)
+	}
 	ic, err := solver.NewMIC0(a, ps.omega)
 	if err != nil && ps.omega != 0 {
 		ps.omega = 0
-		ps.reason = err.Error()
-		if s.runStats != nil {
-			s.runStats.PrecondDowngrades++
-			s.runStats.PrecondFallbackReason = ps.reason
-		}
+		s.noteDowngrade(ps, err)
 		ic, err = solver.NewIC0(a)
 	}
 	if err != nil {
 		return s.fallbackJacobi(ps, a, err)
 	}
 	ps.ic0 = ic
+	if ps.omega != 0 {
+		ps.tier = tierMIC0
+	} else {
+		ps.tier = tierIC0
+	}
 	ps.pending = false
 	ps.fresh = true
 	if s.runStats != nil {
@@ -327,11 +419,37 @@ func (s *Simulator) buildIC0(ps *precState, a *sparse.CSR) solver.Preconditioner
 	return ic
 }
 
+// buildDeflated assembles the two-level preconditioner: a plain-IC0 smoother
+// (the modified factor's spectrum is unbounded above, which diverges inside
+// a V-cycle) around the aggregation coarse space — the shared precomputed
+// one when the options carry it, extended to any wire DOFs, or one built
+// from this operator's own connectivity.
+func (s *Simulator) buildDeflated(a *sparse.CSR) (*solver.DeflatedPrec, error) {
+	base, err := solver.NewIC0(a)
+	if err != nil {
+		return nil, err
+	}
+	cs := s.opt.DeflationSpace
+	if cs != nil {
+		if cs, err = cs.ExtendedTo(a.Rows); err != nil {
+			return nil, err
+		}
+	} else {
+		size := s.opt.DeflateBlock
+		if size <= 0 {
+			size = solver.DefaultAggregateSize
+		}
+		cs = solver.BuildCoarseSpace(a, size)
+	}
+	return solver.NewDeflated(a, base, cs)
+}
+
 // fallbackJacobi permanently switches one operator's preconditioning to
 // Jacobi after a failed IC0 factorization, recording why.
 func (s *Simulator) fallbackJacobi(ps *precState, a *sparse.CSR, err error) solver.Preconditioner {
-	ps.ic0 = nil
+	ps.defl, ps.ict, ps.ic0 = nil, nil, nil
 	ps.useJac = true
+	ps.tier = tierJacobi
 	ps.fresh = true
 	ps.reason = err.Error()
 	if ps.jac == nil {
@@ -346,6 +464,40 @@ func (s *Simulator) fallbackJacobi(ps *precState, a *sparse.CSR, err error) solv
 	return ps.jac
 }
 
+// solveCG runs one preconditioned CG solve in the configured precision and
+// feeds the outcome to the lag policy, the per-tier RunStats counters and
+// the process-wide solve observer.
+func (s *Simulator) solveCG(op string, ws *solver.Workspace, a *sparse.CSR, b, x []float64, ps *precState) (solver.Stats, error) {
+	m := s.preconditioner(ps, a)
+	opt := solver.Options{Tol: s.opt.LinTol, MaxIter: s.opt.LinMaxIter, Workers: s.opt.Workers}
+	var stats solver.Stats
+	var err error
+	if s.opt.Precision == PrecisionMixed {
+		stats, err = solver.CGMixed(ws, a, b, x, m, opt)
+	} else {
+		stats, err = solver.CGWith(ws, a, b, x, m, opt)
+	}
+	ps.noteIters(stats.Iterations, s.opt.PrecondRefreshRatio)
+	if s.runStats != nil {
+		switch ps.tier {
+		case tierDeflated:
+			s.runStats.CGItersDeflated += stats.Iterations
+		case tierICT:
+			s.runStats.CGItersICT += stats.Iterations
+		case tierMIC0:
+			s.runStats.CGItersMIC0 += stats.Iterations
+		case tierIC0:
+			s.runStats.CGItersIC0 += stats.Iterations
+		case tierJacobi:
+			s.runStats.CGItersJacobi += stats.Iterations
+		case tierNone:
+			s.runStats.CGItersNone += stats.Iterations
+		}
+	}
+	notifySolve(op, ps.tier, stats.Iterations)
+	return stats, err
+}
+
 // SolveElectric assembles and solves the stationary current problem at the
 // DOF temperatures T, leaving the potentials in s.phi (warm-started). The
 // per-branch electric conductances remain in s.condE for Joule evaluation.
@@ -358,9 +510,7 @@ func (s *Simulator) SolveElectric(T []float64) (solver.Stats, error) {
 		s.rhs[i] = 0
 	}
 	s.dirE.Apply(a, s.rhs)
-	stats, err := solver.CGWith(s.wsE, a, s.rhs, s.phi, s.preconditioner(&s.precE, a),
-		solver.Options{Tol: s.opt.LinTol, MaxIter: s.opt.LinMaxIter, Workers: s.opt.Workers})
-	s.precE.noteIters(stats.Iterations, s.opt.PrecondRefreshRatio)
+	stats, err := s.solveCG("electric", s.wsE, a, s.rhs, s.phi, &s.precE)
 	if err != nil {
 		return stats, fmt.Errorf("core: electric solve: %w", err)
 	}

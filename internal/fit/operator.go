@@ -65,6 +65,12 @@ func NewOperator(nDOF int, branches []Branch) (*Operator, error) {
 		}
 		op.diagPos[i] = p
 	}
+	// The pattern is final here — SetValues/AddDiag only restamp values — so
+	// select the cache-blocked matvec layout once at assembly time. Every
+	// matvec on this operator (CG inner loops included) then runs the blocked
+	// kernel, bit-identical to the scalar reference by the shared canonical
+	// summation order.
+	op.mat.Optimize()
 	return op, nil
 }
 

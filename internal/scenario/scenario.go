@@ -360,10 +360,13 @@ type Batch struct {
 	Scenarios []Scenario `json:"scenarios"`
 }
 
-// Validate checks the batch structurally and every scenario individually.
-// Per-scenario physics errors (e.g. an unbuildable geometry) are NOT caught
-// here — they surface as that scenario's failure at run time, isolated from
-// the rest of the batch.
+// Validate checks the batch structurally: names, worker counts, and each
+// scenario's declared solver knobs (contradictory combinations like
+// precision=mixed with precond=jacobi fail submission with a 422 instead
+// of degrading silently at run time). Per-scenario physics/geometry
+// errors (e.g. an unbuildable chip) are deliberately NOT caught here —
+// they surface as that scenario's failure at run time, isolated from the
+// rest of the batch.
 func (b *Batch) Validate() error {
 	if len(b.Scenarios) == 0 {
 		return fmt.Errorf("scenario: batch has no scenarios")
@@ -380,6 +383,9 @@ func (b *Batch) Validate() error {
 			return fmt.Errorf("scenario: duplicate scenario name %q", s.Name)
 		}
 		seen[s.Name] = true
+		if err := s.withSimDefaults().Sim.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: sim: %w", s.Name, err)
+		}
 	}
 	return nil
 }

@@ -94,6 +94,18 @@ func TestBatchValidate(t *testing.T) {
 	if err := b.Validate(); err != nil {
 		t.Errorf("structural validation rejected a runtime-failure scenario: %v", err)
 	}
+	// Contradictory solver knobs, by contrast, ARE structural: they fail
+	// submission instead of silently degrading at solve time.
+	b = &Batch{Scenarios: []Scenario{{Name: "x",
+		Sim: config.SimConfig{Precision: "mixed", Precond: "jacobi"}}}}
+	if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "precision=mixed") {
+		t.Errorf("contradictory solver knobs accepted: %v", err)
+	}
+	b = &Batch{Scenarios: []Scenario{{Name: "x",
+		Sim: config.SimConfig{Deflation: true, Precond: "none"}}}}
+	if err := b.Validate(); err == nil || !strings.Contains(err.Error(), "deflation") {
+		t.Errorf("deflation without a factorization preconditioner accepted: %v", err)
+	}
 }
 
 func TestParseBatchRejectsUnknownFields(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"etherm/api"
+	"etherm/internal/core"
 	"etherm/internal/jobstore"
 	"etherm/internal/metrics"
 	"etherm/internal/panicsafe"
@@ -222,6 +223,31 @@ func (s *Server) initMetrics() {
 		"WAL fsync latency of the durable job store.", nil, nil)
 	s.mStoreErrs = s.reg.NewCounter("etserver_store_write_failures_total",
 		"Failed job-store writes (each one latches degraded mode until a write succeeds).", nil)
+
+	// CG-iteration telemetry: the core simulator reports every inner linear
+	// solve through its process-wide observer; the histogram tracks the
+	// iteration distribution per operator and the counters attribute solves
+	// to the preconditioner tier that served them (a drift away from the
+	// configured top tier flags degradation in production).
+	cgHist := make(map[string]*metrics.Histogram, 2)
+	cgSolves := make(map[string]*metrics.Counter, 12)
+	cgBounds := []float64{5, 10, 15, 20, 25, 35, 50, 75, 100, 150, 250, 500, 1000}
+	for _, op := range []string{"electric", "thermal"} {
+		cgHist[op] = s.reg.NewHistogram("etherm_cg_iterations",
+			"CG iterations per linear solve.", metrics.Labels{"op": op}, cgBounds)
+		for _, tier := range []string{"deflated", "ict", "mic0", "ic0", "jacobi", "none"} {
+			cgSolves[op+"/"+tier] = s.reg.NewCounter("etherm_cg_solves_total",
+				"Linear solves by preconditioner tier.", metrics.Labels{"op": op, "tier": tier})
+		}
+	}
+	core.SetSolveObserver(func(op, tier string, iters int) {
+		if h, ok := cgHist[op]; ok {
+			h.Observe(float64(iters))
+		}
+		if c, ok := cgSolves[op+"/"+tier]; ok {
+			c.Inc()
+		}
+	})
 }
 
 // initStoreMetrics registers gauges over a FileStore's Stats.

@@ -145,6 +145,12 @@ func TestSubmitValidation(t *testing.T) {
 		"empty batch":   {`{"scenarios": []}`, http.StatusUnprocessableEntity, api.CodeValidation},
 		"unknown field": {`{"scenarios": [{"name": "x", "chipp": 1}]}`, http.StatusUnprocessableEntity, api.CodeValidation},
 		"duplicate":     {`{"scenarios": [{"name": "x"}, {"name": "x"}]}`, http.StatusUnprocessableEntity, api.CodeValidation},
+		"contradictory solver knobs": {
+			`{"scenarios": [{"name": "x", "sim": {"precision": "mixed", "precond": "jacobi"}}]}`,
+			http.StatusUnprocessableEntity, api.CodeValidation},
+		"deflation without factorization": {
+			`{"scenarios": [{"name": "x", "sim": {"deflation": true, "precond": "none"}}]}`,
+			http.StatusUnprocessableEntity, api.CodeValidation},
 	} {
 		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {

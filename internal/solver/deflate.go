@@ -1,0 +1,412 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"etherm/internal/sparse"
+)
+
+// CoarseSpace is an aggregation-based coarse space for two-level
+// preconditioning: a partition of the n DOFs into NumAgg aggregates, each
+// grown along strong matrix connections. The tentative prolongator Z0 is the
+// implied piecewise-constant boolean matrix (Z0[i, Agg[i]] = 1); the
+// preconditioner improves it into a smoothed prolongator at build time.
+//
+// A coarse space depends only on the sparsity pattern and the relative
+// off-diagonal strengths of the matrix it was built from; it remains valid
+// (and deterministic) for any matrix with the same pattern, which is what
+// lets the scenario AssemblyCache build it once per geometry and share it
+// across scenarios and Monte Carlo samples.
+type CoarseSpace struct {
+	// Agg maps each DOF to its aggregate id in [0, NumAgg).
+	Agg []int32
+	// NumAgg is the number of aggregates (coarse DOFs).
+	NumAgg int
+}
+
+// DefaultAggregateSize is the target aggregate cardinality of
+// BuildCoarseSpace when the caller passes no preference. On the FIT meshes
+// of this code it balances coarse-solve cost (≈ (n/size)² per CG iteration)
+// against coarse-space quality; see DESIGN.md §solver kernels.
+const DefaultAggregateSize = 64
+
+// aggStrengthTheta is the strength-of-connection threshold: the edge (i, j)
+// is strong when −a_ij ≥ θ · max_k(−a_ik) for either endpoint. The FIT
+// operators are M-matrices (non-positive off-diagonals), so −a_ij is the
+// branch conductance; θ keeps aggregates from crossing weak (high-contrast)
+// material interfaces.
+const aggStrengthTheta = 0.25
+
+// BuildCoarseSpace partitions the DOFs of the symmetric M-matrix a into
+// aggregates of roughly targetSize DOFs (0 selects DefaultAggregateSize) by
+// greedy breadth-first growth along strong connections. The construction is
+// deterministic: seeds are taken in ascending DOF order and neighbors are
+// visited in CSR pattern order.
+func BuildCoarseSpace(a *sparse.CSR, targetSize int) *CoarseSpace {
+	n := a.Rows
+	if targetSize < 2 {
+		targetSize = DefaultAggregateSize
+	}
+	// Per-row strongest off-diagonal magnitude (conductance) for the
+	// strength test. Positive off-diagonals are non-physical here and
+	// treated as weak.
+	maxOff := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] != i {
+				if w := -a.Val[k]; w > m {
+					m = w
+				}
+			}
+		}
+		maxOff[i] = m
+	}
+
+	agg := make([]int32, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	queue := make([]int32, 0, targetSize*2)
+	na := int32(0)
+	for seed := 0; seed < n; seed++ {
+		if agg[seed] >= 0 {
+			continue
+		}
+		id := na
+		na++
+		agg[seed] = id
+		size := 1
+		queue = append(queue[:0], int32(seed))
+		for head := 0; head < len(queue) && size < targetSize; head++ {
+			u := int(queue[head])
+			for k := a.RowPtr[u]; k < a.RowPtr[u+1] && size < targetSize; k++ {
+				v := a.ColIdx[k]
+				if v == u || agg[v] >= 0 {
+					continue
+				}
+				w := -a.Val[k]
+				if w >= aggStrengthTheta*maxOff[u] || w >= aggStrengthTheta*maxOff[v] {
+					agg[v] = id
+					size++
+					queue = append(queue, int32(v))
+				}
+			}
+		}
+	}
+	return &CoarseSpace{Agg: agg, NumAgg: int(na)}
+}
+
+// ExtendedTo returns a coarse space covering n ≥ len(cs.Agg) DOFs: the
+// original partition plus one singleton aggregate per extra DOF. Scenario
+// instances use this to reuse a grid-built coarse space on operators with
+// appended bonding-wire internal DOFs (which are few and stiff — exactly the
+// DOFs that deserve their own deflation vectors). With n equal to the
+// original size the receiver is returned unchanged.
+func (cs *CoarseSpace) ExtendedTo(n int) (*CoarseSpace, error) {
+	base := len(cs.Agg)
+	if n < base {
+		return nil, fmt.Errorf("solver: coarse space covers %d DOFs, cannot shrink to %d", base, n)
+	}
+	if n == base {
+		return cs, nil
+	}
+	ext := &CoarseSpace{Agg: make([]int32, n), NumAgg: cs.NumAgg + (n - base)}
+	copy(ext.Agg, cs.Agg)
+	for i := base; i < n; i++ {
+		ext.Agg[i] = int32(cs.NumAgg + (i - base))
+	}
+	return ext, nil
+}
+
+// maxCoarseFraction rejects degenerate aggregations: a coarse space bigger
+// than this fraction of the fine space would make the dense coarse solve
+// more expensive than the iterations it saves.
+const maxCoarseFraction = 8
+
+// prolongatorOmega is the damping of the prolongator-smoothing step
+// Z = (I − ω D⁻¹ A) Z0. The classic smoothed-aggregation choice is
+// ω = 2/(3 λmax(D⁻¹A)); for the diagonally dominant M-matrices assembled
+// here λmax(D⁻¹A) ≤ 2 by Gershgorin, giving ω = 1/3.
+const prolongatorOmega = 1.0 / 3.0
+
+// DeflatedPrec is a two-level preconditioner: a smoother (an IC0-family
+// factor) wrapped with a coarse-grid correction over a smoothed-aggregation
+// coarse space. The application is the symmetric two-grid cycle
+//
+//	y  = M⁻¹ r                    (pre-smooth)
+//	y += Z E⁻¹ Zᵀ (r − A y)       (coarse correction, E = Zᵀ A Z)
+//	y += M⁻¹ (r − A y)            (post-smooth)
+//
+// with Z the damped-Jacobi-smoothed prolongator of the aggregation. The
+// cycle is symmetric positive definite whenever the smoother iteration
+// I − M⁻¹A is an A-norm contraction, which holds for the unmodified IC0
+// factor used here (and demonstrably NOT for the rowsum-modified MIC0,
+// whose spectrum is unbounded above — the coarse correction replaces the
+// modification as the low-mode fix). E is assembled once per Refresh and
+// factorized by dense Cholesky (the coarse space is small); Apply performs
+// no allocations.
+type DeflatedPrec struct {
+	a    *sparse.CSR
+	base *IC0Prec
+	cs   *CoarseSpace
+
+	// Additive selects B = M⁻¹ + Z E⁻¹ Zᵀ instead of the V-cycle.
+	Additive bool
+
+	// Smoothed prolongator in CSR form: row i holds the coarse ids and
+	// weights of Z[i, :]. Pattern fixed at construction; values refreshed
+	// with the matrix.
+	zPtr []int32
+	zIdx []int32
+	zVal []float64
+
+	nc    int
+	chol  []float64 // dense lower Cholesky factor of E, row-major nc×nc
+	rc    []float64 // coarse residual / solution scratch
+	y     []float64 // fine-level iterate scratch
+	resid []float64 // fine-level residual scratch
+
+	y32, resid32 []float32 // float32 mirrors for mixed-precision applies
+}
+
+// ErrCoarseSpace reports an unusable coarse space (degenerate aggregation or
+// an indefinite coarse matrix); callers degrade to the undeflated smoother.
+var ErrCoarseSpace = errors.New("solver: unusable coarse space")
+
+// NewDeflated wraps the smoother base with a coarse correction over cs,
+// building the smoothed prolongator Z = (I − ω D⁻¹ A) Z0 and assembling and
+// factorizing the Galerkin coarse matrix E = Zᵀ A Z. It returns
+// ErrCoarseSpace-wrapped errors when the aggregation is degenerate or E is
+// not positive definite, in which case callers should keep using base alone.
+func NewDeflated(a *sparse.CSR, base *IC0Prec, cs *CoarseSpace) (*DeflatedPrec, error) {
+	n := a.Rows
+	if a.Cols != n || len(cs.Agg) != n {
+		return nil, fmt.Errorf("%w: coarse space covers %d DOFs, matrix has %d", ErrCoarseSpace, len(cs.Agg), n)
+	}
+	nc := cs.NumAgg
+	if nc < 1 || nc > n/maxCoarseFraction+1 {
+		return nil, fmt.Errorf("%w: %d aggregates for %d DOFs", ErrCoarseSpace, nc, n)
+	}
+	d := &DeflatedPrec{
+		a: a, base: base, cs: cs,
+		nc:    nc,
+		chol:  make([]float64, nc*nc),
+		rc:    make([]float64, nc),
+		y:     make([]float64, n),
+		resid: make([]float64, n),
+	}
+	// Symbolic pass: the pattern of Z's row i is {Agg[i]} ∪ {Agg[j] : a_ij ≠ 0},
+	// deduplicated in first-seen order (deterministic: CSR pattern order).
+	d.zPtr = make([]int32, n+1)
+	mark := make([]int32, nc)
+	for i := range mark {
+		mark[i] = -1
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		d.zPtr[i] = int32(count)
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := cs.Agg[a.ColIdx[k]]
+			if mark[c] != int32(i) {
+				mark[c] = int32(i)
+				count++
+			}
+		}
+		// Agg[i] is always present via the diagonal entry; the FIT operators
+		// always carry one, but guard anyway.
+		if c := cs.Agg[i]; mark[c] != int32(i) {
+			mark[c] = int32(i)
+			count++
+		}
+	}
+	d.zPtr[n] = int32(count)
+	d.zIdx = make([]int32, count)
+	d.zVal = make([]float64, count)
+	for i := range mark {
+		mark[i] = -1
+	}
+	pos := 0
+	for i := 0; i < n; i++ {
+		if c := cs.Agg[i]; mark[c] != int32(i) {
+			mark[c] = int32(i)
+			d.zIdx[pos] = c
+			pos++
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := cs.Agg[a.ColIdx[k]]
+			if mark[c] != int32(i) {
+				mark[c] = int32(i)
+				d.zIdx[pos] = c
+				pos++
+			}
+		}
+		d.zPtr[i+1] = int32(pos)
+	}
+	if err := d.Refresh(a); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Refresh recomputes the smoothed prolongator weights and reassembles and
+// refactorizes the coarse matrix for the current numeric values of a (same
+// pattern), allocating nothing. The smoother is NOT refreshed — it has its
+// own lag policy; callers refresh it separately.
+func (d *DeflatedPrec) Refresh(a *sparse.CSR) error {
+	if a.Rows != d.a.Rows || a.NNZ() != d.a.NNZ() {
+		return fmt.Errorf("solver: deflation refresh pattern mismatch")
+	}
+	d.a = a
+	agg := d.cs.Agg
+	n := a.Rows
+	nc := d.nc
+
+	// Prolongator values: Z[i, c] = δ(Agg[i] = c) − (ω/a_ii) Σ_{Agg[j]=c} a_ij.
+	for i := 0; i < n; i++ {
+		z0, z1 := int(d.zPtr[i]), int(d.zPtr[i+1])
+		for p := z0; p < z1; p++ {
+			d.zVal[p] = 0
+		}
+		diag := 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if a.ColIdx[k] == i {
+				diag = a.Val[k]
+				break
+			}
+		}
+		if diag <= 0 {
+			return fmt.Errorf("%w: non-positive diagonal at row %d", ErrCoarseSpace, i)
+		}
+		w := prolongatorOmega / diag
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			c := agg[a.ColIdx[k]]
+			for p := z0; p < z1; p++ {
+				if d.zIdx[p] == c {
+					d.zVal[p] -= w * a.Val[k]
+					break
+				}
+			}
+		}
+		ci := agg[i]
+		for p := z0; p < z1; p++ {
+			if d.zIdx[p] == ci {
+				d.zVal[p]++
+				break
+			}
+		}
+	}
+
+	// Galerkin coarse matrix E = Zᵀ A Z, accumulated dense per fine entry.
+	e := d.chol
+	for i := range e {
+		e[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		zi0, zi1 := int(d.zPtr[i]), int(d.zPtr[i+1])
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			aij := a.Val[k]
+			j := a.ColIdx[k]
+			zj0, zj1 := int(d.zPtr[j]), int(d.zPtr[j+1])
+			for p := zi0; p < zi1; p++ {
+				w := d.zVal[p] * aij
+				row := int(d.zIdx[p]) * nc
+				for q := zj0; q < zj1; q++ {
+					e[row+int(d.zIdx[q])] += w * d.zVal[q]
+				}
+			}
+		}
+	}
+	// In-place dense Cholesky, lower triangle. The upper triangle is left
+	// stale and never read.
+	for j := 0; j < nc; j++ {
+		s := e[j*nc+j]
+		for k := 0; k < j; k++ {
+			s -= e[j*nc+k] * e[j*nc+k]
+		}
+		if s <= 0 || math.IsNaN(s) {
+			return fmt.Errorf("%w: coarse matrix not positive definite at aggregate %d", ErrCoarseSpace, j)
+		}
+		dj := math.Sqrt(s)
+		e[j*nc+j] = dj
+		inv := 1 / dj
+		for i := j + 1; i < nc; i++ {
+			s := e[i*nc+j]
+			for k := 0; k < j; k++ {
+				s -= e[i*nc+k] * e[j*nc+k]
+			}
+			e[i*nc+j] = s * inv
+		}
+	}
+	return nil
+}
+
+// coarseSolve solves E x = rc in place (rc becomes x) with the dense
+// Cholesky factor.
+func (d *DeflatedPrec) coarseSolve(rc []float64) {
+	nc, e := d.nc, d.chol
+	for i := 0; i < nc; i++ {
+		s := rc[i]
+		row := i * nc
+		for k := 0; k < i; k++ {
+			s -= e[row+k] * rc[k]
+		}
+		rc[i] = s / e[row+i]
+	}
+	for i := nc - 1; i >= 0; i-- {
+		s := rc[i] / e[i*nc+i]
+		rc[i] = s
+		for k := 0; k < i; k++ {
+			rc[k] -= e[i*nc+k] * s
+		}
+	}
+}
+
+// coarseCorrect adds Z E⁻¹ Zᵀ res to dst.
+func (d *DeflatedPrec) coarseCorrect(dst, res []float64) {
+	for i := range d.rc {
+		d.rc[i] = 0
+	}
+	for i := range res {
+		ri := res[i]
+		for p := d.zPtr[i]; p < d.zPtr[i+1]; p++ {
+			d.rc[d.zIdx[p]] += d.zVal[p] * ri
+		}
+	}
+	d.coarseSolve(d.rc)
+	for i := range dst {
+		s := 0.0
+		for p := d.zPtr[i]; p < d.zPtr[i+1]; p++ {
+			s += d.zVal[p] * d.rc[d.zIdx[p]]
+		}
+		dst[i] += s
+	}
+}
+
+// Apply computes dst ≈ A⁻¹ r with the symmetric two-grid cycle.
+func (d *DeflatedPrec) Apply(dst, r []float64) {
+	if d.Additive {
+		d.base.Apply(dst, r)
+		d.coarseCorrect(dst, r)
+		return
+	}
+	// Pre-smooth: y = M⁻¹ r.
+	d.base.Apply(dst, r)
+	// Coarse correction on the residual r − A y.
+	d.a.MulVec(d.resid, dst)
+	for i := range d.resid {
+		d.resid[i] = r[i] - d.resid[i]
+	}
+	d.coarseCorrect(dst, d.resid)
+	// Post-smooth on the updated residual.
+	d.a.MulVec(d.resid, dst)
+	for i := range d.resid {
+		d.resid[i] = r[i] - d.resid[i]
+	}
+	d.base.Apply(d.y, d.resid)
+	for i := range dst {
+		dst[i] += d.y[i]
+	}
+}

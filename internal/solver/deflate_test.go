@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBuildCoarseSpaceDeterministic: same matrix in, same aggregation out —
+// the AssemblyCache shares one coarse space across scenarios, so any
+// nondeterminism here would leak into Monte Carlo reproducibility.
+func TestBuildCoarseSpaceDeterministic(t *testing.T) {
+	a := poisson2D(30, 1e-3)
+	cs1 := BuildCoarseSpace(a, 32)
+	cs2 := BuildCoarseSpace(a, 32)
+	if cs1.NumAgg != cs2.NumAgg {
+		t.Fatalf("aggregate counts differ: %d vs %d", cs1.NumAgg, cs2.NumAgg)
+	}
+	for i := range cs1.Agg {
+		if cs1.Agg[i] != cs2.Agg[i] {
+			t.Fatalf("aggregation differs at DOF %d", i)
+		}
+	}
+	if cs1.NumAgg < 2 {
+		t.Fatalf("degenerate coarse space: %d aggregates", cs1.NumAgg)
+	}
+	// Every DOF lands in a valid aggregate.
+	for i, g := range cs1.Agg {
+		if g < 0 || int(g) >= cs1.NumAgg {
+			t.Fatalf("DOF %d in invalid aggregate %d", i, g)
+		}
+	}
+}
+
+// TestCoarseSpaceExtendedTo: appending wire DOFs keeps the grid aggregation
+// and gives the new DOFs their own aggregates.
+func TestCoarseSpaceExtendedTo(t *testing.T) {
+	a := poisson2D(20, 1e-3)
+	cs := BuildCoarseSpace(a, 32)
+	n := len(cs.Agg)
+	ext, err := cs.ExtendedTo(n + 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.Agg) != n+3 {
+		t.Fatalf("extended length %d, want %d", len(ext.Agg), n+3)
+	}
+	for i := 0; i < n; i++ {
+		if ext.Agg[i] != cs.Agg[i] {
+			t.Fatalf("grid aggregation changed at DOF %d", i)
+		}
+	}
+	for i := n; i < n+3; i++ {
+		if int(ext.Agg[i]) < cs.NumAgg || int(ext.Agg[i]) >= ext.NumAgg {
+			t.Fatalf("appended DOF %d in aggregate %d (coarse grid has %d..%d)",
+				i, ext.Agg[i], cs.NumAgg, ext.NumAgg)
+		}
+	}
+	if _, err := cs.ExtendedTo(n - 1); err == nil {
+		t.Error("shrinking extension accepted")
+	}
+}
+
+// TestDeflatedSolvesAndCutsIterations: the two-level preconditioner must
+// (a) leave CG converging to the true solution and (b) cut the iteration
+// count against its own IC0 base — the coarse grid exists to remove the
+// low-frequency modes IC0 cannot damp. The payoff grows with problem size;
+// the 60×60 Poisson problem is large enough to show a decisive cut.
+func TestDeflatedSolvesAndCutsIterations(t *testing.T) {
+	a := poisson2D(60, 1e-6)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = math.Sin(0.01 * float64(i))
+	}
+	base, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Tol: 1e-10, MaxIter: 10000}
+	x := make([]float64, n)
+	stBase, err := CGWith(NewWorkspace(n), a, b, x, base, opt)
+	if err != nil || !stBase.Converged {
+		t.Fatalf("IC0 solve failed: %v", err)
+	}
+	xBase := append([]float64(nil), x...)
+
+	defBase, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defl, err := NewDeflated(a, defBase, BuildCoarseSpace(a, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	stDefl, err := CGWith(NewWorkspace(n), a, b, x, defl, opt)
+	if err != nil || !stDefl.Converged {
+		t.Fatalf("deflated solve failed: %v", err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xBase[i]) > 1e-6*(1+math.Abs(xBase[i])) {
+			t.Fatalf("deflated solution differs at %d: %g vs %g", i, x[i], xBase[i])
+		}
+	}
+	if stDefl.Iterations*2 > stBase.Iterations {
+		t.Errorf("deflated iterations %d vs IC0 %d: want at least a 2x cut",
+			stDefl.Iterations, stBase.Iterations)
+	}
+
+	// Refresh on restamped values keeps the preconditioner serviceable.
+	if err := defl.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	st2, err := CGWith(NewWorkspace(n), a, b, x, defl, opt)
+	if err != nil || !st2.Converged {
+		t.Fatalf("post-refresh solve failed: %v", err)
+	}
+	if st2.Iterations != stDefl.Iterations {
+		t.Errorf("refresh on unchanged values altered the trajectory: %d vs %d iterations",
+			st2.Iterations, stDefl.Iterations)
+	}
+}

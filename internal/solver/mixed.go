@@ -1,0 +1,209 @@
+package solver
+
+import (
+	"math"
+
+	"etherm/internal/sparse"
+)
+
+// Preconditioner32 is a preconditioner that can also apply itself in float32,
+// enabling the mixed-precision inner solves of CGMixed. The float32 apply may
+// be a rounded mirror of the float64 factor; it only steers inner iterations
+// whose result is corrected against a float64 residual, so its rounding never
+// reaches the reported solution.
+type Preconditioner32 interface {
+	Preconditioner
+	// Apply32 computes dst ≈ A⁻¹ r in float32. dst and r have equal length
+	// and do not alias.
+	Apply32(dst, r []float32)
+}
+
+// Mixed-precision policy. Each inner float32 PCG reduces its (scaled)
+// residual by innerReduction before handing back to the float64 outer loop,
+// which recomputes the true residual and restarts. float32 resolves ~7
+// decimal digits, so asking the inner solve for 1e-4 leaves a wide safety
+// margin, and two to three refinement rounds reach the 1e-8..1e-10 outer
+// tolerances of the simulator. If a round fails to cut the true residual by
+// at least mixedMinProgress the refinement is abandoned and the solve
+// finishes in float64 — mixed precision can never make a solve fail that
+// float64 would have completed.
+const (
+	innerReduction   = 1e-4
+	mixedMaxRounds   = 8
+	mixedMinProgress = 0.5
+)
+
+// ensure32 sizes the float32 scratch vectors for mixed-precision solves.
+// They are lazily allocated so plain float64 workspaces pay nothing.
+func (w *Workspace) ensure32(n int) {
+	if len(w.r32) < n {
+		w.r32 = make([]float32, n)
+		w.z32 = make([]float32, n)
+		w.p32 = make([]float32, n)
+		w.ap32 = make([]float32, n)
+		w.d32 = make([]float32, n)
+	}
+}
+
+// dot32 accumulates the float32 dot product in float64, left to right.
+func dot32(x, y []float32) float64 {
+	s := 0.0
+	for i := range x {
+		s += float64(x[i]) * float64(y[i])
+	}
+	return s
+}
+
+// CGMixed solves A x = b like CGWith, but runs the preconditioned CG
+// iterations in float32 inside a float64 iterative-refinement loop: the outer
+// loop computes the true residual r = b − A x in float64, the inner PCG
+// solves A d ≈ r entirely in float32 (matvec, preconditioner, vectors), and
+// the correction is added back in float64. The reported solution therefore
+// meets opt.Tol against the float64 residual exactly as CGWith does.
+//
+// Requirements: the matrix must have a cache-blocked Plan (see CSR.Optimize)
+// for the float32 value mirror, and m must implement Preconditioner32. When
+// either is missing, or when refinement stalls, the solve transparently
+// falls back to (or finishes in) float64 CGWith from the current iterate.
+//
+// Measured honestly: on the chip-scale meshes of this repo the float32
+// kernels are not faster than float64 — the sparse solves are bound by
+// gather latency, not bandwidth (see DESIGN.md). CGMixed exists as a
+// correctness-controlled precision knob for bandwidth-bound regimes (larger
+// grids, SIMD-capable builds), not as a default.
+func CGMixed(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt Options) (Stats, error) {
+	n := a.Rows
+	m32, ok := m.(Preconditioner32)
+	if !ok {
+		return CGWith(ws, a, b, x, m, opt)
+	}
+	if a.Plan() == nil {
+		a.Optimize()
+	}
+	pl := a.Plan()
+	if pl == nil || a.Cols != n || len(b) != n || len(x) != n {
+		return CGWith(ws, a, b, x, m, opt)
+	}
+	opt = opt.withDefaults(n)
+	ws.ensure(n)
+	ws.ensure32(n)
+	pl.SyncVal32(a.Val)
+
+	r, ap := ws.r[:n], ws.ap[:n]
+	a.MulVecWorkers(r, x, opt.Workers)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	normB := sparse.Norm2(b)
+	if normB == 0 {
+		for i := range x {
+			x[i] = 0
+		}
+		return Stats{Iterations: 0, Residual: 0, Converged: true}, nil
+	}
+
+	total := 0
+	res := sparse.Norm2(r) / normB
+	for round := 0; round < mixedMaxRounds; round++ {
+		if res <= opt.Tol {
+			return Stats{Iterations: total, Residual: res, Converged: true}, nil
+		}
+		// Scale the residual to O(1) before the float32 round trip so the
+		// inner solve works far from the subnormal range even when the outer
+		// residual has shrunk by many orders of magnitude.
+		scale := sparse.NormInf(r)
+		if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			break
+		}
+		inv := 1 / scale
+		r32 := ws.r32[:n]
+		for i := range r32 {
+			r32[i] = float32(r[i] * inv)
+		}
+		it, ok := innerCG32(ws, pl, m32, n, opt.MaxIter-total)
+		total += it
+		if !ok {
+			break
+		}
+		d32 := ws.d32[:n]
+		for i := range x {
+			x[i] += scale * float64(d32[i])
+		}
+		a.MulVecWorkers(ap, x, opt.Workers)
+		for i := range r {
+			r[i] = b[i] - ap[i]
+		}
+		prev := res
+		res = sparse.Norm2(r) / normB
+		if math.IsNaN(res) || res > mixedMinProgress*prev || total >= opt.MaxIter {
+			break
+		}
+	}
+	if res <= opt.Tol {
+		return Stats{Iterations: total, Residual: res, Converged: true}, nil
+	}
+
+	// Refinement converged too slowly (or the iterate was poisoned): finish
+	// in float64 from wherever the iterate stands. Correctness never depends
+	// on the float32 path.
+	st, err := CGWith(ws, a, b, x, m, opt)
+	st.Iterations += total
+	return st, err
+}
+
+// innerCG32 runs preconditioned CG in float32 on the blocked plan: solve
+// A d = r32 from d = 0 until the float32 residual norm drops below
+// innerReduction relative to the start. It reports the iterations spent and
+// whether the round produced a usable correction in ws.d32. Scalar
+// recurrences (α, β, ρ) accumulate in float64 — they are O(n) sums whose
+// float32 rounding would waste inner iterations for free.
+func innerCG32(ws *Workspace, pl *sparse.Plan, m Preconditioner32, n, maxIter int) (int, bool) {
+	r, z, p, ap, d := ws.r32[:n], ws.z32[:n], ws.p32[:n], ws.ap32[:n], ws.d32[:n]
+	for i := range d {
+		d[i] = 0
+	}
+	norm0 := math.Sqrt(dot32(r, r))
+	if norm0 == 0 {
+		return 0, false
+	}
+	target := innerReduction * norm0
+
+	m.Apply32(z, r)
+	copy(p, z)
+	rz := dot32(r, z)
+	if maxIter > n {
+		maxIter = n
+	}
+	for it := 1; it <= maxIter; it++ {
+		pap := pl.MulVecDot32(ap, p)
+		if pap <= 0 || math.IsNaN(pap) || math.IsInf(pap, 0) {
+			// Indefinite curvature is a float32 rounding artifact here (the
+			// operators are SPD): keep whatever progress d holds so far.
+			return it, it > 1
+		}
+		alpha := float32(rz / pap)
+		rr := 0.0
+		for i := range d {
+			d[i] += alpha * p[i]
+			ri := r[i] - alpha*ap[i]
+			r[i] = ri
+			rr += float64(ri) * float64(ri)
+		}
+		nr := math.Sqrt(rr)
+		if math.IsNaN(nr) || math.IsInf(nr, 0) {
+			return it, false
+		}
+		if nr <= target {
+			return it, true
+		}
+		m.Apply32(z, r)
+		rzNew := dot32(r, z)
+		beta := float32(rzNew / rz)
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	// Budget exhausted below target: the partial correction still helps.
+	return maxIter, true
+}

@@ -1,0 +1,272 @@
+package solver
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"etherm/internal/sparse"
+)
+
+// residual returns ‖b−Ax‖₂/‖b‖₂.
+func residual(a *sparse.CSR, b, x []float64) float64 {
+	n := a.Rows
+	r := make([]float64, n)
+	a.MulVec(r, x)
+	num, den := 0.0, 0.0
+	for i := range r {
+		d := b[i] - r[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	return math.Sqrt(num) / math.Sqrt(den)
+}
+
+// TestCGMixedMatchesFloat64 is the mixed-precision contract: the reported
+// solution meets the float64 tolerance (the outer loop verifies the true
+// residual), and it agrees with the plain float64 solve far below the
+// tolerance — the float32 inner iterations only steer, they never leak
+// rounding into the result.
+func TestCGMixedMatchesFloat64(t *testing.T) {
+	a := poisson2D(40, 0.3)
+	n := a.Rows
+	rng := rand.New(rand.NewPCG(7, 7))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Tol: 1e-10, MaxIter: 10000}
+
+	x64 := make([]float64, n)
+	st64, err := CGWith(NewWorkspace(n), a, b, x64, ict, opt)
+	if err != nil || !st64.Converged {
+		t.Fatalf("float64 reference solve failed: %v (%+v)", err, st64)
+	}
+
+	xm := make([]float64, n)
+	stm, err := CGMixed(NewWorkspace(n), a, b, xm, ict, opt)
+	if err != nil || !stm.Converged {
+		t.Fatalf("mixed solve failed: %v (%+v)", err, stm)
+	}
+	if r := residual(a, b, xm); r > 1e-9 {
+		t.Errorf("mixed solution residual %g exceeds tolerance regime", r)
+	}
+	for i := range xm {
+		if math.Abs(xm[i]-x64[i]) > 1e-8*(1+math.Abs(x64[i])) {
+			t.Fatalf("x[%d]: mixed %g vs float64 %g", i, xm[i], x64[i])
+		}
+	}
+}
+
+// TestCGMixedFallsBackWithoutApply32: a preconditioner without a float32
+// mirror silently routes to the float64 path — same convergence, no error.
+func TestCGMixedFallsBackWithoutApply32(t *testing.T) {
+	a := poisson2D(20, 0.5)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	x := make([]float64, n)
+	st, err := CGMixed(NewWorkspace(n), a, b, x, NewJacobi(a), Options{Tol: 1e-10, MaxIter: 10000})
+	if err != nil || !st.Converged {
+		t.Fatalf("fallback solve failed: %v (%+v)", err, st)
+	}
+	if r := residual(a, b, x); r > 1e-9 {
+		t.Errorf("fallback residual %g", r)
+	}
+}
+
+// TestCGMixedZeroAllocsSteadyState: after the first solve sized the float32
+// scratch, repeated mixed solves on a warm workspace allocate nothing —
+// the same contract CGWith holds for the Monte Carlo inner loop.
+func TestCGMixedZeroAllocsSteadyState(t *testing.T) {
+	a := poisson2D(20, 0.5)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace(n)
+	x := make([]float64, n)
+	opt := Options{Tol: 1e-10, MaxIter: 10000}
+	if _, err := CGMixed(ws, a, b, x, ict, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range x {
+			x[i] = 0
+		}
+		if _, err := CGMixed(ws, a, b, x, ict, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state CGMixed performed %v allocations per solve, want 0", allocs)
+	}
+}
+
+// TestICTReducesIterations: the dual-threshold factor earns its fill — it
+// must beat the zero-fill IC0 iteration count decisively on the model
+// problem that mirrors the chip thermal system.
+func TestICTReducesIterations(t *testing.T) {
+	a := poisson2D(40, 1e-3)
+	n := a.Rows
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Tol: 1e-10, MaxIter: 10000}
+	x := make([]float64, n)
+	st0, err := CGWith(NewWorkspace(n), a, b, x, ic, opt)
+	if err != nil || !st0.Converged {
+		t.Fatalf("IC0 solve failed: %v", err)
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	st1, err := CGWith(NewWorkspace(n), a, b, x, ict, opt)
+	if err != nil || !st1.Converged {
+		t.Fatalf("ICT solve failed: %v", err)
+	}
+	if st1.Iterations*3 > st0.Iterations*2 {
+		t.Errorf("ICT iterations %d vs IC0 %d: want at least a 1.5x cut", st1.Iterations, st0.Iterations)
+	}
+}
+
+// TestICTRefreshStable is the regression test for the marker-aliasing bug:
+// refreshThreshold stamps marker entries with column indices, so a stamp
+// left behind by round k aliases the same column in round k+1 unless the
+// marker is cleared — the factor then silently drops entries and decays a
+// little further on every refresh (observed on the chip mesh as
+// 24 → 210 → 267 → 310 CG iterations across refreshes). Refreshing on
+// unchanged values must reproduce the factor bit for bit, every round.
+func TestICTRefreshStable(t *testing.T) {
+	a := poisson2D(40, 1e-3)
+	n := a.Rows
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nnz := ict.NNZ()
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, n)
+	fresh.Apply(want, r)
+	got := make([]float64, n)
+	for round := 0; round < 4; round++ {
+		if err := ict.Refresh(a); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if ict.NNZ() != nnz {
+			t.Fatalf("round %d: factor pattern decayed: nnz %d, want %d", round, ict.NNZ(), nnz)
+		}
+		ict.Apply(got, r)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: refreshed factor diverged at %d: %g vs %g", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestICTRefreshTracksNewValues: a refresh on restamped values equals a
+// from-scratch factorization of the new matrix (the build itself runs
+// through Refresh, so both sides execute the same deterministic code).
+func TestICTRefreshTracksNewValues(t *testing.T) {
+	a := poisson2D(30, 1e-3)
+	n := a.Rows
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strengthen the diagonal in place: same pattern, new values.
+	shift := make([]float64, n)
+	for i := range shift {
+		shift[i] = 0.5
+	}
+	a.AddToDiag(shift)
+	if err := ict.Refresh(a); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ict.NNZ() != fresh.NNZ() {
+		t.Fatalf("refreshed nnz %d != from-scratch %d", ict.NNZ(), fresh.NNZ())
+	}
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = float64(i%11) - 5
+	}
+	got, want := make([]float64, n), make([]float64, n)
+	ict.Apply(got, r)
+	fresh.Apply(want, r)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("refresh vs rebuild differ at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestApply32MirrorsApply: the float32 preconditioner applications of both
+// factorization families track their float64 factors within single
+// precision — that is all the inner CG needs from them.
+func TestApply32MirrorsApply(t *testing.T) {
+	a := poisson2D(25, 0.2)
+	n := a.Rows
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = math.Cos(float64(3 * i))
+	}
+	r32 := make([]float32, n)
+	for i := range r {
+		r32[i] = float32(r[i])
+	}
+	ic, err := NewIC0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ict, err := NewICT(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]Preconditioner32{"ic0": ic, "ict": ict} {
+		want := make([]float64, n)
+		p.Apply(want, r)
+		got := make([]float32, n)
+		p.Apply32(got, r32)
+		scale := 0.0
+		for i := range want {
+			scale = math.Max(scale, math.Abs(want[i]))
+		}
+		for i := range want {
+			if math.Abs(float64(got[i])-want[i]) > 1e-4*(1+scale) {
+				t.Fatalf("%s: Apply32[%d]=%g too far from Apply %g", name, i, got[i], want[i])
+			}
+		}
+	}
+}

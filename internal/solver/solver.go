@@ -190,6 +190,9 @@ func (o Options) withDefaults(n int) Options {
 // Newton × coupling × time-step × sample loops.
 type Workspace struct {
 	r, z, p, ap []float64
+
+	// float32 scratch for CGMixed, allocated lazily on first mixed solve.
+	r32, z32, p32, ap32, d32 []float32
 }
 
 // NewWorkspace returns a workspace for systems of n unknowns.
@@ -342,12 +345,24 @@ func CGWith(ws *Workspace, a *sparse.CSR, b, x []float64, m Preconditioner, opt 
 // matrix, accumulating the dot product in the same row order as computing
 // the matvec and sparse.Dot separately.
 func mulVecDot(a *sparse.CSR, dst, x []float64) float64 {
+	if p := a.Plan(); p != nil {
+		return p.MulVecDot(a.Val, dst, x)
+	}
 	dot := 0.0
 	for i := 0; i < a.Rows; i++ {
-		s := 0.0
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
+		klo, khi := a.RowPtr[i], a.RowPtr[i+1]
+		var s0, s1, s2, s3 float64
+		k := klo
+		for ; k+4 <= khi; k += 4 {
+			s0 += a.Val[k] * x[a.ColIdx[k]]
+			s1 += a.Val[k+1] * x[a.ColIdx[k+1]]
+			s2 += a.Val[k+2] * x[a.ColIdx[k+2]]
+			s3 += a.Val[k+3] * x[a.ColIdx[k+3]]
 		}
+		for ; k < khi; k++ {
+			s0 += a.Val[k] * x[a.ColIdx[k]]
+		}
+		s := (s0 + s1) + (s2 + s3)
 		dst[i] = s
 		dot += x[i] * s
 	}

@@ -1,0 +1,177 @@
+package sparse
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// randCSR builds a random rectangular-band sparse matrix with enough rows
+// to span several plan blocks.
+func randCSR(rng *rand.Rand, n int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1+rng.Float64())
+		for k := 0; k < 6; k++ {
+			b.Add(i, rng.IntN(n), rng.NormFloat64())
+		}
+	}
+	return b.ToCSR()
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestBlockedMatvecBitIdentical is the contract the whole solver stack
+// leans on: the cache-blocked plan kernel, the parallel kernel at every
+// worker count and the fused dot variant must reproduce the scalar
+// reference bit for bit, because they all share the canonical
+// four-accumulator summation order.
+func TestBlockedMatvecBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for _, n := range []int{1, 7, 500, 9000} {
+		a := randCSR(rng, n)
+		ref := a.Clone() // Clone drops the plan: scalar reference path
+		x := randVec(rng, n)
+
+		yRef := make([]float64, n)
+		ref.MulVec(yRef, x)
+
+		pl := a.Optimize()
+		if n >= 4096 && pl.NumBlocks() < 2 {
+			t.Fatalf("n=%d: expected multiple blocks, got %d", n, pl.NumBlocks())
+		}
+		y := make([]float64, n)
+		a.MulVec(y, x)
+		for i := range y {
+			if y[i] != yRef[i] {
+				t.Fatalf("n=%d: blocked y[%d]=%v != scalar %v", n, i, y[i], yRef[i])
+			}
+		}
+
+		for _, w := range []int{1, 2, 8} {
+			for i := range y {
+				y[i] = 0
+			}
+			a.MulVecWorkers(y, x, w)
+			for i := range y {
+				if y[i] != yRef[i] {
+					t.Fatalf("n=%d workers=%d: y[%d]=%v != scalar %v", n, w, i, y[i], yRef[i])
+				}
+			}
+		}
+
+		dot := pl.MulVecDot(a.Val, y, x)
+		wantDot := 0.0
+		for i := range yRef {
+			if y[i] != yRef[i] {
+				t.Fatalf("n=%d: MulVecDot y[%d]=%v != scalar %v", n, i, y[i], yRef[i])
+			}
+			wantDot += x[i] * yRef[i]
+		}
+		if math.Abs(dot-wantDot) > 1e-9*(1+math.Abs(wantDot)) {
+			t.Fatalf("n=%d: MulVecDot=%v, want %v", n, dot, wantDot)
+		}
+	}
+}
+
+// TestOptimizeIdempotentAcrossRestamps: Optimize is built once per pattern;
+// restamping values (the fit.Operator reassembly path) must not stale the
+// plan's results.
+func TestOptimizeIdempotentAcrossRestamps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	a := randCSR(rng, 300)
+	pl := a.Optimize()
+	if a.Optimize() != pl {
+		t.Fatal("Optimize rebuilt the plan for an unchanged pattern")
+	}
+	x := randVec(rng, 300)
+	for round := 0; round < 3; round++ {
+		for i := range a.Val {
+			a.Val[i] = rng.NormFloat64()
+		}
+		ref := a.Clone()
+		y, yRef := make([]float64, 300), make([]float64, 300)
+		a.MulVec(y, x)
+		ref.MulVec(yRef, x)
+		for i := range y {
+			if y[i] != yRef[i] {
+				t.Fatalf("round %d: restamped blocked y[%d]=%v != scalar %v", round, i, y[i], yRef[i])
+			}
+		}
+	}
+}
+
+// TestMulVec32MatchesFloat64 checks the f32 mirror: results track the f64
+// kernel within single-precision rounding, the fused dot accumulates in
+// f64, and SyncVal32 guards its length contract.
+func TestMulVec32MatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	n := 800
+	a := randCSR(rng, n)
+	pl := a.Optimize()
+	if pl.HasVal32() {
+		t.Fatal("val32 reported good before any SyncVal32")
+	}
+	pl.SyncVal32(a.Val)
+	if !pl.HasVal32() {
+		t.Fatal("val32 not good after SyncVal32")
+	}
+
+	x := randVec(rng, n)
+	x32 := make([]float32, n)
+	for i := range x {
+		x32[i] = float32(x[i])
+	}
+	y64 := make([]float64, n)
+	a.MulVec(y64, x)
+	y32 := make([]float32, n)
+	pl.MulVec32(y32, x32)
+	// ~7 nnz per row: a loose per-row f32 bound of 1e-4 relative to the
+	// row's magnitude scale catches systematic kernel bugs without flaking
+	// on rounding.
+	scale := 0.0
+	for i := range y64 {
+		scale = math.Max(scale, math.Abs(y64[i]))
+	}
+	for i := range y64 {
+		if math.Abs(float64(y32[i])-y64[i]) > 1e-4*(1+scale) {
+			t.Fatalf("f32 y[%d]=%v too far from f64 %v", i, y32[i], y64[i])
+		}
+	}
+
+	d32 := make([]float32, n)
+	dot := pl.MulVecDot32(d32, x32)
+	wantDot := 0.0
+	for i := range d32 {
+		if d32[i] != y32[i] {
+			t.Fatalf("MulVecDot32 y[%d]=%v != MulVec32 %v", i, d32[i], y32[i])
+		}
+		wantDot += float64(x32[i]) * float64(y32[i])
+	}
+	if math.Abs(dot-wantDot) > 1e-6*(1+math.Abs(wantDot)) {
+		t.Fatalf("MulVecDot32=%v, want f64-accumulated %v", dot, wantDot)
+	}
+
+	for _, w := range []int{1, 2, 8} {
+		p32 := make([]float32, n)
+		pl.MulVec32Workers(p32, x32, w)
+		for i := range p32 {
+			if p32[i] != y32[i] {
+				t.Fatalf("workers=%d: f32 y[%d]=%v != serial %v", w, i, p32[i], y32[i])
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SyncVal32 accepted a mismatched value slice")
+		}
+	}()
+	pl.SyncVal32(a.Val[:len(a.Val)-1])
+}
