@@ -8,15 +8,17 @@ SHELL := /bin/bash
 
 # Benchmarks tracked by bench-json; BENCH_OUT is the trajectory file each PR
 # appends its machine-local baseline to (PR 2 recorded BENCH_PR2.json, PR 4
-# BENCH_PR4.json, PR 8 BENCH_PR8.json — the baseline the bench-gate compares
-# against). BenchmarkCampaignStreaming carries the retained-heap metric of
-# the streaming campaign path (the hard memory gate lives in internal/uq
-# tests); BenchmarkMatvec tracks the CSR kernel variants (scalar reference,
-# cache-blocked, f32, parallel) that carry the CG inner loop.
-BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming|BenchmarkMatvec
-BENCH_OUT ?= BENCH_PR8.json
+# BENCH_PR4.json, PR 8 BENCH_PR8.json, PR 9 BENCH_PR9.json — the baseline the
+# bench-gate compares against). BenchmarkCampaignStreaming carries the
+# retained-heap metric of the streaming campaign path (the hard memory gate
+# lives in internal/uq tests); BenchmarkMatvec tracks the CSR kernel variants
+# (scalar reference, cache-blocked, f32, parallel) that carry the CG inner
+# loop; BenchmarkSurrogateQuery tracks the surrogate read path (the p50 < 1ms
+# query-latency acceptance of the /v1/surrogates API).
+BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming|BenchmarkMatvec|BenchmarkSurrogateQuery
+BENCH_OUT ?= BENCH_PR9.json
 BENCH_TIME ?= 3x
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCH_TOLERANCE ?= 0.25
 # Wall-time tolerance for the gate (0 = BENCH_TOLERANCE). CI passes a
 # looser value because single-iteration ns/op on shared runners is noisy
@@ -115,16 +117,19 @@ fuzz-smoke:
 	$(GO) test ./internal/jobstore -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZ_TIME)
 
 # load-smoke drives cmd/etload against an in-process server: a sustained
-# throughput pass, then a fan-out pass that must hold ≥1000 concurrent SSE
-# watchers with zero dropped terminal events. Nonzero exit on any drop,
-# failed job or watcher shortfall gates CI; the JSON latency reports are
-# uploaded as artifacts by the bench-gate job.
+# throughput pass plus the surrogate read-traffic phase (500 queries from 16
+# concurrent clients against a cheap surrogate, zero errors tolerated, the
+# out-of-domain fallback contract probed), then a fan-out pass that must hold
+# ≥1000 concurrent SSE watchers with zero dropped terminal events. Nonzero
+# exit on any drop, failed job, query error or watcher shortfall gates CI;
+# the JSON latency reports are uploaded as artifacts by the bench-gate job.
 LOAD_SMOKE_OUT ?= out/etload.json
 LOAD_SMOKE_FANOUT_OUT ?= out/etload_fanout.json
 load-smoke:
 	@mkdir -p $(dir $(LOAD_SMOKE_OUT))
 	$(GO) run ./cmd/etload -self -jobs 200 -watchers 100 \
-		-min-peak-watchers 100 -out $(LOAD_SMOKE_OUT)
+		-min-peak-watchers 100 \
+		-surrogate-queries 500 -surrogate-queriers 16 -out $(LOAD_SMOKE_OUT)
 	$(GO) run ./cmd/etload -self -jobs 20 -watchers 1000 -anchors 8 \
 		-min-peak-watchers 1000 -out $(LOAD_SMOKE_FANOUT_OUT)
 

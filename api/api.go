@@ -60,8 +60,21 @@ func Routes() []Route {
 		{"POST", FleetPrefix + "/heartbeat"},
 		{"POST", FleetPrefix + "/result"},
 		{"POST", FleetPrefix + "/fail"},
+		{"POST", "/v1/surrogates"},
+		{"GET", "/v1/surrogates"},
+		{"GET", "/v1/surrogates/{id}"},
+		{"POST", "/v1/surrogates/{id}/query"},
 	}
 }
+
+// SurrogatesPath is the surrogate collection endpoint.
+const SurrogatesPath = "/v1/surrogates"
+
+// SurrogatePath returns the resource path of one surrogate.
+func SurrogatePath(id string) string { return SurrogatesPath + "/" + id }
+
+// SurrogateQueryPath returns the query endpoint of one surrogate.
+func SurrogateQueryPath(id string) string { return SurrogatePath(id) + "/query" }
 
 // JobPath returns the resource path of one batch or fleet job.
 func JobPath(id string) string { return "/v1/jobs/" + id }

@@ -52,6 +52,17 @@ const (
 	// Retry-After hint — the server recovers as soon as a store write
 	// succeeds again.
 	CodeDegraded = "degraded"
+	// CodeSurrogateNotReady marks a surrogate query against a model that is
+	// still building or whose build failed (HTTP 409). The response's
+	// FallbackJob carries a ready-to-submit batch answering the same
+	// question on the FEM path, and RetryAfterS hints when to re-query a
+	// still-building surrogate.
+	CodeSurrogateNotReady = "surrogate-not-ready"
+	// CodeOutOfDomain marks a surrogate query outside the trained
+	// sparse-grid region (HTTP 422): the surrogate refuses to extrapolate.
+	// The response's FallbackJob carries the FEM batch that answers the
+	// query exactly.
+	CodeOutOfDomain = "out-of-domain"
 	// CodeUnsupportedVersion marks a request demanding an API version the
 	// server does not speak.
 	CodeUnsupportedVersion = "unsupported-version"
@@ -86,6 +97,11 @@ type Error struct {
 	// seconds (set on 429 overload responses; the SDK uses it as the
 	// retry backoff).
 	RetryAfterS int `json:"retry_after_s,omitempty"`
+	// FallbackJob, when non-nil, is a ready-to-submit batch document that
+	// answers the failed request on the FEM job path. Set on surrogate
+	// redirects (CodeSurrogateNotReady, CodeOutOfDomain): POST it to
+	// /v1/jobs to compute the same quantity with full solves.
+	FallbackJob *Batch `json:"fallback_job,omitempty"`
 }
 
 // NewError builds a problem for an HTTP status, condition code and detail.
@@ -238,6 +254,23 @@ func IsDraining(err error) bool {
 func IsDegraded(err error) bool {
 	e, ok := AsError(err)
 	return ok && e.Code == CodeDegraded
+}
+
+// IsSurrogateNotReady reports whether err is the surrogate-not-ready
+// redirect (HTTP 409 / CodeSurrogateNotReady): the surrogate exists but
+// cannot serve yet (building) or ever (failed). The error's FallbackJob
+// answers the same question on the FEM path.
+func IsSurrogateNotReady(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Code == CodeSurrogateNotReady
+}
+
+// IsOutOfDomain reports whether err is the out-of-domain redirect
+// (HTTP 422 / CodeOutOfDomain): the query left the surrogate's trained
+// region and the error's FallbackJob carries the exact FEM computation.
+func IsOutOfDomain(err error) bool {
+	e, ok := AsError(err)
+	return ok && e.Code == CodeOutOfDomain
 }
 
 // IsShedding reports whether err is any server-side load-shedding

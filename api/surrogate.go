@@ -1,0 +1,179 @@
+package api
+
+import (
+	"fmt"
+	"time"
+)
+
+// Surrogate serving: the first read-heavy, latency-sensitive extension of
+// the v1 surface. POST /v1/surrogates builds a per-geometry sparse-grid/
+// PCE surrogate of a scenario's study (an async job, content-addressed by
+// the scenario + design fingerprint); GET lists/inspects; POST
+// /v1/surrogates/{id}/query answers statistics of the end-time maximum
+// wire temperature in microseconds, no solve. Queries the surrogate
+// cannot serve — unknown id, still building, failed build, outside the
+// trained domain — come back as typed problem+json whose FallbackJob is a
+// ready-to-submit FEM batch answering the same question.
+
+// Surrogate build states.
+const (
+	// SurrogateBuilding marks a surrogate whose design is being evaluated.
+	SurrogateBuilding = "building"
+	// SurrogateReady marks a surrogate serving queries.
+	SurrogateReady = "ready"
+	// SurrogateFailed marks a surrogate whose build failed.
+	SurrogateFailed = "failed"
+)
+
+// SurrogateSpec is the body of POST /v1/surrogates: the scenario whose
+// study the surrogate captures, and the sparse-grid design to train on.
+type SurrogateSpec struct {
+	// Scenario declares the chip, transient solve and elongation law. Its
+	// UQ method/budget fields are ignored — the collocation design below
+	// defines the study; the law fields (rho, mean_delta, std_delta,
+	// critical_k) are honored.
+	Scenario Scenario `json:"scenario"`
+	// Level is the Smolyak sparse-grid level (≥ 2; level−1 trains the
+	// error indicator). Zero means 2.
+	Level int `json:"level,omitempty"`
+	// Order is the PCE total order; zero means the level, clamped so the
+	// basis stays no larger than the design.
+	Order int `json:"order,omitempty"`
+	// Rebuild forces a rebuild even when a ready surrogate with the same
+	// fingerprint exists.
+	Rebuild bool `json:"rebuild,omitempty"`
+}
+
+// Validate checks the build request shape (the scenario's own validation
+// happens server-side against the engine's rules).
+func (s *SurrogateSpec) Validate() error {
+	if s.Scenario.Name == "" {
+		return fmt.Errorf("surrogate spec needs a named scenario")
+	}
+	if s.Level != 0 && (s.Level < 2 || s.Level > 6) {
+		return fmt.Errorf("surrogate level %d outside [2, 6]", s.Level)
+	}
+	if s.Order < 0 || (s.Order > 0 && s.Level > 0 && s.Order > s.Level) {
+		return fmt.Errorf("surrogate order %d outside [0, level]", s.Order)
+	}
+	return nil
+}
+
+// EffectiveLevel returns the sparse-grid level with the default applied.
+func (s *SurrogateSpec) EffectiveLevel() int {
+	if s.Level == 0 {
+		return 2
+	}
+	return s.Level
+}
+
+// Surrogate is the metadata of one surrogate build: returned by POST (the
+// accepted build), GET (inspection) and listed by the collection endpoint.
+type Surrogate struct {
+	// ID is the content-addressed identity ("sg-" + fingerprint of the
+	// scenario's physical model, study law and design).
+	ID string `json:"id"`
+	// Status is building, ready or failed.
+	Status string `json:"status"`
+	// Scenario is the name of the scenario the surrogate was built from.
+	Scenario string `json:"scenario,omitempty"`
+	// GeometryKey identifies the chip geometry (the assembly-cache key).
+	GeometryKey string `json:"geometry_key,omitempty"`
+	// Level and Order describe the trained design.
+	Level int `json:"level"`
+	Order int `json:"order,omitempty"`
+	// Dim is the germ-space dimensionality of the study.
+	Dim int `json:"dim,omitempty"`
+	// NumWires is the number of bond wires the surrogate tracks.
+	NumWires int `json:"num_wires,omitempty"`
+	// Evaluations is the number of FEM solves invested in the build.
+	Evaluations int `json:"evaluations,omitempty"`
+	// ErrIndicatorK is the leave-one-level-out error indicator of the
+	// served (hottest end-time) output, in kelvin.
+	ErrIndicatorK float64 `json:"err_indicator_k,omitempty"`
+	// GermBound is the per-axis extent of the trained germ region.
+	GermBound float64 `json:"germ_bound,omitempty"`
+	// DeltaLo/DeltaHi is the elongation interval what-if queries answer on.
+	DeltaLo float64 `json:"delta_lo,omitempty"`
+	DeltaHi float64 `json:"delta_hi,omitempty"`
+	// TCritK is the default critical temperature for P(fail) queries.
+	TCritK float64 `json:"t_crit_k,omitempty"`
+	// MeanK/StdK are the headline moments of the end-time maximum
+	// temperature's hottest wire.
+	MeanK float64 `json:"mean_k,omitempty"`
+	StdK  float64 `json:"std_k,omitempty"`
+	// SubmittedAt/BuiltAt/BuildS describe the build's lifecycle.
+	SubmittedAt time.Time  `json:"submitted_at"`
+	BuiltAt     *time.Time `json:"built_at,omitempty"`
+	BuildS      float64    `json:"build_s,omitempty"`
+	// Error carries the failure message of a failed build.
+	Error string `json:"error,omitempty"`
+}
+
+// SurrogateList is the body of GET /v1/surrogates.
+type SurrogateList struct {
+	Surrogates []*Surrogate `json:"surrogates"`
+}
+
+// SurrogateQuery is the body of POST /v1/surrogates/{id}/query. The query
+// is read-only and idempotent: the SDK retries it blindly like a GET.
+type SurrogateQuery struct {
+	// Quantiles lists the quantiles of the end-time maximum temperature to
+	// evaluate, each in (0, 1).
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// TCritK overrides the surrogate's critical temperature for P(fail).
+	TCritK float64 `json:"t_crit_k,omitempty"`
+	// Delta asks a what-if: the temperature if every wire elongated by
+	// exactly this δ.
+	Delta *float64 `json:"delta,omitempty"`
+	// Sweep asks for a linear what-if sweep over the common elongation.
+	Sweep *SurrogateSweep `json:"sweep,omitempty"`
+}
+
+// SurrogateSweep is an inclusive linear sweep over the common elongation.
+type SurrogateSweep struct {
+	From  float64 `json:"from"`
+	To    float64 `json:"to"`
+	Steps int     `json:"steps"`
+}
+
+// SurrogateQuantile is one served quantile.
+type SurrogateQuantile struct {
+	Q  float64 `json:"q"`
+	TK float64 `json:"t_k"`
+}
+
+// SurrogateSweepPoint is the surrogate temperature at one what-if
+// elongation.
+type SurrogateSweepPoint struct {
+	Delta float64 `json:"delta"`
+	TK    float64 `json:"t_k"`
+}
+
+// SurrogateAnswer is the response of a surrogate query. Every answer
+// carries ErrIndicatorK — the confidence estimate of the served output —
+// and Evaluations, the FEM budget that bought it.
+type SurrogateAnswer struct {
+	// ID echoes the surrogate.
+	ID string `json:"id"`
+	// MeanK/StdK are the moments of the hottest wire's end temperature.
+	MeanK float64 `json:"mean_k"`
+	StdK  float64 `json:"std_k"`
+	// HotWire is the index of the hottest wire.
+	HotWire int `json:"hot_wire"`
+	// TCritK is the critical temperature the failure probability used.
+	TCritK float64 `json:"t_crit_k"`
+	// FailProb is P(max_j T_j(t_end) ≥ TCritK).
+	FailProb float64 `json:"fail_prob"`
+	// Quantiles answers the requested quantiles, in request order.
+	Quantiles []SurrogateQuantile `json:"quantiles,omitempty"`
+	// Delta answers the single what-if, when requested.
+	Delta *SurrogateSweepPoint `json:"delta,omitempty"`
+	// Sweep answers the what-if sweep, when requested.
+	Sweep []SurrogateSweepPoint `json:"sweep,omitempty"`
+	// ErrIndicatorK is the leave-one-level-out error indicator (kelvin)
+	// of the served output; always present.
+	ErrIndicatorK float64 `json:"err_indicator_k"`
+	// Evaluations is the number of FEM solves behind the surrogate.
+	Evaluations int `json:"evaluations"`
+}

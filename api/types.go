@@ -233,6 +233,8 @@ type Health struct {
 	// Persistent reports whether the server runs on a durable job store
 	// (-data); false means state dies with the process.
 	Persistent bool `json:"persistent"`
+	// Surrogates counts ready surrogate models serving queries.
+	Surrogates int `json:"surrogates,omitempty"`
 }
 
 // ---------------------------------------------------------------------------

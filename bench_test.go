@@ -8,6 +8,7 @@
 package etherm_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"runtime"
@@ -24,6 +25,7 @@ import (
 	"etherm/internal/solver"
 	"etherm/internal/sparse"
 	"etherm/internal/study"
+	"etherm/internal/surrogate"
 	"etherm/internal/uq"
 	"etherm/internal/vtkio"
 )
@@ -597,6 +599,42 @@ func BenchmarkWireStamp(b *testing.B) {
 	if sink <= 0 {
 		b.Fatal("bad conductance")
 	}
+}
+
+// BenchmarkSurrogateQuery measures the surrogate read path the /v1/surrogates
+// query endpoint rides: quantile interpolation over the precomputed sample
+// set, the exceedance probability, and a what-if germ evaluation. The model
+// is built once outside the timed region — queries never touch the FEM
+// path, and the PR 9 gate holds the per-query p50 under a millisecond.
+func BenchmarkSurrogateQuery(b *testing.B) {
+	dists := make([]uq.Dist, 12)
+	for j := range dists {
+		dists[j] = uq.Normal{Mu: 0.17, Sigma: 0.048}
+	}
+	model, err := surrogate.Build(context.Background(), uq.SingleFactory(&lumpedSteadyModel{}), dists,
+		surrogate.Config{
+			ID: "sg-bench", Scenario: "bench-lumped", Level: 3,
+			NWires: 1, Times: []float64{600},
+			Mu: 0.17, Sigma: 0.048, Rho: 0, TCritK: 523,
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := model.DeltaDomain()
+	delta := lo + 0.5*(hi-lo)
+	q := surrogate.Query{Quantiles: []float64{0.05, 0.5, 0.95}, Delta: &delta}
+	var ans *surrogate.Answer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err = model.Answer(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(ans.MeanK, "T_mean_K")
+	b.ReportMetric(ans.ErrIndicatorK, "lolo_K")
+	b.ReportMetric(float64(model.Evaluations), "build_evals")
 }
 
 // lumpedSteadyModel is the fast surrogate used by the sampler ablation.

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"etherm/api"
+)
+
+// Surrogate serving. BuildSurrogate starts (or joins) an asynchronous
+// build; queries are read-only and idempotent, so QuerySurrogate retries
+// blindly like a GET even though it rides a POST. A query the surrogate
+// cannot serve comes back as an *api.Error for which
+// api.IsSurrogateNotReady or api.IsOutOfDomain is true; its FallbackJob
+// field is a ready-to-submit batch for SubmitBatch.
+
+// BuildSurrogate submits a surrogate build (POST /v1/surrogates). The
+// returned metadata is building (202) or — when a ready surrogate with
+// the same fingerprint already exists and Rebuild is false — ready (200).
+// Follow a building surrogate with GetSurrogate or WaitSurrogate.
+func (c *Client) BuildSurrogate(ctx context.Context, spec *api.SurrogateSpec) (*api.Surrogate, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	var sg api.Surrogate
+	if err := c.do(ctx, http.MethodPost, api.SurrogatesPath, spec, &sg, false); err != nil {
+		return nil, err
+	}
+	return &sg, nil
+}
+
+// GetSurrogate fetches one surrogate's metadata (GET /v1/surrogates/{id}).
+func (c *Client) GetSurrogate(ctx context.Context, id string) (*api.Surrogate, error) {
+	var sg api.Surrogate
+	if err := c.do(ctx, http.MethodGet, api.SurrogatePath(id), nil, &sg, true); err != nil {
+		return nil, err
+	}
+	return &sg, nil
+}
+
+// ListSurrogates returns every surrogate the server knows
+// (GET /v1/surrogates).
+func (c *Client) ListSurrogates(ctx context.Context) (*api.SurrogateList, error) {
+	var list api.SurrogateList
+	if err := c.do(ctx, http.MethodGet, api.SurrogatesPath, nil, &list, true); err != nil {
+		return nil, err
+	}
+	return &list, nil
+}
+
+// QuerySurrogate evaluates statistics against a ready surrogate
+// (POST /v1/surrogates/{id}/query). The call is idempotent — it is
+// retried like a GET. A nil query asks for the default answer (moments
+// and the failure probability at the surrogate's critical temperature).
+func (c *Client) QuerySurrogate(ctx context.Context, id string, q *api.SurrogateQuery) (*api.SurrogateAnswer, error) {
+	if q == nil {
+		q = &api.SurrogateQuery{}
+	}
+	var ans api.SurrogateAnswer
+	if err := c.do(ctx, http.MethodPost, api.SurrogateQueryPath(id), q, &ans, true); err != nil {
+		return nil, err
+	}
+	return &ans, nil
+}
+
+// WaitSurrogate polls until a surrogate leaves the building state and
+// returns its final metadata; a failed build is returned as metadata, not
+// an error (inspect Status and Error). The context bounds the wait.
+func (c *Client) WaitSurrogate(ctx context.Context, id string) (*api.Surrogate, error) {
+	for {
+		sg, err := c.GetSurrogate(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if sg.Status != api.SurrogateBuilding {
+			return sg, nil
+		}
+		if err := sleepCtx(ctx, 250*time.Millisecond); err != nil {
+			return nil, err
+		}
+	}
+}

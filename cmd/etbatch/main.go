@@ -59,6 +59,9 @@ func run() (int, error) {
 		shards        = flag.Int("shards", 0, "partition every budget-only sampling scenario into K self-contained shards")
 		fleetWorkers  = flag.Int("fleet", 0, "local multi-process mode: run sharded scenarios through N etworker processes against an in-process coordinator")
 		etworkerBin   = flag.String("etworker-bin", "", "etworker binary for -fleet (default: next to etbatch, then $PATH; falls back to in-process workers)")
+		surrDemo      = flag.Bool("surrogate", false, "build a sparse-grid/PCE surrogate of the first scenario and answer queries from it (no batch run)")
+		surrLevel     = flag.Int("surrogate-level", 2, "Smolyak level of the -surrogate demo")
+		surrOrder     = flag.Int("surrogate-order", 0, "PCE order of the -surrogate demo (0 = level, clamped)")
 	)
 	flag.Parse()
 
@@ -88,6 +91,9 @@ func run() (int, error) {
 		batch = scenario.Presets()
 	default:
 		return 1, fmt.Errorf("nothing to run: pass -f <scenarios.json> or -bundled")
+	}
+	if *surrDemo {
+		return runSurrogateDemo(batch, *surrLevel, *surrOrder)
 	}
 	if *workers > 0 {
 		batch.Workers = *workers

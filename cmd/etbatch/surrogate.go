@@ -1,0 +1,66 @@
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"etherm/internal/scenario"
+	"etherm/internal/surrogate"
+)
+
+// runSurrogateDemo is the -surrogate mode: build a sparse-grid/PCE
+// surrogate of the batch's first scenario in-process, then answer the
+// questions the query API serves — moments, quantiles, failure
+// probability, a what-if sweep — without a single further FEM solve, and
+// show the out-of-domain guard kicking in.
+func runSurrogateDemo(batch *scenario.Batch, level, order int) (int, error) {
+	if len(batch.Scenarios) == 0 {
+		return 1, fmt.Errorf("-surrogate needs at least one scenario")
+	}
+	sc := batch.Scenarios[0]
+	cache := scenario.NewCache()
+	fmt.Printf("etbatch: building level-%d surrogate for %q (every FEM solve happens now)…\n", level, sc.Name)
+
+	model, err := scenario.BuildSurrogate(context.Background(), cache, sc, level, order)
+	if err != nil {
+		return 1, err
+	}
+	kHot := (model.NTimes-1)*model.NWires + model.HotWire
+	fmt.Printf("surrogate %s: dim=%d order=%d, %d FEM evaluations, hot wire %d\n",
+		model.ID, model.Dim, model.Order, model.Evaluations, model.HotWire)
+	fmt.Printf("  mean %.2f K  std %.3f K  LOLO error indicator %.3g K\n",
+		model.MeanK[kHot], model.StdK[kHot], model.LOLO[kHot])
+
+	// The default answer plus quantiles — served from the PCE, microseconds.
+	ans, err := model.Answer(surrogate.Query{Quantiles: []float64{0.05, 0.5, 0.95}})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("  P(T_max ≥ %.0f K) = %.3g  (err indicator ±%.3g K)\n", ans.TCritK, ans.FailProb, ans.ErrIndicatorK)
+	for _, qv := range ans.Quantiles {
+		fmt.Printf("  q%02.0f = %.2f K\n", qv.Q*100, qv.TK)
+	}
+
+	// A what-if sweep over the common elongation inside the trained domain.
+	lo, hi := model.DeltaDomain()
+	sweep, err := model.Answer(surrogate.Query{Sweep: &surrogate.Sweep{From: lo, To: hi, Steps: 5}})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("  what-if sweep δ ∈ [%.3f, %.3f]:\n", lo, hi)
+	for _, p := range sweep.Sweep {
+		fmt.Printf("    δ=%.3f → %.2f K\n", p.Delta, p.TK)
+	}
+
+	// And the guard: a δ beyond the trained germ region is refused with a
+	// typed domain error (the HTTP path turns this into problem+json with
+	// a FEM fallback job).
+	bad := hi + 0.2
+	if bad > 0.9 {
+		bad = 0.9
+	}
+	if _, err := model.Answer(surrogate.Query{Delta: &bad}); surrogate.IsDomainError(err) {
+		fmt.Printf("  δ=%.3f is outside the trained domain: %v\n", bad, err)
+	}
+	return 0, nil
+}

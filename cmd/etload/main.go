@@ -78,6 +78,9 @@ func main() {
 		minPeak   = flag.Int("min-peak-watchers", 0, "fail unless this many watchers were concurrently connected")
 		out       = flag.String("out", "-", "JSON report path (- = stdout)")
 
+		surrQueries  = flag.Int("surrogate-queries", 0, "surrogate read phase: total queries against one cheap surrogate (0 = skip)")
+		surrQueriers = flag.Int("surrogate-queriers", 8, "surrogate read phase: concurrent queriers")
+
 		selfMaxJobs   = flag.Int("self-max-jobs", 2, "-self: concurrent batch runners")
 		selfMaxQueued = flag.Int("self-max-queued", 64, "-self: backpressure queue bound (0 = unbounded)")
 		selfData      = flag.String("self-data", "", "-self: persist to this data directory (empty = in-memory)")
@@ -181,6 +184,13 @@ func main() {
 	if err := runThroughput(ctx, cl, *jobs, *conc, *duration, &rep); err != nil {
 		log.Fatalf("etload: throughput phase: %v", err)
 	}
+	if ch == nil {
+		// The surrogate read phase measures clean-path latency; under chaos
+		// injected transport faults would dominate the numbers.
+		if err := runSurrogateReads(ctx, cl, *surrQueries, *surrQueriers, &rep); err != nil {
+			log.Fatalf("etload: surrogate phase: %v", err)
+		}
+	}
 	if ch != nil {
 		// The fleet phase compares merged bits against a clean reference —
 		// both sides must solve faithfully.
@@ -205,6 +215,13 @@ func main() {
 		rep.OK = rep.OK && rep.Chaos.FaultsTotal > 0 &&
 			rep.Chaos.Fleet != nil && rep.Chaos.Fleet.BitIdentical
 	}
+	if rep.Surrogate != nil {
+		// The read-path contract: every query answered (zero errors, full
+		// count) and the out-of-domain probe produced a parseable fallback.
+		rep.OK = rep.OK && rep.Surrogate.Errors == 0 &&
+			rep.Surrogate.Queries == int64(rep.Surrogate.Target) &&
+			rep.Surrogate.OutOfDomainOK
+	}
 
 	if err := writeReport(*out, &rep); err != nil {
 		log.Fatalf("etload: %v", err)
@@ -217,6 +234,11 @@ func main() {
 	if rep.Chaos != nil {
 		log.Printf("etload: chaos OK — %d faults injected (seed %d), %d watch resumes, fleet merge bit-identical over %.0f lease expiries",
 			rep.Chaos.FaultsTotal, rep.Chaos.Seed, rep.Chaos.WatchResumes, rep.Chaos.Fleet.LeaseExpiries)
+	}
+	if rep.Surrogate != nil {
+		log.Printf("etload: surrogate OK — %d queries (%.0f/s) against %s, p50 %.2fms p99 %.2fms, out-of-domain fallback verified",
+			rep.Surrogate.Queries, rep.Surrogate.QueriesPerS, rep.Surrogate.ID,
+			rep.Surrogate.QueryMS.P50, rep.Surrogate.QueryMS.P99)
 	}
 	log.Printf("etload: OK — %d jobs (%.1f/s), peak %d watchers, %d backpressure rejections retried",
 		rep.Throughput.Jobs, rep.Throughput.JobsPerS, rep.WatcherStats.PeakConcurrent, rep.Rejected429)
@@ -516,6 +538,7 @@ type report struct {
 	WatcherStats watcherStats    `json:"watchers"`
 	Throughput   throughputStats `json:"throughput"`
 	Rejected429  int64           `json:"rejected_429"`
+	Surrogate    *surrogateStats `json:"surrogate,omitempty"`
 	Chaos        *chaosStats     `json:"chaos,omitempty"`
 	OK           bool            `json:"ok"`
 }

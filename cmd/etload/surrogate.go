@@ -1,0 +1,138 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"etherm/api"
+	"etherm/client"
+	"etherm/internal/scenario"
+)
+
+// The surrogate read-traffic phase: build one cheap surrogate through the
+// public API, then hammer its query endpoint from -surrogate-queriers
+// concurrent clients. Queries are the latency-sensitive read path of the
+// server — the phase reports p50/p99 and fails on ANY query error. One
+// deliberate out-of-domain query must come back as the typed problem
+// carrying a FEM fallback batch that actually parses server-side; a
+// fallback the engine would reject is a broken contract, not a detail.
+
+// surrogateBatchScenario is the cheapest buildable study: one wire pair on
+// a coarse mesh, three transient steps, and ρ = 1 so the germ is
+// one-dimensional — the level-2 design costs five FEM solves.
+func surrogateSpec() *api.SurrogateSpec {
+	rho := 1.0
+	return &api.SurrogateSpec{
+		Scenario: api.Scenario{
+			Name: "etload-surrogate",
+			Chip: api.ChipSpec{HMaxM: 0.8e-3, ActivePairs: []int{0}},
+			Sim:  api.SimSpec{EndTimeS: 10, NumSteps: 3, Coupling: "weak", Nonlinear: "newton"},
+			UQ:   api.UQSpec{Rho: &rho},
+		},
+		Level: 2,
+	}
+}
+
+// runSurrogateReads executes the phase; it is skipped (nil stats) when
+// queries <= 0.
+func runSurrogateReads(ctx context.Context, cl *client.Client, queries, queriers int, rep *report) error {
+	if queries <= 0 {
+		return nil
+	}
+	if queriers < 1 {
+		queriers = 1
+	}
+	st := &surrogateStats{Target: queries}
+	rep.Surrogate = st
+
+	sg, err := cl.BuildSurrogate(ctx, surrogateSpec())
+	if err != nil {
+		return fmt.Errorf("build surrogate: %w", err)
+	}
+	sg, err = cl.WaitSurrogate(ctx, sg.ID)
+	if err != nil {
+		return fmt.Errorf("wait surrogate: %w", err)
+	}
+	if sg.Status != api.SurrogateReady {
+		return fmt.Errorf("surrogate %s ended %s: %s", sg.ID, sg.Status, sg.Error)
+	}
+	st.ID = sg.ID
+	st.Evaluations = sg.Evaluations
+
+	// The contract probe: a what-if δ beyond the trained domain must be
+	// refused with the typed out-of-domain problem whose fallback batch
+	// the engine itself would accept.
+	bad := sg.DeltaHi + 0.05
+	_, err = cl.QuerySurrogate(ctx, sg.ID, &api.SurrogateQuery{Delta: &bad})
+	if api.IsOutOfDomain(err) {
+		if e, _ := api.AsError(err); e.FallbackJob != nil {
+			raw, merr := json.Marshal(e.FallbackJob)
+			if merr == nil {
+				if _, perr := scenario.ParseBatch(raw); perr == nil {
+					st.OutOfDomainOK = true
+				}
+			}
+		}
+	}
+
+	lat := newSampler(queries)
+	var errs atomic.Int64
+	var done atomic.Int64
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := &api.SurrogateQuery{Quantiles: []float64{0.05, 0.5, 0.95}}
+			for range work {
+				t0 := time.Now()
+				ans, err := cl.QuerySurrogate(ctx, sg.ID, q)
+				if err != nil || ans.ErrIndicatorK <= 0 {
+					// Every answer must carry a positive error indicator —
+					// a missing one is as much a failure as a 5xx.
+					errs.Add(1)
+					continue
+				}
+				lat.add(time.Since(t0))
+				done.Add(1)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < queries; i++ {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	st.Queries = done.Load()
+	st.Errors = errs.Load()
+	st.ElapsedS = time.Since(start).Seconds()
+	if st.ElapsedS > 0 {
+		st.QueriesPerS = float64(st.Queries) / st.ElapsedS
+	}
+	st.QueryMS = lat.quantilesMS()
+	return ctx.Err()
+}
+
+type surrogateStats struct {
+	ID            string    `json:"id"`
+	Target        int       `json:"target"`
+	Evaluations   int       `json:"evaluations"`
+	Queries       int64     `json:"queries"`
+	Errors        int64     `json:"errors"`
+	ElapsedS      float64   `json:"elapsed_s"`
+	QueriesPerS   float64   `json:"queries_per_s"`
+	QueryMS       quantiles `json:"query_ms"`
+	OutOfDomainOK bool      `json:"out_of_domain_ok"`
+}

@@ -1,0 +1,108 @@
+package apiconv
+
+import (
+	"encoding/json"
+	"testing"
+
+	"etherm/api"
+	"etherm/internal/surrogate"
+)
+
+// fullSurrogateQuery populates every query field so a silently dropped or
+// renamed field breaks the byte comparison.
+func fullSurrogateQuery() surrogate.Query {
+	delta := 0.25
+	return surrogate.Query{
+		Quantiles: []float64{0.05, 0.5, 0.95},
+		TCritK:    533.5,
+		Delta:     &delta,
+		Sweep:     &surrogate.Sweep{From: 0.125, To: 0.375, Steps: 9},
+	}
+}
+
+// fullSurrogateAnswer populates every answer field.
+func fullSurrogateAnswer() *surrogate.Answer {
+	return &surrogate.Answer{
+		ID: "sg-0123456789abcdef", MeanK: 450.5, StdK: 3.25, HotWire: 4,
+		TCritK: 523, FailProb: 0.0625,
+		Quantiles:     []surrogate.QuantileValue{{Q: 0.05, TK: 445.25}, {Q: 0.95, TK: 456.75}},
+		Delta:         &surrogate.SweepPoint{Delta: 0.25, TK: 452.125},
+		Sweep:         []surrogate.SweepPoint{{Delta: 0.125, TK: 448.5}, {Delta: 0.375, TK: 455.5}},
+		ErrIndicatorK: 0.03125, Evaluations: 29,
+	}
+}
+
+// TestSurrogateQueryShapeConformance pins the query wire shape in both
+// directions, byte-for-byte.
+func TestSurrogateQueryShapeConformance(t *testing.T) {
+	in := fullSurrogateQuery()
+	wire, err := SurrogateQueryToAPI(in)
+	if err != nil {
+		t.Fatalf("internal query does not fit api.SurrogateQuery: %v", err)
+	}
+	back, err := SurrogateQueryToInternal(wire)
+	if err != nil {
+		t.Fatalf("api.SurrogateQuery does not fit internal query: %v", err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("query round trip not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSurrogateAnswerShapeConformance pins the answer wire shape.
+func TestSurrogateAnswerShapeConformance(t *testing.T) {
+	in := fullSurrogateAnswer()
+	wire, err := SurrogateAnswerToAPI(in)
+	if err != nil {
+		t.Fatalf("internal answer does not fit api.SurrogateAnswer: %v", err)
+	}
+	back, err := SurrogateAnswerToInternal(wire)
+	if err != nil {
+		t.Fatalf("api.SurrogateAnswer does not fit internal answer: %v", err)
+	}
+	a, _ := json.Marshal(in)
+	b, _ := json.Marshal(back)
+	if string(a) != string(b) {
+		t.Errorf("answer round trip not byte-identical:\n%s\nvs\n%s", a, b)
+	}
+	// The indicator must stay visible even at zero — a surrogate whose
+	// indicator vanishes from the wire would look like it has no error
+	// estimate at all.
+	zero := &surrogate.Answer{ID: "sg-0"}
+	w, err := SurrogateAnswerToAPI(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := json.Marshal(w)
+	for _, key := range []string{"err_indicator_k", "evaluations", "fail_prob"} {
+		var m map[string]any
+		_ = json.Unmarshal(data, &m)
+		if _, ok := m[key]; !ok {
+			t.Errorf("zero-valued %q omitted from the wire answer", key)
+		}
+	}
+}
+
+// TestSurrogateQueryStrictness: unknown fields on the wire are rejected —
+// the strict decode is what keeps typos loud.
+func TestSurrogateQueryStrictness(t *testing.T) {
+	var wire api.SurrogateQuery
+	data := []byte(`{"quantiles":[0.5],"qantiles":[0.9]}`)
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err) // plain decode tolerates unknowns
+	}
+	type loose struct {
+		Extra float64 `json:"extra,omitempty"`
+		api.SurrogateQuery
+	}
+	if _, err := SurrogateQueryToInternal(&wire); err != nil {
+		t.Fatalf("clean query rejected: %v", err)
+	}
+	l := &loose{Extra: 1}
+	var out surrogate.Query
+	if err := Strict(l, &out); err == nil {
+		t.Error("unknown wire field survived the strict round trip")
+	}
+}

@@ -33,6 +33,9 @@ const (
 	// KindFleet records one fleet job's metadata: scenario, plan, shard
 	// lease states, status — everything but the shard result payloads.
 	KindFleet = "fleet"
+	// KindSurrogate records one surrogate build: its metadata, the build
+	// spec while rebuildable, and the serialized model once ready.
+	KindSurrogate = "surrogate"
 	// KindShard records one posted shard result payload, keyed
 	// "<fleet-id>/<shard>"; deleted after the job's merge completes.
 	KindShard = "shard"

@@ -67,6 +67,12 @@ func TestErrorConformance(t *testing.T) {
 		{"stale heartbeat", "POST", "/v1/fleet/heartbeat", `{"lease_id":"lease-000042"}`, 410, api.CodeLeaseLost},
 		{"stale result", "POST", "/v1/fleet/result", `{"lease_id":"lease-000042","result":{"shard":0,"start":0,"end":0,"block_size":1,"sampler":"x","num_outputs":0,"evaluated":0,"failures":0,"blocks":[]}}`, 410, api.CodeLeaseLost},
 		{"unsharded fleet submit", "POST", "/v1/fleet/jobs", `{"name":"x"}`, 422, api.CodeValidation},
+		{"method not allowed on surrogates", "PUT", "/v1/surrogates", "", 405, api.CodeMethodNotAllowed},
+		{"malformed surrogate build", "POST", "/v1/surrogates", "}{", 400, api.CodeInvalidBody},
+		{"nameless surrogate spec", "POST", "/v1/surrogates", `{"scenario":{}}`, 422, api.CodeValidation},
+		{"surrogate level out of range", "POST", "/v1/surrogates", `{"scenario":{"name":"x"},"level":9}`, 422, api.CodeValidation},
+		{"unknown surrogate", "GET", "/v1/surrogates/sg-999999", "", 404, api.CodeNotFound},
+		{"unknown surrogate query", "POST", "/v1/surrogates/sg-999999/query", "{}", 404, api.CodeNotFound},
 		{"bad version header", "GET", "/healthz", "", 400, api.CodeUnsupportedVersion},
 	} {
 		var body *strings.Reader

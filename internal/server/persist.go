@@ -224,6 +224,22 @@ func (s *Server) initMetrics() {
 	s.mStoreErrs = s.reg.NewCounter("etserver_store_write_failures_total",
 		"Failed job-store writes (each one latches degraded mode until a write succeeds).", nil)
 
+	// Surrogate serving telemetry: query outcomes (a miss is an unknown or
+	// not-ready surrogate, out_of_domain a what-if beyond the trained
+	// region — both redirect to the FEM path), end-to-end query latency,
+	// and the number of ready models serving.
+	s.mSurrQueries = make(map[string]*metrics.Counter, 3)
+	for _, res := range []string{"hit", "miss", "out_of_domain"} {
+		s.mSurrQueries[res] = s.reg.NewCounter("etherm_surrogate_queries_total",
+			"Surrogate queries by outcome.", metrics.Labels{"result": res})
+	}
+	s.mSurrLatency = s.reg.NewHistogram("etherm_surrogate_query_seconds",
+		"Surrogate query latency (request to answer).", nil,
+		[]float64{1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 1e-2, 1e-1})
+	s.reg.NewGaugeFunc("etherm_surrogate_cache_entries",
+		"Ready surrogate models in the serving cache.",
+		nil, func() float64 { return float64(s.scache.Len()) })
+
 	// CG-iteration telemetry: the core simulator reports every inner linear
 	// solve through its process-wide observer; the histogram tracks the
 	// iteration distribution per operator and the counters attribute solves

@@ -19,6 +19,7 @@ import (
 	"etherm/internal/metrics"
 	"etherm/internal/panicsafe"
 	"etherm/internal/scenario"
+	"etherm/internal/surrogate"
 )
 
 // Server is the HTTP job service: an in-memory store of api.Job records, a
@@ -60,6 +61,12 @@ type Server struct {
 	order   []string                      // job IDs in submission order
 	seq     int
 
+	// surr tracks surrogate builds (content-addressed, so no counter);
+	// scache holds the ready models, next to the assembly cache.
+	surr      map[string]*surrogateRecord
+	surrOrder []string
+	scache    *surrogate.Cache
+
 	// draining flips on Drain: submissions are rejected with 503 +
 	// Retry-After while reads and running jobs continue to completion.
 	draining atomic.Bool
@@ -79,6 +86,9 @@ type Server struct {
 	mExpiries  *metrics.Counter
 	mFsync     *metrics.Histogram
 	mStoreErrs *metrics.Counter
+
+	mSurrQueries map[string]*metrics.Counter // by result: hit|miss|out_of_domain
+	mSurrLatency *metrics.Histogram
 }
 
 // DefaultMaxHistory is the default finished-job retention cap.
@@ -167,6 +177,8 @@ func New(cfg Config) (*Server, error) {
 		jobs:         make(map[string]*api.Job),
 		batches:      make(map[string][]byte),
 		cancels:      make(map[string]context.CancelFunc),
+		surr:         make(map[string]*surrogateRecord),
+		scache:       surrogate.NewCache(),
 		hub:          newEventHub(),
 		mux:          http.NewServeMux(),
 		reg:          metrics.NewRegistry(),
@@ -207,6 +219,11 @@ func New(cfg Config) (*Server, error) {
 		"GET /v1/scenarios/presets": s.handlePresets,
 		"GET /healthz":              s.handleHealth,
 		"GET /metrics":              s.reg.Handler().ServeHTTP,
+
+		"POST /v1/surrogates":            s.handleSurrogateBuild,
+		"GET /v1/surrogates":             s.handleSurrogateList,
+		"GET /v1/surrogates/{id}":        s.handleSurrogateGet,
+		"POST /v1/surrogates/{id}/query": s.handleSurrogateQuery,
 	}
 	for pattern, h := range handlers {
 		s.mux.HandleFunc(pattern, h)
@@ -223,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
+	s.recoverSurrogates()
 	if err := s.coord.SetStore(s.store, cfg.Logf); err != nil {
 		return nil, err
 	}
@@ -257,7 +275,8 @@ func (s *Server) Handler() http.Handler {
 		// the front door, before any handler state is touched, so the 503
 		// carries the not-processed guarantee that makes it retryable.
 		if s.draining.Load() && r.Method == http.MethodPost &&
-			(r.URL.Path == "/v1/jobs" || r.URL.Path == api.FleetPrefix+"/jobs") {
+			(r.URL.Path == "/v1/jobs" || r.URL.Path == api.FleetPrefix+"/jobs" ||
+				r.URL.Path == api.SurrogatesPath) {
 			e := api.NewError(http.StatusServiceUnavailable, api.CodeDraining,
 				"server is draining for shutdown; resubmit to another replica or retry shortly")
 			e.RetryAfterS = 2
@@ -766,5 +785,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		MaxQueued:    s.maxQueued,
 		Watchers:     int(s.hub.watcherCount()),
 		Persistent:   s.persistent,
+		Surrogates:   s.scache.Len(),
 	})
 }

@@ -169,6 +169,11 @@ type Params struct {
 	Rho   float64 // wire-to-wire correlation in [0, 1]
 }
 
+// Effective returns the params with the paper's fitted defaults filled
+// into zero fields — the law a ParamFactory model actually runs with,
+// which surrogate metadata must record verbatim.
+func (p Params) Effective() Params { return p.withDefaults() }
+
 // withDefaults fills zero fields with the paper's fitted values.
 func (p Params) withDefaults() Params {
 	if p.Mu == 0 {

@@ -1,0 +1,82 @@
+package uq
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestSmolyakDesignMatchesCollocation checks the explicit design against
+// the recursive evaluator: same moments, and never more model evaluations
+// (node dedup across tensor terms can only shrink the count).
+func TestSmolyakDesignMatchesCollocation(t *testing.T) {
+	dists := []Dist{Normal{1, 0.5}, Normal{-2, 0.25}, Normal{0, 1}}
+	model := &polyModel{c: []float64{1, 2, 3}, q: 1.5}
+	for level := 1; level <= 3; level++ {
+		ref, err := SmolyakCollocation(SingleFactory(model), dists, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := SmolyakDesign(dists, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := des.Eval(context.Background(), SingleFactory(model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mom, err := des.Moments(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mom.Mean[0]-ref.Mean[0]) > 1e-9 {
+			t.Errorf("level %d: design mean %g vs collocation %g", level, mom.Mean[0], ref.Mean[0])
+		}
+		if math.Abs(mom.Variance[0]-ref.Variance[0]) > 1e-9*(1+ref.Variance[0]) {
+			t.Errorf("level %d: design var %g vs collocation %g", level, mom.Variance[0], ref.Variance[0])
+		}
+		if len(des.Points) > ref.Evaluations {
+			t.Errorf("level %d: design has %d distinct nodes, collocation evaluated %d",
+				level, len(des.Points), ref.Evaluations)
+		}
+		if mom.Evaluations != len(des.Points) {
+			t.Errorf("level %d: moments report %d evals, design has %d", level, mom.Evaluations, len(des.Points))
+		}
+	}
+}
+
+// TestSmolyakDesignWeightsNormalized: quadrature weights of a Smolyak rule
+// sum to one (the constant function integrates exactly).
+func TestSmolyakDesignWeightsNormalized(t *testing.T) {
+	dists := []Dist{Normal{0, 1}, Normal{0, 1}}
+	for level := 1; level <= 4; level++ {
+		des, err := SmolyakDesign(dists, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, w := range des.Weights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("level %d: weights sum to %g, want 1", level, sum)
+		}
+		if des.Bound() <= 0 {
+			t.Errorf("level %d: nonpositive germ bound %g", level, des.Bound())
+		}
+	}
+}
+
+// TestSmolyakDesignCancellation: a canceled context aborts the evaluation.
+func TestSmolyakDesignCancellation(t *testing.T) {
+	dists := []Dist{Normal{0, 1}, Normal{0, 1}}
+	des, err := SmolyakDesign(dists, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := des.Eval(ctx, SingleFactory(&polyModel{c: []float64{1, 1}})); err == nil {
+		t.Fatal("evaluation survived a canceled context")
+	}
+}

@@ -193,6 +193,51 @@ func (p *PCE) TotalSobol(k, j int) float64 {
 	return s / tot
 }
 
+// NumBasis returns the number of basis functions in the expansion.
+func (p *PCE) NumBasis() int { return len(p.Indices) }
+
+// BasisGerm fills psi (length NumBasis) with the orthonormal basis
+// evaluated at the standard-normal germ vector xi (length Dim). Splitting
+// basis evaluation from the coefficient dot product lets one germ serve
+// every output — the surrogate query path evaluates all wires from a
+// single basis vector.
+func (p *PCE) BasisGerm(xi, psi []float64) {
+	// Per-dimension Hermite table up to the expansion order.
+	stride := p.Order + 1
+	h := make([]float64, p.Dim*stride)
+	for j := 0; j < p.Dim; j++ {
+		for a := 0; a <= p.Order; a++ {
+			h[j*stride+a] = hermiteProb(a, xi[j])
+		}
+	}
+	for b, alpha := range p.Indices {
+		v := 1.0
+		for j, a := range alpha {
+			if a > 0 {
+				v *= h[j*stride+a]
+			}
+		}
+		psi[b] = v
+	}
+}
+
+// DotBasis returns the expansion value of output k for a basis vector
+// produced by BasisGerm.
+func (p *PCE) DotBasis(psi []float64, k int) float64 {
+	v := 0.0
+	for b, c := range p.Coeff[k] {
+		v += c * psi[b]
+	}
+	return v
+}
+
+// EvalGerm evaluates output k directly at a standard-normal germ vector.
+func (p *PCE) EvalGerm(xi []float64, k int) float64 {
+	psi := make([]float64, len(p.Indices))
+	p.BasisGerm(xi, psi)
+	return p.DotBasis(psi, k)
+}
+
 // Eval evaluates the fitted surrogate at physical parameters x for output k.
 func (p *PCE) Eval(dists []Dist, x []float64, k int) float64 {
 	xi := make([]float64, p.Dim)
