@@ -8,17 +8,24 @@ SHELL := /bin/bash
 
 # Benchmarks tracked by bench-json; BENCH_OUT is the trajectory file each PR
 # appends its machine-local baseline to (PR 2 recorded BENCH_PR2.json, PR 4
-# BENCH_PR4.json, PR 8 BENCH_PR8.json, PR 9 BENCH_PR9.json — the baseline the
-# bench-gate compares against). BenchmarkCampaignStreaming carries the
-# retained-heap metric of the streaming campaign path (the hard memory gate
-# lives in internal/uq tests); BenchmarkMatvec tracks the CSR kernel variants
-# (scalar reference, cache-blocked, f32, parallel) that carry the CG inner
-# loop; BenchmarkSurrogateQuery tracks the surrogate read path (the p50 < 1ms
-# query-latency acceptance of the /v1/surrogates API).
-BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming|BenchmarkMatvec|BenchmarkSurrogateQuery
-BENCH_OUT ?= BENCH_PR9.json
+# BENCH_PR4.json, PR 8 BENCH_PR8.json, PR 9 BENCH_PR9.json, PR 10
+# BENCH_PR10.json — the baseline the bench-gate compares against).
+# BenchmarkCampaignStreaming carries the retained-heap metric of the
+# streaming campaign path (the hard memory gate lives in internal/uq tests);
+# BenchmarkMatvec tracks the CSR kernel variants (scalar reference,
+# cache-blocked, f32, parallel) that carry the CG inner loop;
+# BenchmarkSurrogateQuery tracks the surrogate read path (the p50 < 1ms
+# query-latency acceptance of the /v1/surrogates API); BenchmarkRareSolves
+# reports the solves metric — limit-state evaluations each estimator (MC,
+# RQMC, subset simulation) needs to reach CoV ≤ 0.3 on the same planted
+# rare event — the headline economics of the rare-event engine.
+BENCH_PATTERN ?= BenchmarkTable2NominalRun|BenchmarkFig7MonteCarlo|BenchmarkSolverReuse|BenchmarkCampaignStreaming|BenchmarkMatvec|BenchmarkSurrogateQuery|BenchmarkRareSolves
+# Packages holding tracked benchmarks (the root package carries the paper
+# artifacts; internal/rare carries the estimator-economy benchmark).
+BENCH_PKGS ?= . ./internal/rare
+BENCH_OUT ?= BENCH_PR10.json
 BENCH_TIME ?= 3x
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 BENCH_TOLERANCE ?= 0.25
 # Wall-time tolerance for the gate (0 = BENCH_TOLERANCE). CI passes a
 # looser value because single-iteration ns/op on shared runners is noisy
@@ -75,7 +82,7 @@ bench:
 # trajectory file (ns/op, allocs/op, headline metrics) for regression
 # tracking across PRs.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
 		-benchtime $(BENCH_TIME) -timeout 60m \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
@@ -85,17 +92,22 @@ bench-json:
 BENCH_SMOKE_OUT ?= out/bench_smoke.json
 bench-smoke:
 	@mkdir -p $(dir $(BENCH_SMOKE_OUT))
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
+	$(GO) test $(BENCH_PKGS) -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem \
 		-benchtime 1x -timeout 30m \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_SMOKE_OUT)
 
-# bench-gate fails when tracked ns/op, allocs/op or retained_B regress
-# beyond BENCH_TOLERANCE against the committed BENCH_BASELINE. Reuses the
-# bench-smoke output when present, else runs bench-smoke first.
+# bench-gate fails when tracked ns/op, allocs/op, retained_B or solves
+# regress beyond BENCH_TOLERANCE against the committed BENCH_BASELINE
+# (solves — limit-state evaluations to the target CoV — is seeded and
+# deterministic, so a tighter estimator economy can be held like a heap
+# bound). Reuses the bench-smoke output when present, else runs
+# bench-smoke first.
+BENCH_GATE_METRICS ?= retained_B,solves
 bench-gate: $(if $(wildcard $(BENCH_SMOKE_OUT)),,bench-smoke)
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) \
 		-in $(BENCH_SMOKE_OUT) -tolerance $(BENCH_TOLERANCE) \
-		-time-tolerance $(BENCH_TIME_TOLERANCE)
+		-time-tolerance $(BENCH_TIME_TOLERANCE) \
+		-gate-metrics $(BENCH_GATE_METRICS)
 
 # profile captures a CPU profile of the nominal-run benchmark (the hot
 # path: FIT reassembly + preconditioned CG) and prints the top consumers.
@@ -108,13 +120,17 @@ profile:
 		-cpuprofile out/cpu.out -o out/table2.test -timeout 30m
 	$(GO) tool pprof -top -nodecount 15 out/table2.test out/cpu.out
 
-# fuzz-smoke gives each WAL/snapshot fuzzer a short budget on top of the
-# committed corpus (internal/jobstore/testdata/fuzz) — CI runs this on
-# every push; long exploratory runs stay local (`go test -fuzz ... -fuzztime 10m`).
+# fuzz-smoke gives each fuzzer a short budget on top of its committed
+# corpus — CI runs this on every push; long exploratory runs stay local
+# (`go test -fuzz ... -fuzztime 10m`). FuzzWALReplay/FuzzSnapshotDecode
+# cover the jobstore crash-recovery decoders; FuzzScrambledSobol checks
+# the Owen-scrambled Sobol' invariants (range, determinism, coordinate
+# balance) over arbitrary dimension/seed/index triples.
 FUZZ_TIME ?= 15s
 fuzz-smoke:
 	$(GO) test ./internal/jobstore -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZ_TIME)
 	$(GO) test ./internal/jobstore -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/rare -run '^$$' -fuzz '^FuzzScrambledSobol$$' -fuzztime $(FUZZ_TIME)
 
 # load-smoke drives cmd/etload against an in-process server: a sustained
 # throughput pass plus the surrogate read-traffic phase (500 queries from 16

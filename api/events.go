@@ -21,6 +21,10 @@ const (
 	// the same scenario may be coalesced under load — consumers see the
 	// latest count, not necessarily every increment.
 	EventSample EventType = "sample"
+	// EventLevel reports per-level progress of a failure_probability
+	// scenario: Done of Total subset-simulation levels, with the completed
+	// level's telemetry in Level.
+	EventLevel EventType = "level"
 	// EventShards reports shard progress of a fleet job (ShardsDone of
 	// ShardsTotal accepted by the coordinator).
 	EventShards EventType = "shards"
@@ -40,13 +44,16 @@ type JobEvent struct {
 	JobID string    `json:"job_id"`
 	// Status is set on EventStatus (and, for fleet jobs, EventShards).
 	Status JobStatus `json:"status,omitempty"`
-	// Scenario names the scenario of EventScenario/EventSample.
+	// Scenario names the scenario of EventScenario/EventSample/EventLevel.
 	Scenario string `json:"scenario,omitempty"`
 	// Phase is "done" or "failed" on EventScenario.
 	Phase string `json:"phase,omitempty"`
-	// Done/Total carry sample progress on EventSample.
+	// Done/Total carry sample progress on EventSample and level progress on
+	// EventLevel.
 	Done  int `json:"done,omitempty"`
 	Total int `json:"total,omitempty"`
+	// Level carries the completed subset-simulation level on EventLevel.
+	Level *RareLevel `json:"level,omitempty"`
 	// Progress carries the batch job's scenario counters on EventStatus
 	// and EventScenario.
 	Progress *JobProgress `json:"progress,omitempty"`

@@ -117,7 +117,24 @@ const (
 	MethodLHS        = "lhs"
 	MethodHalton     = "halton"
 	MethodSobol      = "sobol"
+	MethodSobolOwen  = "sobol-owen"
+	MethodRQMC       = "rqmc-sobol"
 	MethodSmolyak    = "smolyak"
+)
+
+// Campaign modes accepted by UQSpec.Mode.
+const (
+	// ModeFailureProbability estimates P(T_max ≥ critical_k) with a
+	// rare-event estimator instead of moment statistics.
+	ModeFailureProbability = "failure_probability"
+)
+
+// Rare-event estimators for ModeFailureProbability.
+const (
+	// EstimatorSubset is Au–Beck subset simulation (the default).
+	EstimatorSubset = "subset"
+	// EstimatorImportance is mean-shift importance sampling.
+	EstimatorImportance = "importance"
 )
 
 // UQSpec declares the uncertainty study of one scenario.
@@ -155,6 +172,23 @@ type UQSpec struct {
 	// runnable on a worker fleet; ShardBlock is the merge granularity.
 	Shards     int `json:"shards,omitempty"`
 	ShardBlock int `json:"shard_block,omitempty"`
+	// Mode switches the campaign question; ModeFailureProbability selects
+	// the rare-event engine and excludes Method and the streaming knobs.
+	Mode string `json:"mode,omitempty"`
+	// Estimator picks the rare-event driver: EstimatorSubset (default) or
+	// EstimatorImportance.
+	Estimator string `json:"estimator,omitempty"`
+	// P0 is the subset-simulation conditional probability per level.
+	P0 float64 `json:"p0,omitempty"`
+	// LevelSamples is the per-level sample count N (also the
+	// importance-sampling budget).
+	LevelSamples int `json:"level_samples,omitempty"`
+	// MaxLevels bounds the subset-simulation level count.
+	MaxLevels int `json:"max_levels,omitempty"`
+	// MCMCStep is the modified-Metropolis proposal standard deviation.
+	MCMCStep float64 `json:"mcmc_step,omitempty"`
+	// ISShift is the importance-sampling germ-space mean shift.
+	ISShift float64 `json:"is_shift,omitempty"`
 }
 
 // ---------------------------------------------------------------------------
@@ -307,11 +341,33 @@ type ScenarioResult struct {
 	DamageHot   float64  `json:"damage_hot,omitempty"`
 	PTotalEndW  float64  `json:"p_total_end_w,omitempty"`
 
+	// Rare-event campaign summary (uq.mode == "failure_probability"): the
+	// estimator used, the failure-probability estimate with its coefficient
+	// of variation, whether the subset run converged, and the per-level
+	// telemetry.
+	RareEstimator string      `json:"rare_estimator,omitempty"`
+	PFail         *float64    `json:"p_fail,omitempty"`
+	PFailCoV      float64     `json:"p_fail_cov,omitempty"`
+	RareConverged bool        `json:"rare_converged,omitempty"`
+	RareLevels    []RareLevel `json:"rare_levels,omitempty"`
+
 	// Hottest-wire series for plotting: mean and standard deviation per
 	// recorded time point.
 	TimesS    []float64 `json:"times_s,omitempty"`
 	HotMeanK  []float64 `json:"hot_mean_k,omitempty"`
 	HotSigmaK []float64 `json:"hot_sigma_k,omitempty"`
+}
+
+// RareLevel summarizes one subset-simulation level: the temperature
+// threshold the level conditioned on, the MCMC acceptance rate of the
+// chains that produced it, the conditional exceedance probability and the
+// model evaluations spent.
+type RareLevel struct {
+	Level      int     `json:"level"`
+	ThresholdK float64 `json:"threshold_k"`
+	Accept     float64 `json:"accept"`
+	CondProb   float64 `json:"cond_prob"`
+	Evals      int     `json:"evals"`
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 //	etbatch -bundled -out manifest.json -workers 4 -sample-workers 2 -v
 //	etbatch -f scenarios.json -shards 4           # sharded campaigns, locally
 //	etbatch -f scenarios.json -shards 4 -fleet 2  # …across 2 etworker processes
+//	etbatch -bundled -rare -v                     # P(T_max ≥ T_crit) by subset simulation
 //
 // The scenario file format is internal/scenario.Batch as JSON; unknown
 // fields are rejected so typos fail loudly. Exit status is 0 when every
@@ -62,6 +63,8 @@ func run() (int, error) {
 		surrDemo      = flag.Bool("surrogate", false, "build a sparse-grid/PCE surrogate of the first scenario and answer queries from it (no batch run)")
 		surrLevel     = flag.Int("surrogate-level", 2, "Smolyak level of the -surrogate demo")
 		surrOrder     = flag.Int("surrogate-order", 0, "PCE order of the -surrogate demo (0 = level, clamped)")
+		rare          = flag.Bool("rare", false, "convert every sampling scenario into a failure_probability campaign (subset simulation; see -rare-samples)")
+		rareSamples   = flag.Int("rare-samples", 0, "subset-simulation per-level sample count for -rare (0 = estimator default)")
 	)
 	flag.Parse()
 
@@ -105,6 +108,21 @@ func run() (int, error) {
 		uqSpec := &batch.Scenarios[i].UQ
 		switch uqSpec.EffectiveMethod() {
 		case scenario.MethodNone, scenario.MethodSmolyak:
+			continue
+		}
+		if *rare {
+			// Re-target the sampling scenario at P(T_max ≥ T_crit): the rare
+			// mode owns its germ-space sampling, so the method and every
+			// streaming/sharding knob are cleared rather than combined.
+			*uqSpec = scenario.UQSpec{
+				Mode:         scenario.ModeFailureProbability,
+				LevelSamples: *rareSamples,
+				Seed:         uqSpec.Seed,
+				Rho:          uqSpec.Rho,
+				MeanDelta:    uqSpec.MeanDelta,
+				StdDelta:     uqSpec.StdDelta,
+				CriticalK:    uqSpec.CriticalK,
+			}
 			continue
 		}
 		if *stream {
@@ -161,6 +179,11 @@ func logEvent(ev scenario.Event) {
 			return
 		}
 		fmt.Printf("  [%s] sample %d/%d\n", ev.Scenario, ev.Done, ev.Total)
+	case scenario.PhaseLevel:
+		if lv := ev.Level; lv != nil {
+			fmt.Printf("  [%s] level %d/%d: threshold %.2f K, accept %.2f, cond P %.3f (%d evals)\n",
+				ev.Scenario, ev.Done, ev.Total, lv.ThresholdK, lv.Accept, lv.CondProb, lv.Evals)
+		}
 	case scenario.PhaseFailed:
 		fmt.Printf("  [%s] FAILED: %v\n", ev.Scenario, ev.Err)
 	default:
@@ -189,6 +212,9 @@ func printSummary(res *scenario.BatchResult) {
 		stop := "-"
 		if s.Streamed {
 			stop = fmt.Sprintf("%s@%d", s.StopReason, s.Samples+s.Failures)
+		}
+		if s.RareEstimator != "" {
+			stop = fmt.Sprintf("%s@%d", s.RareEstimator, s.Samples)
 		}
 		fmt.Printf("%-24s %-12s %8.2f %9.3f %8s %10.2e %-12s %6s %8.2f\n",
 			s.Name, s.Method, s.TEndMaxK, s.SigmaK, cross, s.ExceedProb, stop, cache, s.ElapsedS)

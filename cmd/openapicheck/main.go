@@ -1,10 +1,13 @@
 // Command openapicheck gates the committed OpenAPI description against
-// the authoritative route table of package api: it validates openapi.yaml
-// structurally (3.x version, info fields matching api.APIVersion, every
-// operation carrying responses) and diffs the spec's path/method surface
-// against api.Routes(). CI runs it via `make openapi-check`, so the spec,
-// the server mux (built from the same table) and the SDK cannot drift
-// apart silently.
+// the authoritative wire contract of package api: it validates
+// openapi.yaml structurally (3.x version, info fields matching
+// api.APIVersion, every operation carrying responses), diffs the spec's
+// path/method surface against api.Routes(), and diffs each documented
+// components.schemas entry's properties against the JSON fields of the
+// api struct that backs it (including the rare-event UQSpec knobs and
+// the RareLevel telemetry shape). CI runs it via `make openapi-check`,
+// so the spec, the server mux (built from the same table) and the SDK
+// cannot drift apart silently.
 //
 // Usage:
 //
@@ -28,8 +31,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "openapicheck:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("openapicheck: %s matches the %d-route %s surface\n",
-		*spec, len(api.Routes()), api.APIVersion)
+	fmt.Printf("openapicheck: %s matches the %d-route %s surface and %d wire schemas\n",
+		*spec, len(api.Routes()), api.APIVersion, len(schemaModels))
+}
+
+// schemaModels pairs each documented components.schemas entry with the
+// api struct that defines its wire shape.
+var schemaModels = []struct {
+	name  string
+	model any
+}{
+	{"Problem", api.Error{}},
+	{"Batch", api.Batch{}},
+	{"Scenario", api.Scenario{}},
+	{"UQSpec", api.UQSpec{}},
+	{"RareLevel", api.RareLevel{}},
+	{"SurrogateSpec", api.SurrogateSpec{}},
+	{"SurrogateQuery", api.SurrogateQuery{}},
 }
 
 func run(path string) error {
@@ -44,11 +62,15 @@ func run(path string) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if diff := d.Diff(api.Routes()); len(diff) != 0 {
+	diff := d.Diff(api.Routes())
+	for _, m := range schemaModels {
+		diff = append(diff, d.DiffSchema(m.name, m.model)...)
+	}
+	if len(diff) != 0 {
 		for _, line := range diff {
 			fmt.Fprintln(os.Stderr, "  "+line)
 		}
-		return fmt.Errorf("%s drifted from api.Routes() (%d discrepancies)", path, len(diff))
+		return fmt.Errorf("%s drifted from the api wire contract (%d discrepancies)", path, len(diff))
 	}
 	return nil
 }

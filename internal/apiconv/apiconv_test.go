@@ -44,13 +44,15 @@ func fullScenario() scenario.Scenario {
 			Stream: true, MaxSamples: 8, TargetSE: 0.1, TargetCI: 0.01,
 			Checkpoint: "cp.json", CheckpointEvery: 4,
 			Shards: 2, ShardBlock: 4,
+			Mode: scenario.ModeFailureProbability, Estimator: scenario.EstimatorSubset,
+			P0: 0.2, LevelSamples: 20, MaxLevels: 5, MCMCStep: 0.8, ISShift: -1.5,
 		},
 	}
 }
 
 // fullScenarioResult populates every field of the internal result.
 func fullScenarioResult() *scenario.ScenarioResult {
-	cross, cross6, failP := 12.5, 9.25, 0.125
+	cross, cross6, failP, pfail := 12.5, 9.25, 0.125, 0.015625
 	return &scenario.ScenarioResult{
 		Index: 3, Name: "full", Description: "conformance fixture",
 		OK: true, Error: "isolated failure text", CacheHit: true, ElapsedS: 1.5,
@@ -62,6 +64,11 @@ func fullScenarioResult() *scenario.ScenarioResult {
 		TCritK: 523, CrossMeanS: &cross, Cross6SigS: &cross6,
 		ExceedProb: 0.0625, FailProbEmp: &failP, TObsMaxK: 533.5,
 		DamageHot: 0.5, PTotalEndW: 2.25,
+		RareEstimator: scenario.EstimatorSubset, PFail: &pfail, PFailCoV: 0.25,
+		RareConverged: true,
+		RareLevels: []scenario.RareLevel{
+			{Level: 0, ThresholdK: 510.5, Accept: 0.5, CondProb: 0.125, Evals: 20},
+		},
 		TimesS: []float64{0, 1}, HotMeanK: []float64{300, 400.0625}, HotSigmaK: []float64{0, 1.5},
 	}
 }
@@ -106,7 +113,27 @@ func TestBatchShapeConformance(t *testing.T) {
 		t.Errorf("batch round trip not byte-identical:\n%s\nvs\n%s", a, b)
 	}
 	// The api.Batch marshal must parse through the server's strict parser.
-	data, err := json.Marshal(wire)
+	// fullScenario deliberately over-constrains its UQ spec (sharding plus
+	// adaptive stopping, rare-event knobs alongside a sampling method) so
+	// every wire field is non-zero; the parser sees semantically valid
+	// variants covering both campaign modes instead.
+	sampling := fullScenario()
+	sampling.UQ.Shards, sampling.UQ.ShardBlock = 0, 0
+	sampling.UQ.Mode, sampling.UQ.Estimator = "", ""
+	sampling.UQ.P0, sampling.UQ.LevelSamples, sampling.UQ.MaxLevels = 0, 0, 0
+	sampling.UQ.MCMCStep, sampling.UQ.ISShift = 0, 0
+	rare := fullScenario()
+	rare.Name = "rare"
+	rare.UQ = scenario.UQSpec{
+		Mode: scenario.ModeFailureProbability, Estimator: scenario.EstimatorSubset,
+		P0: 0.2, LevelSamples: 20, MaxLevels: 5, MCMCStep: 0.8,
+		Seed: 3, CriticalK: 523,
+	}
+	valid, err := BatchToAPI(&scenario.Batch{Scenarios: []scenario.Scenario{sampling, rare}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(valid)
 	if err != nil {
 		t.Fatal(err)
 	}

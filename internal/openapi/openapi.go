@@ -9,6 +9,7 @@ package openapi
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -83,17 +84,24 @@ type Document struct {
 	Title   string // info.title
 	Version string // info.version
 	Routes  []api.Route
+	// Schemas maps each components.schemas entry to its top-level
+	// property names, in declaration order (nil for schemas without a
+	// properties block).
+	Schemas map[string][]string
 	// missingResponses lists operations without a responses section.
 	missingResponses []string
 }
 
 // Parse reads the spec and extracts its structure.
 func Parse(doc []byte) (*Document, error) {
-	d := &Document{}
+	d := &Document{Schemas: map[string][]string{}}
 	lines := parseLines(doc)
-	section := ""     // current top-level key
-	currentPath := "" // current path under paths:
-	currentOp := ""   // current method under the path
+	section := ""       // current top-level key
+	currentPath := ""   // current path under paths:
+	currentOp := ""     // current method under the path
+	subsection := ""    // current second-level key under components:
+	currentSchema := "" // current schema under components.schemas:
+	inProps := false    // inside the schema's top-level properties block
 	opResponses := false
 	flushOp := func() {
 		if currentOp != "" && !opResponses {
@@ -107,7 +115,7 @@ func Parse(doc []byte) (*Document, error) {
 		case l.indent == 0 && l.key != "":
 			flushOp()
 			section = l.key
-			currentPath = ""
+			currentPath, subsection, currentSchema, inProps = "", "", "", false
 			switch l.key {
 			case "openapi":
 				d.OpenAPI = l.value
@@ -134,6 +142,22 @@ func Parse(doc []byte) (*Document, error) {
 			})
 		case section == "paths" && l.indent == 6 && l.key == "responses" && currentOp != "":
 			opResponses = true
+		case section == "components" && l.indent == 2 && l.key != "":
+			subsection = l.key
+			currentSchema, inProps = "", false
+		case section == "components" && subsection == "schemas" && l.indent == 4 && l.key != "":
+			currentSchema = l.key
+			inProps = false
+			if _, dup := d.Schemas[currentSchema]; dup {
+				return nil, fmt.Errorf("openapi.yaml:%d: duplicate schema %q", l.num, l.key)
+			}
+			d.Schemas[currentSchema] = nil
+		case section == "components" && subsection == "schemas" && l.indent == 6 && currentSchema != "":
+			// A deeper properties block (a nested object's) never reaches
+			// indent 6, so this toggle tracks only top-level properties.
+			inProps = l.key == "properties"
+		case section == "components" && subsection == "schemas" && l.indent == 8 && inProps && l.key != "":
+			d.Schemas[currentSchema] = append(d.Schemas[currentSchema], l.key)
 		}
 	}
 	flushOp()
@@ -193,5 +217,61 @@ func (d *Document) Diff(served []api.Route) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// DiffSchema compares a components.schemas entry's top-level property
+// names against the JSON field names of the Go struct that backs it on
+// the wire, returning human-readable discrepancies (empty on a match).
+// It keeps documented request/response shapes from silently drifting as
+// fields are added to package api.
+func (d *Document) DiffSchema(name string, model any) []string {
+	props, ok := d.Schemas[name]
+	if !ok {
+		return []string{fmt.Sprintf("schema %s missing from openapi.yaml", name)}
+	}
+	spec := map[string]bool{}
+	for _, p := range props {
+		spec[p] = true
+	}
+	wire := map[string]bool{}
+	for _, f := range jsonFields(reflect.TypeOf(model)) {
+		wire[f] = true
+	}
+	var out []string
+	for f := range wire {
+		if !spec[f] {
+			out = append(out, fmt.Sprintf("schema %s: field %q on the wire but not in openapi.yaml", name, f))
+		}
+	}
+	for p := range spec {
+		if !wire[p] {
+			out = append(out, fmt.Sprintf("schema %s: property %q in openapi.yaml but not on the wire", name, p))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// jsonFields lists the marshaled field names of a struct type.
+func jsonFields(t reflect.Type) []string {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	var out []string
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		switch name {
+		case "-":
+			continue
+		case "":
+			name = f.Name
+		}
+		out = append(out, name)
+	}
 	return out
 }

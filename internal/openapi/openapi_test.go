@@ -35,8 +35,26 @@ paths:
         "202":
           description: urn:example:scalar-with-colons
 components:
+  parameters:
+    ThingID:
+      name: id
+      in: path
   schemas:
     Thing:
+      type: object
+      properties:
+        name:
+          type: string
+        nested:
+          type: object
+          properties:
+            inner:
+              type: number
+        count:
+          type: integer
+      required:
+        - name
+    Bare:
       type: object
 `
 
@@ -63,6 +81,47 @@ func TestParseMinimalSpec(t *testing.T) {
 	}
 	if err := d.Validate(); err != nil {
 		t.Errorf("minimal spec invalid: %v", err)
+	}
+	// Schema property extraction: top-level property names in order, with
+	// nested object properties and parameters excluded.
+	if got := d.Schemas["Thing"]; len(got) != 3 || got[0] != "name" || got[1] != "nested" || got[2] != "count" {
+		t.Errorf("Thing properties %v, want [name nested count]", got)
+	}
+	if props, ok := d.Schemas["Bare"]; !ok || props != nil {
+		t.Errorf("Bare schema: props %v present %v, want declared with no properties", props, ok)
+	}
+	if _, ok := d.Schemas["ThingID"]; ok {
+		t.Error("parameter leaked into the schema table")
+	}
+}
+
+func TestDiffSchema(t *testing.T) {
+	d, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type match struct {
+		Name   string   `json:"name"`
+		Nested struct{} `json:"nested,omitempty"`
+		Count  int      `json:"count,omitempty"`
+		Masked int      `json:"-"`
+	}
+	if diff := d.DiffSchema("Thing", match{}); len(diff) != 0 {
+		t.Errorf("matching schema reported drift: %v", diff)
+	}
+	type drifted struct {
+		Name  string `json:"name"`
+		Extra int    `json:"extra"`
+	}
+	diff := d.DiffSchema("Thing", drifted{})
+	if len(diff) != 3 {
+		t.Fatalf("diff %v, want extra missing from spec plus nested/count missing from wire", diff)
+	}
+	if !strings.Contains(strings.Join(diff, "\n"), `"extra" on the wire but not in openapi.yaml`) {
+		t.Errorf("extra field not reported: %v", diff)
+	}
+	if diff := d.DiffSchema("Missing", drifted{}); len(diff) != 1 || !strings.Contains(diff[0], "missing from openapi.yaml") {
+		t.Errorf("absent schema not reported: %v", diff)
 	}
 }
 
@@ -133,5 +192,23 @@ func TestCommittedSpecMatchesContract(t *testing.T) {
 	}
 	if diff := d.Diff(api.Routes()); len(diff) != 0 {
 		t.Errorf("committed spec drifted from api.Routes():\n  %s", strings.Join(diff, "\n  "))
+	}
+	// Every documented wire schema matches the backing api struct — the
+	// same pairs cmd/openapicheck gates in CI.
+	for _, m := range []struct {
+		name  string
+		model any
+	}{
+		{"Problem", api.Error{}},
+		{"Batch", api.Batch{}},
+		{"Scenario", api.Scenario{}},
+		{"UQSpec", api.UQSpec{}},
+		{"RareLevel", api.RareLevel{}},
+		{"SurrogateSpec", api.SurrogateSpec{}},
+		{"SurrogateQuery", api.SurrogateQuery{}},
+	} {
+		if diff := d.DiffSchema(m.name, m.model); len(diff) != 0 {
+			t.Errorf("committed spec drifted from api.%s:\n  %s", m.name, strings.Join(diff, "\n  "))
+		}
 	}
 }

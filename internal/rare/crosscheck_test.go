@@ -1,0 +1,63 @@
+package rare
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"etherm/internal/surrogate"
+	"etherm/internal/uq"
+)
+
+// TestSubsetVsSurrogateCrossCheck corroborates the two independent
+// P(T_max ≥ T_crit) paths the system now ships — the PR 9 sparse-grid/PCE
+// surrogate and the new subset-simulation estimator — on the nominal
+// analytic fin geometry under the paper's elongation law. Both also get
+// checked against the closed form, so a regression in either path cannot
+// hide behind agreement with the other.
+func TestSubsetVsSurrogateCrossCheck(t *testing.T) {
+	// Plant P ≈ 2e-3: resolvable by the surrogate's sample set and a
+	// three-level subset run.
+	const want = 2e-3
+	deltaStar := lawMu + lawSigma*uq.Normal{Mu: 0, Sigma: 1}.Quantile(1-want)
+	tcrit := finTemp(deltaStar)
+
+	dists := []uq.Dist{uq.Normal{Mu: 0, Sigma: 1}}
+	m, err := surrogate.Build(context.Background(), uq.SingleFactory(finUQModel{}), dists, surrogate.Config{
+		ID: "sg-crosscheck", GeometryKey: "geom-crosscheck", Scenario: "fin",
+		Level: 3, NWires: 1, Times: []float64{10},
+		Mu: lawMu, Sigma: lawSigma, Rho: 1, TCritK: tcrit,
+		Samples: 16384,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfSurrogate := m.FailProb(tcrit)
+
+	res, err := RunSubset(context.Background(), MaxOutputFactory(uq.SingleFactory(finUQModel{}), dists), SubsetConfig{
+		Threshold: tcrit,
+		Dim:       1,
+		N:         2000,
+		Seed:      1609, // the companion paper's arXiv year-month
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("subset run did not converge in %d levels", len(res.Levels))
+	}
+
+	check := func(name string, got float64) {
+		if got < want/1.5 || got > want*1.5 {
+			t.Errorf("%s P(T ≥ %.2f K) = %.3g, closed form %.3g (outside factor 1.5)", name, tcrit, got, want)
+		}
+	}
+	check("surrogate", pfSurrogate)
+	check("subset", res.PF)
+	if ratio := res.PF / pfSurrogate; math.Abs(math.Log(ratio)) > math.Log(1.5) {
+		t.Errorf("paths disagree: subset %.3g vs surrogate %.3g (ratio %.2f)", res.PF, pfSurrogate, ratio)
+	}
+	t.Logf("P(T ≥ %.2f K): closed form %.3g, surrogate %.3g, subset %.3g (CoV %.2f, %d evals)",
+		tcrit, want, pfSurrogate, res.PF, res.CoV, res.Evals)
+}

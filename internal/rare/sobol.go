@@ -1,0 +1,123 @@
+// Package rare estimates small failure probabilities — P(T_max ≥ T_crit)
+// down to 1e-8 — orders of magnitude cheaper than plain Monte Carlo. It
+// follows the companion paper "Determination of Bond Wire Failure
+// Probabilities in Microelectronic Packages" (arXiv:1609.06187): bond-wire
+// failure probabilities of industrial interest sit at 1e-6..1e-8, where
+// direct MC needs ~1e8 FEM solves per answered probability.
+//
+// The package has two layers. Samplers (this file and rqmc.go) are
+// drop-in uq.Sampler implementations — Owen-scrambled Sobol' and a
+// randomized-QMC wrapper — so the existing streaming, checkpoint/resume
+// and fleet-sharding machinery carries over unchanged through the
+// sampler-fingerprint seam. Estimators (subset.go, importance.go) change
+// the sampling *distribution* instead: subset simulation walks a chain of
+// conditional levels toward the failure domain, importance sampling
+// shifts the germ mean toward it. Both emit stats.ExceedCounter-backed
+// estimates with CoV diagnostics.
+package rare
+
+import (
+	"fmt"
+
+	"etherm/internal/uq"
+)
+
+// mix64 is the splitmix64 finalizer — a cheap, high-quality 64-bit mixer
+// used to derive all scramble and chain keys. Deterministic by
+// construction: every random-looking decision in this package is a pure
+// function of (seed, structural index).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// ScrambledSobol is a Sobol' sequence with Owen-style nested uniform
+// scrambling (hash-based, after Burley): output bit k of each coordinate
+// is flipped by a one-bit hash of the *unscrambled* more-significant bit
+// prefix, keyed per (seed, dimension). This preserves the (t,m,s)-net
+// structure — and hence the QMC convergence rate — while making every
+// point uniformly distributed, which a plain digital shift does not.
+//
+// A zero seed disables scrambling (plain Sobol', bit-identical to
+// uq.Sobol). Index 0 maps to sequence element 1, matching uq.Sobol, so
+// the degenerate all-zero point is skipped.
+type ScrambledSobol struct {
+	d    int
+	seed uint64
+	v    [][]uint64 // direction integers per dimension, uq.SobolBits entries
+	keys []uint64   // per-dimension scramble keys
+}
+
+// NewScrambledSobol returns a d-dimensional Owen-scrambled Sobol' sampler.
+func NewScrambledSobol(d int, seed uint64) (*ScrambledSobol, error) {
+	if d < 1 || d > uq.MaxSobolDim() {
+		return nil, fmt.Errorf("rare: scrambled Sobol' supports 1..%d dimensions, got %d", uq.MaxSobolDim(), d)
+	}
+	s := &ScrambledSobol{d: d, seed: seed, v: make([][]uint64, d), keys: make([]uint64, d)}
+	for j := 0; j < d; j++ {
+		dir, err := uq.SobolDirections(j)
+		if err != nil {
+			return nil, err
+		}
+		s.v[j] = dir
+		// Key each dimension independently so scrambles are uncorrelated
+		// across coordinates; the constant decorrelates dim from seed.
+		s.keys[j] = mix64(seed ^ mix64(uint64(j)+0x9e3779b97f4a7c15))
+	}
+	return s, nil
+}
+
+// Dim implements uq.Sampler.
+func (s *ScrambledSobol) Dim() int { return s.d }
+
+// Name implements uq.Sampler.
+func (s *ScrambledSobol) Name() string { return "sobol-owen" }
+
+// Seed returns the scramble seed (0 = unscrambled).
+func (s *ScrambledSobol) Seed() uint64 { return s.seed }
+
+// owenScramble applies hash-based nested uniform scrambling to one
+// fixed-point coordinate x (uq.SobolBits bits, MSB = first radix-2
+// digit). Bit k's flip depends only on the unscrambled prefix of bits
+// more significant than k, so points sharing an elementary interval stay
+// together — the defining property of Owen scrambling.
+func owenScramble(x, key uint64) uint64 {
+	var flips uint64
+	for k := 0; k < uq.SobolBits; k++ {
+		shift := uint(uq.SobolBits - k)
+		var prefix uint64
+		if k > 0 {
+			prefix = x >> shift // the k more-significant unscrambled bits
+		}
+		bit := mix64(key^mix64(prefix+uint64(k)*0xd1342543de82ef95)) & 1
+		flips |= bit << (shift - 1)
+	}
+	return x ^ flips
+}
+
+// Sample implements uq.Sampler via the Gray-code XOR construction followed
+// by per-dimension Owen scrambling. Pure in i: identical for any
+// evaluation order, worker count or shard split.
+func (s *ScrambledSobol) Sample(i int, dst []float64) {
+	idx := uint64(i + 1)
+	gray := idx ^ (idx >> 1)
+	const scale = 1.0 / (1 << uq.SobolBits)
+	for j := 0; j < s.d; j++ {
+		var x uint64
+		g := gray
+		for k := 0; g != 0 && k < uq.SobolBits; k++ {
+			if g&1 == 1 {
+				x ^= s.v[j][k]
+			}
+			g >>= 1
+		}
+		if s.seed != 0 {
+			x = owenScramble(x, s.keys[j])
+		}
+		dst[j] = float64(x) * scale
+	}
+}

@@ -1,0 +1,319 @@
+package rare
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"etherm/internal/analytic"
+	"etherm/internal/material"
+	"etherm/internal/uq"
+)
+
+// The paper's elongation law (Table 2): δ ~ N(0.17, 0.048²).
+const (
+	lawMu    = 0.17
+	lawSigma = 0.048
+)
+
+func finWire(delta float64) analytic.FinWire {
+	return analytic.FinWire{
+		Length:   1e-3 * (1 + delta),
+		Diameter: 25e-6,
+		Mat:      material.Copper(),
+		Current:  0.5,
+		TEndA:    300, TEndB: 300,
+		TInf: 300,
+	}
+}
+
+func finTemp(delta float64) float64 {
+	tmax, _ := finWire(delta).MaxTemperature(300)
+	return tmax
+}
+
+// finTempU is the Fig. 7 quantity as a function of a unit-cube germ: the
+// end-time peak temperature of a wire whose elongation follows the law.
+func finTempU(u float64) float64 {
+	delta := lawMu + lawSigma*uq.Normal{Mu: 0, Sigma: 1}.Quantile(clamp01(u))
+	if delta < 0 {
+		delta = 0
+	} else if delta > 0.9 {
+		delta = 0.9
+	}
+	return finTemp(delta)
+}
+
+func clamp01(u float64) float64 {
+	if u < 1e-15 {
+		return 1e-15
+	}
+	if u > 1-1e-15 {
+		return 1 - 1e-15
+	}
+	return u
+}
+
+// TestPlainMatchesUQSobol: seed 0 disables the scramble, and the sampler
+// must then be bit-identical to the uq.Sobol baseline — the contract that
+// lets campaign fingerprints distinguish the two by stream, not by name.
+func TestPlainMatchesUQSobol(t *testing.T) {
+	for _, d := range []int{1, 2, 5, 8, uq.MaxSobolDim()} {
+		plain, err := uq.NewSobol(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scr, err := NewScrambledSobol(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := make([]float64, d), make([]float64, d)
+		for i := 0; i < 200; i++ {
+			plain.Sample(i, a)
+			scr.Sample(i, b)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("dim %d index %d coord %d: plain %v scrambled(seed=0) %v", d, i, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+type goldenFile struct {
+	Dim    int         `json:"dim"`
+	Seed   uint64      `json:"seed"`
+	Points [][]float64 `json:"points"`
+}
+
+// TestGoldenVectors pins the scrambled stream bit-for-bit against committed
+// vectors: any change to the direction integers, the scramble hash or the
+// bit order silently invalidates every checkpoint and golden estimate in
+// the field, so it must fail loudly here instead.
+func TestGoldenVectors(t *testing.T) {
+	path := filepath.Join("testdata", "sobol_owen_golden.json")
+	if os.Getenv("RARE_UPDATE_GOLDEN") == "1" {
+		writeGolden(t, path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []goldenFile
+	if err := json.Unmarshal(data, &files); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty golden file")
+	}
+	for _, g := range files {
+		s, err := NewScrambledSobol(g.Dim, g.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, g.Dim)
+		for i, want := range g.Points {
+			s.Sample(i, dst)
+			for j := range dst {
+				if math.Float64bits(dst[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("dim %d seed %d index %d coord %d: got %.17g want %.17g", g.Dim, g.Seed, i, j, dst[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// writeGolden regenerates the committed vectors (RARE_UPDATE_GOLDEN=1).
+// Only do this deliberately: new vectors invalidate old checkpoints.
+func writeGolden(t *testing.T, path string) {
+	t.Helper()
+	var files []goldenFile
+	for _, cfg := range []struct {
+		dim  int
+		seed uint64
+	}{{1, 0}, {4, 12345}, {8, 42}, {24, 0xfeedface}} {
+		s, err := NewScrambledSobol(cfg.dim, cfg.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := goldenFile{Dim: cfg.dim, Seed: cfg.seed}
+		for i := 0; i < 16; i++ {
+			p := make([]float64, cfg.dim)
+			s.Sample(i, p)
+			g.Points = append(g.Points, p)
+		}
+		files = append(files, g)
+	}
+	data, err := json.MarshalIndent(files, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrambleProperties: points stay in [0,1), sampling is pure in the
+// index, distinct seeds give distinct streams, and the empirical mean of a
+// scrambled stream is unbiased for 1/2 per coordinate.
+func TestScrambleProperties(t *testing.T) {
+	const d, n = 6, 4096
+	s, err := NewScrambledSobol(d, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewScrambledSobol(d, 43)
+	u, v := make([]float64, d), make([]float64, d)
+	mean := make([]float64, d)
+	differs := false
+	for i := 0; i < n; i++ {
+		s.Sample(i, u)
+		for j, x := range u {
+			if x < 0 || x >= 1 || math.IsNaN(x) {
+				t.Fatalf("index %d coord %d outside [0,1): %v", i, j, x)
+			}
+			mean[j] += x
+		}
+		s.Sample(i, v)
+		for j := range u {
+			if u[j] != v[j] {
+				t.Fatalf("impure sample at index %d", i)
+			}
+		}
+		s2.Sample(i, v)
+		for j := range u {
+			if u[j] != v[j] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical streams")
+	}
+	for j, m := range mean {
+		if got := m / n; math.Abs(got-0.5) > 0.01 {
+			t.Errorf("coord %d mean %.4f, want ~0.5", j, got)
+		}
+	}
+}
+
+// TestOwenPreservesNet: nested uniform scrambling must keep the (t,m,s)-net
+// structure — over an aligned dyadic block of 2^m sequence elements, every
+// one-dimensional dyadic interval of size 2^-k contains exactly 2^(m-k)
+// points. This is the property that preserves the QMC convergence rate; a
+// digital-shift bug or a prefix-hash bug breaks it immediately. The block
+// starts at sequence element 2^m (index 2^m−1) because element 0 — part of
+// the first block — is skipped by construction.
+func TestOwenPreservesNet(t *testing.T) {
+	const m = 9 // 512 points
+	for _, d := range []int{1, 2, 3, 6} {
+		s, err := NewScrambledSobol(d, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := make([]float64, d)
+		for k := 1; k <= m; k++ {
+			bins := 1 << k
+			want := (1 << m) / bins
+			counts := make([]int, bins*d)
+			for i := (1 << m) - 1; i <= (2<<m)-2; i++ {
+				s.Sample(i, u)
+				for j := range u {
+					counts[j*bins+int(u[j]*float64(bins))]++
+				}
+			}
+			for idx, c := range counts {
+				if c != want {
+					t.Fatalf("dim %d: level %d bin %d holds %d points, want %d", d, k, idx, c, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSobolBeatsMCOnFig7Quantity compares estimator variance on the paper's
+// Fig. 7 quantity (expected peak wire temperature under the elongation law)
+// at equal sample count: across K independent replications, the scrambled
+// Sobol' estimator must have materially lower variance than Monte Carlo.
+func TestSobolBeatsMCOnFig7Quantity(t *testing.T) {
+	const (
+		k = 24  // replications per method
+		n = 256 // samples per estimate
+	)
+	varOf := func(estimates []float64) float64 {
+		mean := 0.0
+		for _, e := range estimates {
+			mean += e
+		}
+		mean /= float64(len(estimates))
+		v := 0.0
+		for _, e := range estimates {
+			v += (e - mean) * (e - mean)
+		}
+		return v / float64(len(estimates)-1)
+	}
+	estimate := func(s uq.Sampler) float64 {
+		u := make([]float64, 1)
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			s.Sample(i, u)
+			sum += finTempU(u[0])
+		}
+		return sum / n
+	}
+	mc := make([]float64, k)
+	qmc := make([]float64, k)
+	for r := 0; r < k; r++ {
+		mc[r] = estimate(uq.PseudoRandom{D: 1, Seed: uint64(1000 + r)})
+		s, err := NewScrambledSobol(1, uint64(2000+r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qmc[r] = estimate(s)
+	}
+	vMC, vQMC := varOf(mc), varOf(qmc)
+	if vQMC*10 > vMC {
+		t.Fatalf("scrambled Sobol' variance %.3g not ≥10x below MC variance %.3g at n=%d", vQMC, vMC, n)
+	}
+	t.Logf("variance at n=%d: MC %.3g, scrambled Sobol' %.3g (×%.0f reduction)", n, vMC, vQMC, vMC/vQMC)
+}
+
+// FuzzScrambledSobol hammers the sampler with arbitrary dimension, index
+// and seed inputs: construction must either fail cleanly or produce pure,
+// in-range points.
+func FuzzScrambledSobol(f *testing.F) {
+	f.Add(1, 0, uint64(0))
+	f.Add(6, 1023, uint64(42))
+	f.Add(24, 1<<20, uint64(0xdeadbeef))
+	f.Add(25, 5, uint64(7))
+	f.Add(-3, -9, uint64(1))
+	f.Fuzz(func(t *testing.T, d, i int, seed uint64) {
+		s, err := NewScrambledSobol(d, seed)
+		if err != nil {
+			if d >= 1 && d <= uq.MaxSobolDim() {
+				t.Fatalf("valid dimension %d rejected: %v", d, err)
+			}
+			return
+		}
+		if i < 0 {
+			i = -(i + 1)
+		}
+		i %= 1 << 30
+		u, v := make([]float64, d), make([]float64, d)
+		s.Sample(i, u)
+		s.Sample(i, v)
+		for j := range u {
+			if u[j] < 0 || u[j] >= 1 || math.IsNaN(u[j]) {
+				t.Fatalf("dim %d seed %d index %d coord %d outside [0,1): %v", d, seed, i, j, u[j])
+			}
+			if u[j] != v[j] {
+				t.Fatalf("impure sample: dim %d seed %d index %d", d, seed, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package rare
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"etherm/internal/stats"
+	"etherm/internal/uq"
+)
+
+// linearLimit is the classic benchmark limit state g(z) = a·z/‖a‖ with the
+// exact tail P(g ≥ β) = Φ(−β) — the oracle for planted-probability tests.
+func linearLimit(a []float64) LimitStateFactory {
+	norm := 0.0
+	for _, v := range a {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	return func() (LimitState, error) {
+		return func(z []float64) (float64, error) {
+			s := 0.0
+			for j := range z {
+				s += a[j] * z[j]
+			}
+			return s / norm, nil
+		}, nil
+	}
+}
+
+// stdNormalTail returns Φ(−β).
+func stdNormalTail(beta float64) float64 {
+	return uq.Normal{Mu: 0, Sigma: 1}.CDF(-beta)
+}
+
+// betaFor returns the threshold with planted tail probability p.
+func betaFor(p float64) float64 {
+	return -uq.Normal{Mu: 0, Sigma: 1}.Quantile(p)
+}
+
+// TestSubsetPlantedProbability is the acceptance gate of the subsystem: on
+// an analytic limit state with a planted P(fail) = 1e-6, subset simulation
+// must land within a factor of 2 using ≤ 1e5 evaluations — where plain MC
+// at the same CoV needs ~1e8.
+func TestSubsetPlantedProbability(t *testing.T) {
+	const want = 1e-6
+	beta := betaFor(want)
+	cfg := SubsetConfig{
+		Threshold: beta,
+		Dim:       6,
+		N:         2000,
+		Seed:      2016,
+		Workers:   4,
+	}
+	res, err := RunSubset(context.Background(), linearLimit([]float64{1, 1, 1, 1, 1, 1}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not reach the target threshold in %d levels", len(res.Levels))
+	}
+	if res.Evals > 1e5 {
+		t.Fatalf("used %d evaluations, budget is 1e5", res.Evals)
+	}
+	if res.PF < want/2 || res.PF > want*2 {
+		t.Fatalf("PF = %.3g, planted %.3g (outside factor 2); CoV %.2f, %d levels, %d evals",
+			res.PF, want, res.CoV, len(res.Levels), res.Evals)
+	}
+	if res.CoV <= 0 || math.IsInf(res.CoV, 0) || math.IsNaN(res.CoV) {
+		t.Fatalf("broken CoV diagnostic %v", res.CoV)
+	}
+	for i, lv := range res.Levels {
+		if lv.Level != i {
+			t.Fatalf("level %d reported as %d", i, lv.Level)
+		}
+		if lv.Exceed.N != cfg.N {
+			t.Fatalf("level %d counter over %d samples, want %d", i, lv.Exceed.N, cfg.N)
+		}
+		if i > 0 && (lv.Accept <= 0 || lv.Accept > 1) {
+			t.Fatalf("level %d acceptance %v outside (0,1]", i, lv.Accept)
+		}
+	}
+	t.Logf("PF %.3g (planted %.3g), CoV %.2f, %d levels, %d evals", res.PF, want, res.CoV, len(res.Levels), res.Evals)
+}
+
+// TestSubsetBitIdentity: the same configuration must produce byte-identical
+// results across reruns and across any Workers/Shards execution layout —
+// the property that makes fleet splits and checkpoint resumes trustworthy.
+func TestSubsetBitIdentity(t *testing.T) {
+	base := SubsetConfig{
+		Threshold: betaFor(1e-4),
+		Dim:       4,
+		N:         500,
+		Seed:      99,
+	}
+	lsf := linearLimit([]float64{3, 1, 2, 0.5})
+	var ref []byte
+	for _, variant := range []struct {
+		name            string
+		workers, shards int
+	}{
+		{"serial", 1, 1},
+		{"rerun", 1, 1},
+		{"workers4", 4, 1},
+		{"shards4", 1, 4},
+		{"workers2shards4", 2, 4},
+	} {
+		cfg := base
+		cfg.Workers = variant.workers
+		cfg.Shards = variant.shards
+		res, err := RunSubset(context.Background(), lsf, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", variant.name, err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if string(got) != string(ref) {
+			t.Fatalf("%s diverged from serial run:\n%s\nvs\n%s", variant.name, got, ref)
+		}
+	}
+}
+
+// TestSubsetLevelTelemetry: the OnLevel hook sees every level, in order,
+// with thresholds monotonically increasing toward the target.
+func TestSubsetLevelTelemetry(t *testing.T) {
+	var seen []SubsetLevel
+	cfg := SubsetConfig{
+		Threshold: betaFor(1e-5),
+		Dim:       3,
+		N:         1000,
+		Seed:      7,
+		Workers:   2,
+		OnLevel:   func(lv SubsetLevel) { seen = append(seen, lv) },
+	}
+	res, err := RunSubset(context.Background(), linearLimit([]float64{1, 2, 3}), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Levels) {
+		t.Fatalf("hook saw %d levels, result has %d", len(seen), len(res.Levels))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Threshold <= seen[i-1].Threshold {
+			t.Fatalf("thresholds not increasing: level %d %.4f after %.4f", i, seen[i].Threshold, seen[i-1].Threshold)
+		}
+	}
+	last := seen[len(seen)-1]
+	if last.Threshold != cfg.Threshold {
+		t.Fatalf("final level threshold %.4f, want target %.4f", last.Threshold, cfg.Threshold)
+	}
+}
+
+// TestSubsetConfigValidation: bad configurations are returned errors, not
+// mid-run surprises.
+func TestSubsetConfigValidation(t *testing.T) {
+	lsf := linearLimit([]float64{1})
+	for name, cfg := range map[string]SubsetConfig{
+		"zero dim":      {Threshold: 1, N: 100},
+		"bad p0":        {Threshold: 1, Dim: 1, N: 100, P0: 0.7},
+		"indivisible N": {Threshold: 1, Dim: 1, N: 101},
+		"tiny N":        {Threshold: 1, Dim: 1, N: 10, P0: 0.1},
+		"negative step": {Threshold: 1, Dim: 1, N: 100, Step: -1},
+	} {
+		if _, err := RunSubset(context.Background(), lsf, cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestImportanceSampling: with the shift placed at the planted design
+// point, mean-shift IS recovers a 1e-5 tail probability tightly.
+func TestImportanceSampling(t *testing.T) {
+	const want = 1e-5
+	beta := betaFor(want)
+	a := []float64{2, 1, 1}
+	norm := math.Sqrt(6.0)
+	shift := make([]float64, len(a))
+	for j := range a {
+		shift[j] = beta * a[j] / norm
+	}
+	res, err := RunImportance(context.Background(), linearLimit(a), ISConfig{
+		Threshold: beta,
+		Shift:     shift,
+		N:         4000,
+		Seed:      11,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PF-want) > 3*res.SE {
+		t.Fatalf("PF %.3g outside 3·SE (%.3g) of planted %.3g", res.PF, res.SE, want)
+	}
+	if res.PF < want/1.5 || res.PF > want*1.5 {
+		t.Fatalf("PF %.3g, planted %.3g (outside factor 1.5)", res.PF, want)
+	}
+	if res.ESS < float64(res.N)/20 {
+		t.Fatalf("effective sample size %.0f of %d suspiciously low for an on-target shift", res.ESS, res.N)
+	}
+	// Bit-identity across worker counts.
+	again, err := RunImportance(context.Background(), linearLimit(a), ISConfig{
+		Threshold: beta, Shift: shift, N: 4000, Seed: 11, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(again.PF) != math.Float64bits(res.PF) || math.Float64bits(again.SE) != math.Float64bits(res.SE) {
+		t.Fatalf("workers change the IS estimate: %v vs %v", again, res)
+	}
+}
+
+// TestRQMCSampler: replicate routing, stream purity and the shape of the
+// interleaved stream.
+func TestRQMCSampler(t *testing.T) {
+	q, err := NewRQMC(3, 8, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "rqmc-sobol" || q.Dim() != 3 || q.Replicates() != 8 {
+		t.Fatalf("unexpected identity: %s dim %d reps %d", q.Name(), q.Dim(), q.Replicates())
+	}
+	// Any prefix is replicate-balanced to within one point.
+	counts := make([]int, 8)
+	for i := 0; i < 1000; i++ {
+		counts[q.Replicate(i)]++
+	}
+	for r, c := range counts {
+		if c < 1000/8 || c > 1000/8+1 {
+			t.Fatalf("replicate %d holds %d of 1000 points", r, c)
+		}
+	}
+	// Global index i is point i/R of replicate i%R, against an
+	// independently built twin.
+	twin, _ := NewRQMC(3, 8, 77)
+	u, v := make([]float64, 3), make([]float64, 3)
+	for i := 0; i < 64; i++ {
+		q.Sample(i, u)
+		twin.reps[i%8].Sample(i/8, v)
+		for j := range u {
+			if u[j] != v[j] {
+				t.Fatalf("index %d routes wrong replicate", i)
+			}
+		}
+	}
+	if _, err := NewRQMC(3, 1, 1); err == nil {
+		t.Fatal("accepted single-replicate RQMC (no error bar possible)")
+	}
+}
+
+// TestRQMCEstimate: per-replicate counters pool into an estimate whose CLT
+// error bar covers a known probability, and degenerate inputs error.
+func TestRQMCEstimate(t *testing.T) {
+	const (
+		r    = 8
+		n    = 4096 // per replicate
+		p    = 0.05 // P(u0 < 0.05), known exactly
+		dim  = 2
+		seed = 31
+	)
+	q, err := NewRQMC(dim, r, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters := make([]stats.ExceedCounter, r)
+	u := make([]float64, dim)
+	for i := 0; i < r*n; i++ {
+		q.Sample(i, u)
+		counters[q.Replicate(i)].Observe(u[0] < p)
+	}
+	est, err := EstimateReplicates(counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != r*n {
+		t.Fatalf("pooled N %d, want %d", est.N, r*n)
+	}
+	if math.Abs(est.P-p) > 5*est.SE+1e-9 {
+		t.Fatalf("estimate %.5f ± %.5f misses exact %.5f", est.P, est.SE, p)
+	}
+	if est.SE <= 0 || est.SE > 0.01 {
+		t.Fatalf("unreasonable RQMC standard error %.5g", est.SE)
+	}
+	if est.CoV() <= 0 {
+		t.Fatalf("broken CoV %v", est.CoV())
+	}
+	if _, err := EstimateReplicates(counters[:1]); err == nil {
+		t.Fatal("accepted single counter")
+	}
+	if _, err := EstimateReplicates(make([]stats.ExceedCounter, 3)); err == nil {
+		t.Fatal("accepted empty replicates")
+	}
+}
+
+// TestMaxOutputFactory: the campaign-seam adapter maps the germ through
+// the distribution quantiles and takes the output maximum.
+func TestMaxOutputFactory(t *testing.T) {
+	lsf := MaxOutputFactory(uq.SingleFactory(finUQModel{}), []uq.Dist{uq.Normal{Mu: 0, Sigma: 1}})
+	ls, err := lsf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range []float64{-2, 0, 1.5} {
+		got, err := ls([]float64{z})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := finTemp(clampDelta(lawMu + lawSigma*roundTrip(z)))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("z=%g: g=%.6f, want %.6f", z, got, want)
+		}
+	}
+}
+
+// roundTrip mirrors the z→Φ(z)→quantile mapping of the adapter.
+func roundTrip(z float64) float64 {
+	std := uq.Normal{Mu: 0, Sigma: 1}
+	return std.Quantile(clamp01(std.CDF(z)))
+}
+
+func clampDelta(d float64) float64 {
+	if d < 0 {
+		return 0
+	}
+	if d > 0.9 {
+		return 0.9
+	}
+	return d
+}
+
+// finUQModel exposes the analytic fin through the uq.Model interface.
+type finUQModel struct{}
+
+func (finUQModel) Dim() int        { return 1 }
+func (finUQModel) NumOutputs() int { return 1 }
+func (finUQModel) Eval(p, out []float64) error {
+	out[0] = finTemp(clampDelta(lawMu + lawSigma*p[0]))
+	return nil
+}

@@ -20,6 +20,10 @@ const (
 	PhaseStart EventPhase = "start"
 	// PhaseSample fires after each UQ model evaluation of a scenario.
 	PhaseSample EventPhase = "sample"
+	// PhaseLevel fires after each completed subset-simulation level of a
+	// failure_probability scenario, carrying the level telemetry in
+	// Event.Level.
+	PhaseLevel EventPhase = "level"
 	// PhaseDone fires when a scenario finishes successfully.
 	PhaseDone EventPhase = "done"
 	// PhaseFailed fires when a scenario errors; the batch continues.
@@ -27,13 +31,15 @@ const (
 )
 
 // Event is one progress notification. Done/Total carry sample progress for
-// PhaseSample (Total 0 when unknown) and are zero otherwise.
+// PhaseSample and level progress for PhaseLevel (Total 0 when unknown) and
+// are zero otherwise.
 type Event struct {
 	Index    int    // scenario position in the batch
 	Scenario string // scenario name
 	Phase    EventPhase
-	Done     int // samples completed (PhaseSample)
-	Total    int // sample budget (PhaseSample)
+	Done     int        // samples completed (PhaseSample) or levels (PhaseLevel)
+	Total    int        // sample budget (PhaseSample) or level bound (PhaseLevel)
+	Level    *RareLevel // completed-level telemetry (PhaseLevel only)
 	Err      error
 }
 

@@ -11,6 +11,7 @@ import (
 	"etherm/internal/config"
 	"etherm/internal/core"
 	"etherm/internal/degrade"
+	"etherm/internal/rare"
 	"etherm/internal/study"
 	"etherm/internal/uq"
 )
@@ -80,11 +81,35 @@ type ScenarioResult struct {
 	// (deterministic runs only).
 	PTotalEndW float64 `json:"p_total_end_w,omitempty"`
 
+	// Rare-event campaign summary (uq.mode == "failure_probability").
+	// RareEstimator names the driver ("subset" or "importance"); PFail is
+	// the estimated failure probability P(T_max ≥ T_crit) with coefficient
+	// of variation PFailCoV; RareConverged reports whether the subset run
+	// reached the target threshold within its level budget (always true for
+	// importance sampling); RareLevels is the per-level telemetry.
+	RareEstimator string      `json:"rare_estimator,omitempty"`
+	PFail         *float64    `json:"p_fail,omitempty"`
+	PFailCoV      float64     `json:"p_fail_cov,omitempty"`
+	RareConverged bool        `json:"rare_converged,omitempty"`
+	RareLevels    []RareLevel `json:"rare_levels,omitempty"`
+
 	// Hottest-wire series for plotting: mean and standard deviation per
 	// recorded time point.
 	TimesS    []float64 `json:"times_s,omitempty"`
 	HotMeanK  []float64 `json:"hot_mean_k,omitempty"`
 	HotSigmaK []float64 `json:"hot_sigma_k,omitempty"`
+}
+
+// RareLevel summarizes one subset-simulation level for results and SSE
+// progress: the temperature threshold the level conditioned on, the MCMC
+// acceptance rate of the chains that produced it, the conditional
+// exceedance probability and the model evaluations spent.
+type RareLevel struct {
+	Level      int     `json:"level"`
+	ThresholdK float64 `json:"threshold_k"`
+	Accept     float64 `json:"accept"`
+	CondProb   float64 `json:"cond_prob"`
+	Evals      int     `json:"evals"`
 }
 
 // evaluate runs one scenario end to end: instantiate the problem from the
@@ -103,7 +128,7 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		return nil, err
 	}
 	method := s.UQ.EffectiveMethod()
-	opt := s.Sim.CoreOptions(method != MethodNone)
+	opt := s.Sim.CoreOptions(method != MethodNone || s.UQ.Rare())
 	sim, err := inst.Simulator(opt)
 	if err != nil {
 		return nil, err
@@ -117,6 +142,13 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 		NumWires:  len(inst.Problem.Wires),
 	}
 	tCrit := s.criticalK()
+
+	if s.UQ.Rare() {
+		if err := e.evaluateRare(ctx, i, s, sim, res, tCrit, sampleWorkers); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
 
 	times := scenarioTimes(s)
 	nTimes := len(times)
@@ -245,6 +277,87 @@ func (e *Engine) evaluate(ctx context.Context, i int, s Scenario, sampleWorkers 
 	return res, nil
 }
 
+// evaluateRare runs the failure_probability campaign mode: instead of
+// moment statistics over the temperature field, estimate
+// P(T_max ≥ T_crit) directly with the subset-simulation or
+// importance-sampling driver of internal/rare, over the same germ space
+// and elongation law the moment studies sample. The hottest-wire series
+// and Fig.-7 summary stay empty — a rare-event run spends its evaluations
+// in the failure region, not on the mean trajectory.
+func (e *Engine) evaluateRare(ctx context.Context, i int, s Scenario, sim *core.Simulator, res *ScenarioResult, tCrit float64, sampleWorkers int) error {
+	factory, dists := studyInputs(sim, s.UQ)
+	lsf := rare.MaxOutputFactory(factory, dists)
+	res.Method = ModeFailureProbability
+	res.RareEstimator = s.UQ.EffectiveEstimator()
+	res.TCritK = tCrit
+	res.OK = true
+
+	switch res.RareEstimator {
+	case EstimatorImportance:
+		shift := make([]float64, len(dists))
+		for j := range shift {
+			shift[j] = s.UQ.ISShift
+		}
+		n := s.UQ.LevelSamples
+		if n == 0 {
+			n = rare.DefaultLevelSamples
+		}
+		r, err := rare.RunImportance(ctx, lsf, rare.ISConfig{
+			Threshold: tCrit, Shift: shift, N: n,
+			Seed: s.UQ.Seed, Workers: sampleWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		res.Samples = r.N
+		res.PFail = &r.PF
+		if cov := r.CoV(); !math.IsInf(cov, 0) {
+			res.PFailCoV = cov
+		}
+		res.RareConverged = true
+		res.ExceedProb = r.PF
+
+	default: // EstimatorSubset
+		maxLevels := s.UQ.MaxLevels
+		if maxLevels == 0 {
+			maxLevels = rare.DefaultMaxLevels
+		}
+		r, err := rare.RunSubset(ctx, lsf, rare.SubsetConfig{
+			Threshold: tCrit, Dim: len(dists),
+			N: s.UQ.LevelSamples, P0: s.UQ.P0, MaxLevels: maxLevels,
+			Seed: s.UQ.Seed, Step: s.UQ.MCMCStep, Workers: sampleWorkers,
+			OnLevel: func(lv rare.SubsetLevel) {
+				e.emit(Event{
+					Index: i, Scenario: s.Name, Phase: PhaseLevel,
+					Done: lv.Level + 1, Total: maxLevels,
+					Level: &RareLevel{
+						Level: lv.Level, ThresholdK: lv.Threshold,
+						Accept: lv.Accept, CondProb: lv.CondProb, Evals: lv.Evals,
+					},
+				})
+			},
+		})
+		if err != nil {
+			return err
+		}
+		res.Samples = r.Evals
+		res.PFail = &r.PF
+		if !math.IsInf(r.CoV, 0) && !math.IsNaN(r.CoV) {
+			res.PFailCoV = r.CoV
+		}
+		res.RareConverged = r.Converged
+		res.ExceedProb = r.PF
+		res.RareLevels = make([]RareLevel, len(r.Levels))
+		for j, lv := range r.Levels {
+			res.RareLevels[j] = RareLevel{
+				Level: lv.Level, ThresholdK: lv.Threshold,
+				Accept: lv.Accept, CondProb: lv.CondProb, Evals: lv.Evals,
+			}
+		}
+	}
+	return nil
+}
+
 // applyCampaign records streaming-campaign accounting on a result.
 func applyCampaign(res *ScenarioResult, camp *uq.CampaignResult, shards int) {
 	res.Streamed = true
@@ -338,6 +451,10 @@ func newSampler(method string, dim int, u UQSpec) (uq.Sampler, error) {
 		return uq.NewHalton(dim, u.Seed)
 	case MethodSobol:
 		return uq.NewSobol(dim)
+	case MethodSobolOwen:
+		return rare.NewScrambledSobol(dim, u.Seed)
+	case MethodRQMC:
+		return rare.NewRQMC(dim, rare.DefaultReplicates, u.Seed)
 	default:
 		return nil, fmt.Errorf("scenario: no sampler for method %q", method)
 	}

@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"etherm/internal/chipmodel"
@@ -159,6 +160,30 @@ const (
 	MethodSobol = "sobol"
 	// MethodSmolyak is sparse-grid stochastic collocation.
 	MethodSmolyak = "smolyak"
+	// MethodSobolOwen is the Owen-scrambled Sobol' QMC sequence.
+	MethodSobolOwen = "sobol-owen"
+	// MethodRQMC interleaves independently scrambled Sobol' replicates
+	// (randomized QMC with CLT-valid error bars).
+	MethodRQMC = "rqmc-sobol"
+)
+
+// Campaign modes. The default (empty) mode estimates moments and exceedance
+// statistics of the temperature field; ModeFailureProbability answers a
+// single rare-event question instead.
+const (
+	// ModeFailureProbability estimates P(T_max ≥ critical_k) with a
+	// dedicated rare-event estimator (subset simulation or mean-shift
+	// importance sampling) — the 1e-6..1e-8 regime of arXiv:1609.06187
+	// where direct sampling is infeasible.
+	ModeFailureProbability = "failure_probability"
+)
+
+// Rare-event estimators for ModeFailureProbability.
+const (
+	// EstimatorSubset is Au–Beck subset simulation (the default).
+	EstimatorSubset = "subset"
+	// EstimatorImportance is mean-shift importance sampling.
+	EstimatorImportance = "importance"
 )
 
 // UQSpec declares the uncertainty study of one scenario.
@@ -219,6 +244,30 @@ type UQSpec struct {
 	// (0 = uq.DefaultShardBlockSize). It is part of the campaign identity:
 	// changing it changes shard checkpoints and the merged bits.
 	ShardBlock int `json:"shard_block,omitempty"`
+
+	// Mode switches the campaign question. Empty is the default
+	// moments/exceedance study; ModeFailureProbability answers
+	// P(T_max ≥ critical_k) with a rare-event estimator and ignores the
+	// sampling Method (the estimator drives its own germ-space sampling).
+	Mode string `json:"mode,omitempty"`
+	// Estimator picks the rare-event driver for ModeFailureProbability:
+	// EstimatorSubset (default) or EstimatorImportance.
+	Estimator string `json:"estimator,omitempty"`
+	// P0 is the subset-simulation conditional probability per level
+	// (0 = 0.1).
+	P0 float64 `json:"p0,omitempty"`
+	// LevelSamples is the subset-simulation per-level sample count N, also
+	// the importance-sampling budget (0 = 2000). It must be a multiple of
+	// the seed count round(P0·N).
+	LevelSamples int `json:"level_samples,omitempty"`
+	// MaxLevels bounds the subset-simulation level count (0 = 12).
+	MaxLevels int `json:"max_levels,omitempty"`
+	// MCMCStep is the modified-Metropolis component proposal standard
+	// deviation (0 = 1).
+	MCMCStep float64 `json:"mcmc_step,omitempty"`
+	// ISShift is the importance-sampling mean shift applied to every germ
+	// dimension (EstimatorImportance only).
+	ISShift float64 `json:"is_shift,omitempty"`
 }
 
 // Streaming reports whether the declaration selects the streaming campaign
@@ -255,14 +304,94 @@ func (u UQSpec) EffectiveMethod() string {
 	return u.Method
 }
 
+// Rare reports whether the declaration selects a rare-event campaign.
+func (u UQSpec) Rare() bool { return u.Mode == ModeFailureProbability }
+
+// EffectiveEstimator returns the rare-event estimator, defaulting to
+// subset simulation.
+func (u UQSpec) EffectiveEstimator() string {
+	if u.Estimator == "" {
+		return EstimatorSubset
+	}
+	return u.Estimator
+}
+
+// validateRare checks the ModeFailureProbability knobs: everything a
+// rare-event run can get wrong is rejected at batch validation, not
+// thousands of solves into a campaign.
+func (u UQSpec) validateRare() error {
+	if u.Method != "" && u.Method != MethodNone {
+		return fmt.Errorf("mode %q drives its own germ-space sampling; remove method %q", u.Mode, u.Method)
+	}
+	if u.Streaming() || u.Samples > 0 {
+		return fmt.Errorf("mode %q does not take sampling or streaming knobs (samples/stream/max_samples/target_se/target_ci/checkpoint/shards)", u.Mode)
+	}
+	if u.P0 < 0 || u.P0 >= 0.5 {
+		return fmt.Errorf("p0 %g outside [0, 0.5)", u.P0)
+	}
+	if u.LevelSamples < 0 || u.MaxLevels < 0 || u.MCMCStep < 0 {
+		return fmt.Errorf("level_samples, max_levels and mcmc_step must be non-negative")
+	}
+	switch u.EffectiveEstimator() {
+	case EstimatorSubset:
+		if u.ISShift != 0 {
+			return fmt.Errorf("is_shift applies to estimator %q only", EstimatorImportance)
+		}
+		if n := u.LevelSamples; n > 0 {
+			p0 := u.P0
+			if p0 == 0 {
+				p0 = 0.1
+			}
+			seeds := int(math.Round(p0 * float64(n)))
+			if seeds < 2 {
+				return fmt.Errorf("level_samples %d gives %d seed chains; need ≥ 2", n, seeds)
+			}
+			if n%seeds != 0 {
+				return fmt.Errorf("level_samples %d not divisible by %d seed chains (pick a multiple of 1/p0)", n, seeds)
+			}
+		}
+	case EstimatorImportance:
+		if u.ISShift == 0 {
+			return fmt.Errorf("estimator %q needs a non-zero is_shift toward the failure domain", EstimatorImportance)
+		}
+		if u.P0 != 0 || u.MaxLevels != 0 || u.MCMCStep != 0 {
+			return fmt.Errorf("p0, max_levels and mcmc_step apply to estimator %q only", EstimatorSubset)
+		}
+	default:
+		return fmt.Errorf("unknown rare-event estimator %q", u.Estimator)
+	}
+	return nil
+}
+
 // Validate checks the UQ declaration.
 func (u UQSpec) Validate() error {
+	if u.Mode != "" && u.Mode != ModeFailureProbability {
+		return fmt.Errorf("unknown uq mode %q", u.Mode)
+	}
+	if !u.Rare() && (u.Estimator != "" || u.P0 != 0 || u.LevelSamples != 0 || u.MaxLevels != 0 || u.MCMCStep != 0 || u.ISShift != 0) {
+		return fmt.Errorf("rare-event knobs (estimator/p0/level_samples/max_levels/mcmc_step/is_shift) need mode %q", ModeFailureProbability)
+	}
+	if u.Rare() {
+		if err := u.validateRare(); err != nil {
+			return err
+		}
+		if u.Rho != nil && (*u.Rho < 0 || *u.Rho > 1) {
+			return fmt.Errorf("rho %g outside [0, 1]", *u.Rho)
+		}
+		if u.MeanDelta < 0 || u.MeanDelta >= 1 {
+			return fmt.Errorf("mean_delta %g outside [0, 1)", u.MeanDelta)
+		}
+		if u.StdDelta < 0 || u.CriticalK < 0 {
+			return fmt.Errorf("std_delta and critical_k must be non-negative")
+		}
+		return nil
+	}
 	switch u.EffectiveMethod() {
 	case MethodNone:
 		if u.Streaming() {
 			return fmt.Errorf("streaming knobs need a sampling method")
 		}
-	case MethodMonteCarlo, MethodLHS, MethodHalton, MethodSobol:
+	case MethodMonteCarlo, MethodLHS, MethodHalton, MethodSobol, MethodSobolOwen, MethodRQMC:
 		if u.Budget() <= 0 {
 			return fmt.Errorf("method %q needs a positive sample count", u.Method)
 		}
@@ -361,9 +490,10 @@ type Batch struct {
 }
 
 // Validate checks the batch structurally: names, worker counts, and each
-// scenario's declared solver knobs (contradictory combinations like
-// precision=mixed with precond=jacobi fail submission with a 422 instead
-// of degrading silently at run time). Per-scenario physics/geometry
+// scenario's declared solver knobs and uncertainty study (contradictory
+// combinations like precision=mixed with precond=jacobi, or rare-event
+// knobs without the failure_probability mode, fail submission with a 422
+// instead of degrading silently at run time). Per-scenario physics/geometry
 // errors (e.g. an unbuildable chip) are deliberately NOT caught here —
 // they surface as that scenario's failure at run time, isolated from the
 // rest of the batch.
@@ -385,6 +515,9 @@ func (b *Batch) Validate() error {
 		seen[s.Name] = true
 		if err := s.withSimDefaults().Sim.Validate(); err != nil {
 			return fmt.Errorf("scenario %q: sim: %w", s.Name, err)
+		}
+		if err := s.UQ.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: uq: %w", s.Name, err)
 		}
 	}
 	return nil

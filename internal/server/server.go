@@ -460,6 +460,20 @@ func (s *Server) runJob(ctx context.Context, id string, batch *scenario.Batch) {
 				Type: api.EventSample, JobID: id,
 				Scenario: ev.Scenario, Done: ev.Done, Total: ev.Total,
 			})
+		case scenario.PhaseLevel:
+			var lv *api.RareLevel
+			if ev.Level != nil {
+				lv = &api.RareLevel{
+					Level: ev.Level.Level, ThresholdK: ev.Level.ThresholdK,
+					Accept: ev.Level.Accept, CondProb: ev.Level.CondProb,
+					Evals: ev.Level.Evals,
+				}
+			}
+			s.hub.publish(id, api.JobEvent{
+				Type: api.EventLevel, JobID: id,
+				Scenario: ev.Scenario, Done: ev.Done, Total: ev.Total,
+				Level: lv,
+			})
 		}
 	}
 	res, err := s.runEngine(ctx, eng, batch)

@@ -112,6 +112,56 @@ func TestExceedCounterWilson(t *testing.T) {
 	}
 }
 
+// TestExceedCounterShardMergeTinyCounts is the rare-event regime guard:
+// shards of a campaign hunting a 1e-6..1e-8 failure probability see 0 or 1
+// exceedances each, and the merged Wilson interval must equal the
+// unsharded one bit-for-bit — the integer merge leaves no room for
+// floating-point drift, and this test keeps it that way.
+func TestExceedCounterShardMergeTinyCounts(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards []ExceedCounter // per-shard (N, Count)
+	}{
+		{"all empty", []ExceedCounter{{N: 50}, {N: 50}, {N: 50}, {N: 50}}},
+		{"single hit", []ExceedCounter{{N: 50}, {N: 50, Count: 1}, {N: 50}, {N: 50}}},
+		{"one hit each", []ExceedCounter{{N: 25, Count: 1}, {N: 25, Count: 1}, {N: 25, Count: 1}, {N: 25, Count: 1}}},
+		{"uneven shards", []ExceedCounter{{N: 1, Count: 1}, {N: 999}, {N: 3}, {N: 7, Count: 1}}},
+		{"zero-sample shard", []ExceedCounter{{N: 100, Count: 1}, {}, {N: 100}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Unsharded reference: all Bernoulli observations in one counter.
+			var ref ExceedCounter
+			for _, s := range tc.shards {
+				for i := 0; i < s.N; i++ {
+					ref.Observe(i < s.Count)
+				}
+			}
+			var merged ExceedCounter
+			for _, s := range tc.shards {
+				merged.Merge(s)
+			}
+			if merged.N != ref.N || merged.Count != ref.Count {
+				t.Fatalf("merged (%d, %d) != unsharded (%d, %d)", merged.N, merged.Count, ref.N, ref.Count)
+			}
+			for _, z := range []float64{1.0, 1.96, 2.5758} {
+				mlo, mhi := merged.Wilson(z)
+				rlo, rhi := ref.Wilson(z)
+				if math.Float64bits(mlo) != math.Float64bits(rlo) || math.Float64bits(mhi) != math.Float64bits(rhi) {
+					t.Errorf("z=%g: merged Wilson [%g, %g] not bit-identical to unsharded [%g, %g]", z, mlo, mhi, rlo, rhi)
+				}
+				if math.Float64bits(merged.HalfWidth(z)) != math.Float64bits(ref.HalfWidth(z)) {
+					t.Errorf("z=%g: half-widths differ", z)
+				}
+			}
+			if math.Float64bits(merged.Prob()) != math.Float64bits(ref.Prob()) &&
+				!(math.IsNaN(merged.Prob()) && math.IsNaN(ref.Prob())) {
+				t.Errorf("probabilities differ: %v vs %v", merged.Prob(), ref.Prob())
+			}
+		})
+	}
+}
+
 func TestP2QuantileAccuracy(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, p := range []float64{0.5, 0.9, 0.99} {

@@ -150,8 +150,10 @@ type Checkpoint struct {
 	Dim        int    `json:"dim"`
 	NumOutputs int    `json:"num_outputs"`
 	// SamplerFP fingerprints the sampler's actual point stream (a hash of
-	// point 0), catching identity changes a name cannot — a different
-	// Monte Carlo seed, QMC shift or LHS design size.
+	// the first fingerprintPoints points), catching identity changes a name
+	// cannot — a different Monte Carlo seed, QMC shift or scramble, or an
+	// LHS design size. Legacy checkpoints carry a single-point hash, still
+	// accepted with a warning.
 	SamplerFP uint64 `json:"sampler_fp,omitempty"`
 	// Tag echoes CampaignOptions.Tag.
 	Tag      string             `json:"tag,omitempty"`
@@ -160,28 +162,67 @@ type Checkpoint struct {
 	Stats    *stats.StreamStats `json:"stats"`
 }
 
-// samplerFingerprint hashes sampler point 0 (FNV-1a over the raw float64
-// bits). Index-addressable samplers are pure, so the fingerprint is stable
-// across runs yet distinguishes seeds, shifts and stratified design sizes.
+// fingerprintPoints is how many leading points samplerFingerprint hashes.
+// One point (the legacy scheme) cannot tell apart streams that agree at
+// index 0 and diverge after — e.g. two randomized-QMC replicate counts over
+// the same base scramble; eight catches every such divergence we ship.
+const fingerprintPoints = 8
+
+// samplerFingerprint hashes the first fingerprintPoints sampler points
+// (FNV-1a over the raw float64 bits), clamped to the design size for
+// bounded samplers. Index-addressable samplers are pure, so the fingerprint
+// is stable across runs yet distinguishes seeds, shifts, scrambles and
+// stratified design sizes.
 func samplerFingerprint(s Sampler) uint64 {
+	n := fingerprintPoints
+	if b, ok := s.(BoundedSampler); ok && b.Len() < n {
+		n = b.Len()
+	}
+	return fingerprintFirst(s, n)
+}
+
+// legacySamplerFingerprint reproduces the pre-v2 point-0-only hash so old
+// checkpoints remain resumable.
+func legacySamplerFingerprint(s Sampler) uint64 {
+	return fingerprintFirst(s, 1)
+}
+
+func fingerprintFirst(s Sampler, n int) uint64 {
 	u := make([]float64, s.Dim())
-	s.Sample(0, u)
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
 	)
 	h := uint64(offset64)
-	for _, v := range u {
-		b := math.Float64bits(v)
-		for i := 0; i < 8; i++ {
-			h ^= (b >> (8 * i)) & 0xff
-			h *= prime64
+	for i := 0; i < n; i++ {
+		s.Sample(i, u)
+		for _, v := range u {
+			b := math.Float64bits(v)
+			for k := 0; k < 8; k++ {
+				h ^= (b >> (8 * k)) & 0xff
+				h *= prime64
+			}
 		}
 	}
 	if h == 0 {
 		h = 1 // keep 0 free as "not fingerprinted" (legacy checkpoints)
 	}
 	return h
+}
+
+// checkSamplerFP validates a checkpointed fingerprint against the current
+// sampler. A zero stored value (never fingerprinted) passes; the legacy
+// single-point hash passes with a one-line warning; anything else is a
+// stream mismatch.
+func checkSamplerFP(stored uint64, s Sampler) error {
+	if stored == 0 || stored == samplerFingerprint(s) {
+		return nil
+	}
+	if stored == legacySamplerFingerprint(s) {
+		fmt.Fprintf(os.Stderr, "uq: accepting legacy single-point sampler fingerprint for %s; checkpoint will be upgraded on next save\n", s.Name())
+		return nil
+	}
+	return fmt.Errorf("uq: checkpoint was written by a different %s sample stream (changed seed, shift, scramble or design size)", s.Name())
 }
 
 // saveAtomicJSON marshals v and writes it atomically (temp file + rename in
@@ -269,6 +310,9 @@ func RunCampaign(ctx context.Context, factory ModelFactory, dists []Dist, s Samp
 	if opt.MaxSamples <= 0 {
 		return nil, fmt.Errorf("uq: campaign needs a positive sample budget")
 	}
+	if err := CheckBudget(s, opt.MaxSamples); err != nil {
+		return nil, err
+	}
 	if s.Dim() != len(dists) {
 		return nil, fmt.Errorf("uq: sampler dimension %d does not match %d distributions", s.Dim(), len(dists))
 	}
@@ -294,8 +338,8 @@ func RunCampaign(ctx context.Context, factory ModelFactory, dists []Dist, s Samp
 			return nil, fmt.Errorf("uq: checkpoint (sampler %s, dim %d, %d outputs) does not match campaign (sampler %s, dim %d, %d outputs)",
 				cp.Sampler, cp.Dim, cp.NumOutputs, s.Name(), s.Dim(), nOut)
 		}
-		if cp.SamplerFP != 0 && cp.SamplerFP != fp {
-			return nil, fmt.Errorf("uq: checkpoint was written by a different %s sample stream (changed seed, shift or design size)", cp.Sampler)
+		if err := checkSamplerFP(cp.SamplerFP, s); err != nil {
+			return nil, err
 		}
 		if cp.Tag != opt.Tag {
 			return nil, fmt.Errorf("uq: checkpoint tag %q does not match campaign tag %q (model or configuration changed)", cp.Tag, opt.Tag)

@@ -18,6 +18,29 @@ type Sampler interface {
 	Name() string
 }
 
+// BoundedSampler is a Sampler backed by a finite design: indices outside
+// [0, Len()) are invalid. Campaign drivers validate their sample budget
+// against Len() at setup so a too-small design is a returned error, not a
+// panic mid-campaign.
+type BoundedSampler interface {
+	Sampler
+	// Len returns the number of valid sample indices.
+	Len() int
+}
+
+// CheckBudget validates that a campaign budget of n samples fits the
+// sampler's design. Unbounded samplers accept any budget.
+func CheckBudget(s Sampler, n int) error {
+	b, ok := s.(BoundedSampler)
+	if !ok {
+		return nil
+	}
+	if n > b.Len() {
+		return fmt.Errorf("uq: budget %d exceeds %s design of size %d", n, s.Name(), b.Len())
+	}
+	return nil
+}
+
 // PseudoRandom is the paper's plain Monte Carlo sampling: independent
 // uniform draws with a deterministic per-index stream.
 type PseudoRandom struct {
@@ -74,7 +97,9 @@ func (l *LatinHypercube) Name() string { return "latin-hypercube" }
 // Len returns the design size M.
 func (l *LatinHypercube) Len() int { return l.m }
 
-// Sample implements Sampler. Indices beyond the design size panic.
+// Sample implements Sampler. Indices beyond the design size panic; the
+// campaign drivers reject such budgets up front via CheckBudget, so the
+// panic marks a programming error, never a runtime condition.
 func (l *LatinHypercube) Sample(i int, dst []float64) {
 	if i < 0 || i >= l.m {
 		panic(fmt.Sprintf("uq: LHS index %d outside design of size %d", i, l.m))
@@ -192,6 +217,23 @@ func NewSobol(d int) (*Sobol, error) {
 
 // MaxSobolDim returns the highest supported Sobol' dimensionality.
 func MaxSobolDim() int { return 1 + len(sobolPoly) }
+
+// SobolBits is the fixed-point resolution of the Sobol' sequence — the
+// number of output bits in every direction integer.
+const SobolBits = sobolBits
+
+// SobolDirections returns the direction integers for one Sobol' dimension
+// (0-based, dim < MaxSobolDim). The slice has SobolBits entries, each with
+// bit k of the radix-2 expansion in position SobolBits-1-k. Callers own the
+// returned slice; it is freshly computed. This is the seam packages such as
+// internal/rare build scrambled variants on without duplicating the Joe–Kuo
+// tables.
+func SobolDirections(dim int) ([]uint64, error) {
+	if dim < 0 || dim >= MaxSobolDim() {
+		return nil, fmt.Errorf("uq: Sobol' dimension %d outside 0..%d", dim, MaxSobolDim()-1)
+	}
+	return directionIntegers(dim), nil
+}
 
 func directionIntegers(dim int) []uint64 {
 	v := make([]uint64, sobolBits)

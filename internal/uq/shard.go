@@ -205,8 +205,8 @@ func (c *ShardCheckpoint) validate(s Sampler, fp uint64, plan *ShardPlan, shard,
 	switch {
 	case c.Sampler != s.Name():
 		return fmt.Errorf("uq: shard checkpoint sampler %q does not match campaign sampler %q", c.Sampler, s.Name())
-	case c.SamplerFP != 0 && c.SamplerFP != fp:
-		return fmt.Errorf("uq: shard checkpoint was written by a different %s sample stream (changed seed, shift or design size)", c.Sampler)
+	case checkSamplerFP(c.SamplerFP, s) != nil:
+		return checkSamplerFP(c.SamplerFP, s)
 	case c.Tag != opt.Tag:
 		return fmt.Errorf("uq: shard checkpoint tag %q does not match campaign tag %q (model or configuration changed)", c.Tag, opt.Tag)
 	case c.Shard != shard || c.Start != start || c.End != end || c.BlockSize != plan.BlockSize:
@@ -245,6 +245,9 @@ func RunShard(ctx context.Context, factory ModelFactory, dists []Dist, s Sampler
 	}
 	if s.Dim() != len(dists) {
 		return nil, fmt.Errorf("uq: sampler dimension %d does not match %d distributions", s.Dim(), len(dists))
+	}
+	if err := CheckBudget(s, plan.MaxSamples); err != nil {
+		return nil, err
 	}
 	start, end := plan.Shard(shard)
 	fp := samplerFingerprint(s)
