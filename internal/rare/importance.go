@@ -70,7 +70,7 @@ func RunImportance(ctx context.Context, lsf LimitStateFactory, cfg ISConfig) (*I
 	// Weighted indicator per sample, folded in index order afterwards.
 	vals := make([]float64, cfg.N)
 	idxCh := make(chan int)
-	errCh := make(chan error, cfg.Workers)
+	abort := newWorkerAbort()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -78,7 +78,7 @@ func RunImportance(ctx context.Context, lsf LimitStateFactory, cfg ISConfig) (*I
 			defer wg.Done()
 			ls, err := lsf()
 			if err != nil {
-				errCh <- err
+				abort.fail(err)
 				return
 			}
 			z := make([]float64, dim)
@@ -91,7 +91,7 @@ func RunImportance(ctx context.Context, lsf LimitStateFactory, cfg ISConfig) (*I
 				}
 				g, err := ls(z)
 				if err != nil {
-					errCh <- fmt.Errorf("rare: limit state at sample %d: %w", i, err)
+					abort.fail(fmt.Errorf("rare: limit state at sample %d: %w", i, err))
 					return
 				}
 				if g >= cfg.Threshold {
@@ -104,16 +104,16 @@ feed:
 	for i := 0; i < cfg.N; i++ {
 		select {
 		case idxCh <- i:
+		case <-abort.ch:
+			break feed
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idxCh)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	if abort.err != nil {
+		return nil, abort.err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

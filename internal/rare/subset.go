@@ -378,7 +378,7 @@ func runChains(ctx context.Context, lsf LimitStateFactory, cfg SubsetConfig, see
 		}
 		var wg sync.WaitGroup
 		chainCh := make(chan int)
-		errCh := make(chan error, cfg.Workers)
+		abort := newWorkerAbort()
 		workers := cfg.Workers
 		if workers > hi-lo {
 			workers = hi - lo
@@ -389,13 +389,13 @@ func runChains(ctx context.Context, lsf LimitStateFactory, cfg SubsetConfig, see
 				defer wg.Done()
 				ls, lerr := lsf()
 				if lerr != nil {
-					errCh <- lerr
+					abort.fail(lerr)
 					return
 				}
 				for c := range chainCh {
 					st, cerr := runOneChain(ctx, ls, cfg, seeds[c], level, c, chainLen, t, out[c*chainLen:(c+1)*chainLen])
 					if cerr != nil {
-						errCh <- cerr
+						abort.fail(cerr)
 						return
 					}
 					perChain[c] = chainStats{st.accepted, st.proposed, st.evals}
@@ -406,16 +406,16 @@ func runChains(ctx context.Context, lsf LimitStateFactory, cfg SubsetConfig, see
 		for c := lo; c < hi; c++ {
 			select {
 			case chainCh <- c:
+			case <-abort.ch:
+				break feed
 			case <-ctx.Done():
 				break feed
 			}
 		}
 		close(chainCh)
 		wg.Wait()
-		select {
-		case werr := <-errCh:
-			return nil, 0, 0, 0, werr
-		default:
+		if abort.err != nil {
+			return nil, 0, 0, 0, abort.err
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, 0, 0, 0, cerr
@@ -476,11 +476,33 @@ func runOneChain(ctx context.Context, ls LimitState, cfg SubsetConfig, seed subs
 	return st, nil
 }
 
+// workerAbort lets the first erroring worker of a pool unblock the feeder:
+// the worker records its error and closes the abort channel before exiting,
+// so the feeder's select never blocks forever on the unbuffered work channel.
+type workerAbort struct {
+	ch   chan struct{}
+	once sync.Once
+	err  error
+}
+
+func newWorkerAbort() *workerAbort {
+	return &workerAbort{ch: make(chan struct{})}
+}
+
+// fail records the first error and signals the feeder. Safe to call from
+// any number of workers; only the first error is kept.
+func (a *workerAbort) fail(err error) {
+	a.once.Do(func() {
+		a.err = err
+		close(a.ch)
+	})
+}
+
 // evalStates evaluates g for every state in parallel, writing results by
 // index.
 func evalStates(ctx context.Context, lsf LimitStateFactory, cfg SubsetConfig, states []subsetState) error {
 	idxCh := make(chan int)
-	errCh := make(chan error, cfg.Workers)
+	abort := newWorkerAbort()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -488,13 +510,13 @@ func evalStates(ctx context.Context, lsf LimitStateFactory, cfg SubsetConfig, st
 			defer wg.Done()
 			ls, err := lsf()
 			if err != nil {
-				errCh <- err
+				abort.fail(err)
 				return
 			}
 			for i := range idxCh {
 				g, err := ls(states[i].z)
 				if err != nil {
-					errCh <- fmt.Errorf("rare: limit state at sample %d: %w", i, err)
+					abort.fail(fmt.Errorf("rare: limit state at sample %d: %w", i, err))
 					return
 				}
 				states[i].g = g
@@ -505,16 +527,16 @@ feed:
 	for i := range states {
 		select {
 		case idxCh <- i:
+		case <-abort.ch:
+			break feed
 		case <-ctx.Done():
 			break feed
 		}
 	}
 	close(idxCh)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
+	if abort.err != nil {
+		return abort.err
 	}
 	return ctx.Err()
 }

@@ -3,8 +3,11 @@ package rare
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"etherm/internal/stats"
 	"etherm/internal/uq"
@@ -342,4 +345,75 @@ func (finUQModel) NumOutputs() int { return 1 }
 func (finUQModel) Eval(p, out []float64) error {
 	out[0] = finTemp(clampDelta(lawMu + lawSigma*p[0]))
 	return nil
+}
+
+// TestWorkerErrorDoesNotDeadlock pins the fix for a feeder deadlock: a
+// worker that hits an eval or factory error used to exit without draining
+// the unbuffered work channel, hanging RunSubset/RunImportance forever
+// with Workers=1 (or whenever all workers errored). Each case must return
+// the error promptly instead of wedging the calling goroutine.
+func TestWorkerErrorDoesNotDeadlock(t *testing.T) {
+	erroringEval := func() (LimitState, error) {
+		return func(z []float64) (float64, error) {
+			return 0, errors.New("boom")
+		}, nil
+	}
+	erroringFactory := func() (LimitState, error) {
+		return nil, errors.New("factory boom")
+	}
+	// Errors only once chains start (level ≥ 1), exercising runChains. The
+	// counter is shared across factory instances so level 0's 2000 iid
+	// evaluations pass and a later chain evaluation trips the error.
+	var lateCount atomic.Int64
+	lateEval := func() (LimitState, error) {
+		return func(z []float64) (float64, error) {
+			if lateCount.Add(1) > 2100 {
+				return 0, errors.New("late boom")
+			}
+			s := 0.0
+			for _, v := range z {
+				s += v
+			}
+			return s, nil
+		}, nil
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"subset eval error", func() error {
+			_, err := RunSubset(context.Background(), erroringEval, SubsetConfig{Threshold: 10, Dim: 2, N: 2000, Seed: 1, Workers: 1})
+			return err
+		}},
+		{"subset factory error", func() error {
+			_, err := RunSubset(context.Background(), erroringFactory, SubsetConfig{Threshold: 10, Dim: 2, N: 2000, Seed: 1, Workers: 2})
+			return err
+		}},
+		{"subset chain-level error", func() error {
+			_, err := RunSubset(context.Background(), lateEval, SubsetConfig{Threshold: 100, Dim: 2, N: 2000, Seed: 1, Workers: 1})
+			return err
+		}},
+		{"importance eval error", func() error {
+			_, err := RunImportance(context.Background(), erroringEval, ISConfig{Threshold: 3, Shift: []float64{1, 1}, N: 1000, Seed: 1, Workers: 1})
+			return err
+		}},
+		{"importance factory error", func() error {
+			_, err := RunImportance(context.Background(), erroringFactory, ISConfig{Threshold: 3, Shift: []float64{1, 1}, N: 1000, Seed: 1, Workers: 2})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			done := make(chan error, 1)
+			go func() { done <- tc.run() }()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("expected an error, got nil")
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("run deadlocked on worker error")
+			}
+		})
+	}
 }

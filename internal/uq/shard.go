@@ -202,11 +202,12 @@ func LoadShardCheckpoint(path string) (*ShardCheckpoint, error) {
 // fingerprint/tag guard applied per shard, plus the plan geometry that
 // decides which samples belong to the shard.
 func (c *ShardCheckpoint) validate(s Sampler, fp uint64, plan *ShardPlan, shard, start, end, nOut int, opt ShardOptions) error {
+	fpErr := checkSamplerFP(c.SamplerFP, s)
 	switch {
 	case c.Sampler != s.Name():
 		return fmt.Errorf("uq: shard checkpoint sampler %q does not match campaign sampler %q", c.Sampler, s.Name())
-	case checkSamplerFP(c.SamplerFP, s) != nil:
-		return checkSamplerFP(c.SamplerFP, s)
+	case fpErr != nil:
+		return fpErr
 	case c.Tag != opt.Tag:
 		return fmt.Errorf("uq: shard checkpoint tag %q does not match campaign tag %q (model or configuration changed)", c.Tag, opt.Tag)
 	case c.Shard != shard || c.Start != start || c.End != end || c.BlockSize != plan.BlockSize:
